@@ -1,0 +1,12 @@
+"""ABL1 bench — transformer coin-bias ablation (exact lumped solves)."""
+
+from repro.experiments.abl1 import run_abl1
+
+
+def test_abl1_bias_sweep(benchmark, record_experiment):
+    record_experiment(
+        benchmark,
+        run_abl1,
+        rounds=1,
+        biases=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    )

@@ -1,0 +1,7 @@
+"""ALG3 bench — the synchrony-required case study."""
+
+from repro.experiments.alg3 import run_alg3
+
+
+def test_alg3_case_study(benchmark, record_experiment):
+    record_experiment(benchmark, run_alg3, rounds=3)

@@ -1,0 +1,15 @@
+"""FIG1 bench — regenerate Figure 1 (legitimate execution of Algorithm 1)."""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_regeneration(benchmark, record_experiment):
+    record_experiment(benchmark, run_fig1, rounds=3, ring_size=6, steps=12)
+
+
+def test_fig1_larger_ring(benchmark, record_experiment):
+    """Same artifact on a 12-ring (m_N = 5) — scaling sanity."""
+    result = benchmark.pedantic(
+        lambda: run_fig1(ring_size=12, steps=24), rounds=3, iterations=1
+    )
+    assert result.passed

@@ -1,0 +1,7 @@
+"""FIG2 bench — regenerate Figure 2 (possible convergence witness)."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_regeneration(benchmark, record_experiment):
+    record_experiment(benchmark, run_fig2, rounds=1)

@@ -1,0 +1,7 @@
+"""FIG3 bench — regenerate Figure 3 (synchronous non-convergence)."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_regeneration(benchmark, record_experiment):
+    record_experiment(benchmark, run_fig3, rounds=3)

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the library's three hot paths.
+
+Not paper artifacts — these measure the substrate itself (state-space
+exploration, Markov solving, simulation throughput) so performance
+regressions are visible independently of the experiment wrappers.
+"""
+
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.graphs.generators import random_tree
+from repro.markov.builder import build_chain
+from repro.markov.hitting import hitting_summary
+from repro.random_source import RandomSource
+from repro.schedulers.distributions import CentralRandomizedDistribution
+from repro.schedulers.relations import CentralRelation, DistributedRelation
+from repro.schedulers.samplers import DistributedRandomizedSampler
+from repro.core.simulate import run
+from repro.stabilization.statespace import StateSpace
+
+
+def test_statespace_ring6_central(benchmark):
+    """Explore all 4096 configurations of Algorithm 1 (N=6), central."""
+    system = make_token_ring_system(6)
+
+    def explore():
+        return StateSpace.explore(system, CentralRelation())
+
+    space = benchmark.pedantic(explore, rounds=3, iterations=1)
+    assert space.num_configurations == 4096
+
+
+def test_statespace_ring5_distributed(benchmark):
+    """Distributed relation: exponential subsets per configuration."""
+    system = make_token_ring_system(5)
+
+    def explore():
+        return StateSpace.explore(system, DistributedRelation())
+
+    space = benchmark.pedantic(explore, rounds=3, iterations=1)
+    assert space.num_configurations == 32
+
+
+def test_markov_solve_ring6(benchmark):
+    """Build + solve the 4096-state central-randomized chain."""
+    system = make_token_ring_system(6)
+    spec = TokenCirculationSpec()
+
+    def solve():
+        chain = build_chain(system, CentralRandomizedDistribution())
+        return hitting_summary(chain, chain.mark(spec.legitimate))
+
+    summary = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert summary.converges_with_probability_one
+
+
+def test_simulation_throughput_ring30(benchmark):
+    """10k simulated steps of Algorithm 1 on a 30-ring (never terminal:
+    the single surviving token keeps circulating)."""
+    system = make_token_ring_system(30)
+    initial = next(system.all_configurations())
+
+    def simulate():
+        return run(
+            system,
+            DistributedRandomizedSampler(),
+            initial,
+            max_steps=10_000,
+            rng=RandomSource(2),
+        )
+
+    trace = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert trace.length == 10_000
+
+
+def test_simulation_leader_tree30(benchmark):
+    """Algorithm 2 on a 30-node random tree until stabilization."""
+    from repro.core.simulate import run_until
+    from repro.algorithms.leader_tree import satisfies_lc
+
+    system = make_leader_tree_system(random_tree(30, RandomSource(1)))
+    initial = next(system.all_configurations())
+
+    def simulate():
+        return run_until(
+            system,
+            DistributedRandomizedSampler(),
+            initial,
+            stop=lambda c: system.is_terminal(c),
+            max_steps=200_000,
+            rng=RandomSource(2),
+        )
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert result.converged
+    assert satisfies_lc(system, result.trace.final)

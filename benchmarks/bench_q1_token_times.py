@@ -1,0 +1,15 @@
+"""Q1 bench — expected stabilization time sweep for trans(Algorithm 1)."""
+
+from repro.experiments.q1 import run_q1
+
+
+def test_q1_sweep(benchmark, record_experiment):
+    record_experiment(
+        benchmark,
+        run_q1,
+        rounds=1,
+        exact_sizes=(3, 4, 5, 6),
+        monte_carlo_sizes=(8, 10),
+        trials=200,
+        seed=2008,
+    )

@@ -1,0 +1,14 @@
+"""Q2 bench — expected stabilization time sweep for trans(Algorithm 2)."""
+
+from repro.experiments.q2 import run_q2
+
+
+def test_q2_sweep(benchmark, record_experiment):
+    record_experiment(
+        benchmark,
+        run_q2,
+        rounds=1,
+        monte_carlo_sizes=(8, 10),
+        trials=200,
+        seed=2008,
+    )

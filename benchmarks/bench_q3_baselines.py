@@ -1,0 +1,7 @@
+"""Q3 bench — baseline comparison table (Herman / IJ / Dijkstra / trans)."""
+
+from repro.experiments.q3 import run_q3
+
+
+def test_q3_baselines(benchmark, record_experiment):
+    record_experiment(benchmark, run_q3, rounds=1, trials=150, seed=2008)

@@ -1,0 +1,7 @@
+"""Q4 bench — design cost of the transformer (direct vs transformed)."""
+
+from repro.experiments.q4 import run_q4
+
+
+def test_q4_design_cost(benchmark, record_experiment):
+    record_experiment(benchmark, run_q4, rounds=1)

@@ -1,0 +1,7 @@
+"""THM1 bench — synchronous weak ⟺ self equivalence portfolio."""
+
+from repro.experiments.thm1 import run_thm1
+
+
+def test_thm1_portfolio(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm1, rounds=1)

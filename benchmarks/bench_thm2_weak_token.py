@@ -1,0 +1,7 @@
+"""THM2 bench — exhaustive weak-stabilization check of Algorithm 1."""
+
+from repro.experiments.thm2 import run_thm2
+
+
+def test_thm2_rings_up_to_7(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm2, rounds=1, ring_sizes=(3, 4, 5, 6, 7))

@@ -1,0 +1,7 @@
+"""THM3 bench — mechanized symmetry impossibility argument."""
+
+from repro.experiments.thm3 import run_thm3
+
+
+def test_thm3_symmetry_argument(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm3, rounds=1)

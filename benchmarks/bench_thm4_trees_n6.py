@@ -1,0 +1,32 @@
+"""THM4 extra bench — Theorem 4 on *all* 1296 labeled trees of 6 nodes.
+
+Classification only (the per-configuration Lemma 7/10 scans run in the
+main THM4 target); this is the largest exhaustive sweep in the suite.
+"""
+
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.graphs.prufer import all_labeled_trees
+from repro.schedulers.relations import DistributedRelation
+from repro.stabilization.classify import classify
+
+
+def test_thm4_all_labeled_trees_n6(benchmark):
+    def sweep():
+        weak = certain_fails = total = 0
+        for tree in all_labeled_trees(6):
+            verdict = classify(
+                make_leader_tree_system(tree),
+                TreeLeaderSpec(),
+                DistributedRelation(),
+            )
+            total += 1
+            weak += verdict.is_weak_stabilizing
+            certain_fails += not verdict.certain_convergence
+        return weak, certain_fails, total
+
+    weak, certain_fails, total = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    assert total == 1296
+    assert weak == total
+    assert certain_fails == total

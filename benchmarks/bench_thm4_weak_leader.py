@@ -1,0 +1,7 @@
+"""THM4 bench — exhaustive weak-stabilization check of Algorithm 2."""
+
+from repro.experiments.thm4 import run_thm4
+
+
+def test_thm4_all_trees_up_to_5(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm4, rounds=1, exhaustive_max_nodes=5)

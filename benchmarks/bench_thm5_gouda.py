@@ -1,0 +1,7 @@
+"""THM5 bench — Gouda-fairness convergence equivalence."""
+
+from repro.experiments.thm5 import run_thm5
+
+
+def test_thm5_gouda_equivalence(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm5, rounds=1)

@@ -1,0 +1,7 @@
+"""THM6 bench — strongly-fair non-converging witness construction."""
+
+from repro.experiments.thm6 import run_thm6
+
+
+def test_thm6_witnesses(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm6, rounds=1)

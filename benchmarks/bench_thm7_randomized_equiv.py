@@ -1,0 +1,7 @@
+"""THM7 bench — randomized-scheduler equivalence (structural vs numeric)."""
+
+from repro.experiments.thm7 import run_thm7
+
+
+def test_thm7_equivalence(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm7, rounds=1)

@@ -1,0 +1,7 @@
+"""THM8 bench — transformed systems under the synchronous scheduler."""
+
+from repro.experiments.thm8 import run_thm8
+
+
+def test_thm8_transformer(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm8, rounds=1)

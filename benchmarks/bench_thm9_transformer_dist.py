@@ -1,0 +1,8 @@
+"""THM9 bench — transformed systems under the distributed randomized
+scheduler."""
+
+from repro.experiments.thm9 import run_thm9
+
+
+def test_thm9_transformer(benchmark, record_experiment):
+    record_experiment(benchmark, run_thm9, rounds=1)

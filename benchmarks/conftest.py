@@ -1,0 +1,38 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper artifact (figure/theorem/extension
+table) through the corresponding experiment, asserts it PASSes, measures
+the wall-clock of the regeneration, and writes the rendered rows to
+``benchmarks/_artifacts/<ID>.txt`` so the regenerated tables survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture
+def record_experiment(artifacts_dir):
+    """Run an experiment under the benchmark timer, persist its render."""
+
+    def _record(benchmark, runner, rounds: int = 1, **params):
+        result = benchmark.pedantic(
+            lambda: runner(**params), rounds=rounds, iterations=1
+        )
+        path = artifacts_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        assert result.passed, result.render()
+        return result
+
+    return _record

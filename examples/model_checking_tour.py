@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A tour of the model checker: the paper's taxonomy as one big matrix.
+
+Classifies every algorithm in the library against the central,
+distributed and synchronous scheduler relations, and prints the
+weak/self/none verdicts — the computational content of the paper's
+Sections 3-4 at a glance.
+
+Run:  python examples/model_checking_tour.py
+"""
+
+from repro.algorithms.center_finding import (
+    CentersCorrectSpec,
+    make_center_finding_system,
+)
+from repro.algorithms.center_leader import (
+    CenterLeaderSpec,
+    make_center_leader_system,
+)
+from repro.algorithms.coloring import ProperColoringSpec, make_coloring_system
+from repro.algorithms.dijkstra_ring import (
+    SinglePrivilegeSpec,
+    make_dijkstra_system,
+)
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.algorithms.matching import (
+    MaximalMatchingSpec,
+    make_matching_system,
+)
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.analysis.tables import format_table
+from repro.graphs.generators import complete, figure3_chain, path, star
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization.classify import classify
+
+
+def portfolio():
+    chain = figure3_chain()
+    yield "Alg 1 token ring (N=5)", make_token_ring_system(5), (
+        TokenCirculationSpec()
+    )
+    yield "Alg 2 leader tree (P4)", make_leader_tree_system(chain), (
+        TreeLeaderSpec()
+    )
+    yield "Alg 3 two-process", make_two_process_system(), BothTrueSpec()
+    yield "BGKP centers (P4)", make_center_finding_system(path(4)), (
+        CentersCorrectSpec(path(4))
+    )
+    yield "center-leader (P4)", make_center_leader_system(chain), (
+        CenterLeaderSpec()
+    )
+    yield "Dijkstra K-state (N=4)", make_dijkstra_system(4), (
+        SinglePrivilegeSpec()
+    )
+    yield "greedy coloring (K2)", make_coloring_system(complete(2)), (
+        ProperColoringSpec()
+    )
+    yield "greedy coloring (K1,3)", make_coloring_system(star(3)), (
+        ProperColoringSpec()
+    )
+    yield "Hsu-Huang matching (P4)", make_matching_system(path(4)), (
+        MaximalMatchingSpec()
+    )
+
+
+def main() -> None:
+    relations = (
+        CentralRelation(),
+        DistributedRelation(),
+        SynchronousRelation(),
+    )
+    rows = []
+    for label, system, spec in portfolio():
+        row = {"algorithm": label, "|C|": system.num_configurations()}
+        for relation in relations:
+            verdict = classify(system, spec, relation)
+            if verdict.is_self_stabilizing:
+                cell = "self"
+            elif verdict.is_weak_stabilizing:
+                cell = "weak"
+            else:
+                cell = "—"
+            row[relation.name] = cell
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title="stabilization class per scheduler relation"
+            " (self ⊃ weak ⊃ —)",
+        )
+    )
+    print(
+        "\nReadings: Alg 1/2 are weak-everywhere but self-nowhere"
+        " (Theorems 2-4); Alg 3 needs simultaneity (central: —);"
+        " Dijkstra is deterministic self-stabilizing thanks to its"
+        " distinguished bottom process; greedy coloring self-stabilizes"
+        " centrally but livelocks synchronously — the transformer's"
+        " target customer."
+    )
+
+
+if __name__ == "__main__":
+    main()

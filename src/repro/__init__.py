@@ -1,0 +1,84 @@
+"""repro — reproduction of "Weak vs. Self vs. Probabilistic Stabilization".
+
+Devismes, Tixeuil, Yamashita (ICDCS 2008 / INRIA RR-6366).  The library
+provides:
+
+* :mod:`repro.core` — the guarded-command atomic-state model (Section 2);
+* :mod:`repro.graphs` — rings, trees, centers (Property 1);
+* :mod:`repro.schedulers` — central/distributed/synchronous/randomized
+  schedulers and the weak/strong/Gouda fairness predicates;
+* :mod:`repro.stabilization` — exhaustive checking of weak/self
+  stabilization (Definitions 1-3) and witness construction (Theorems 5-6);
+* :mod:`repro.markov` — probabilistic stabilization as absorbing Markov
+  chains (Theorems 7-9) plus Monte-Carlo estimation;
+* :mod:`repro.algorithms` — Algorithms 1-3, the log N-bit center-based
+  leader election, and the Dijkstra/Herman/Israeli-Jalfon/coloring
+  baselines;
+* :mod:`repro.transformer` — the Section 4 coin-toss transformer;
+* :mod:`repro.experiments` — one reproduction per figure and theorem.
+
+Quickstart::
+
+    from repro import make_token_ring_system, classify
+    from repro.algorithms import TokenCirculationSpec
+    from repro.schedulers import DistributedRelation
+
+    system = make_token_ring_system(6)
+    verdict = classify(system, TokenCirculationSpec(), DistributedRelation())
+    print(verdict.summary())   # weak-stabilizing (not self-stabilizing)
+"""
+
+from repro.algorithms import (
+    make_center_finding_system,
+    make_center_leader_system,
+    make_coloring_system,
+    make_dijkstra_system,
+    make_herman_system,
+    make_leader_tree_system,
+    make_token_ring_system,
+    make_two_process_system,
+)
+from repro.core import (
+    Algorithm,
+    Configuration,
+    OrientedRing,
+    System,
+    Topology,
+    Trace,
+    run,
+    run_until,
+)
+from repro.errors import ReproError
+from repro.markov import build_chain, hitting_summary
+from repro.random_source import RandomSource
+from repro.stabilization import StateSpace, classify
+from repro.transformer import make_transformed_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "RandomSource",
+    "Algorithm",
+    "System",
+    "Topology",
+    "OrientedRing",
+    "Configuration",
+    "Trace",
+    "run",
+    "run_until",
+    "classify",
+    "StateSpace",
+    "build_chain",
+    "hitting_summary",
+    "make_token_ring_system",
+    "make_leader_tree_system",
+    "make_two_process_system",
+    "make_center_finding_system",
+    "make_center_leader_system",
+    "make_dijkstra_system",
+    "make_herman_system",
+    "make_coloring_system",
+    "make_transformed_system",
+]

@@ -1,0 +1,135 @@
+"""The paper's algorithms (1-3, center-based election) and baselines."""
+
+from repro.algorithms.center_finding import (
+    CenterFindingAlgorithm,
+    CentersCorrectSpec,
+    height_target,
+    local_centers,
+    make_center_finding_system,
+)
+from repro.algorithms.center_leader import (
+    CenterLeaderAlgorithm,
+    CenterLeaderSpec,
+    center_leader_leaders,
+    make_center_leader_system,
+)
+from repro.algorithms.coloring import (
+    GreedyColoringAlgorithm,
+    ProperColoringSpec,
+    make_coloring_system,
+    monochromatic_edges,
+)
+from repro.algorithms.dijkstra_ring import (
+    DijkstraKStateAlgorithm,
+    SinglePrivilegeSpec,
+    make_dijkstra_system,
+    privileged_processes,
+)
+from repro.algorithms.herman_ring import (
+    HermanAlgorithm,
+    HermanSingleTokenSpec,
+    herman_token_holders,
+    make_herman_system,
+)
+from repro.algorithms.israeli_jalfon import (
+    IJSimulationResult,
+    ij_expected_merge_time,
+    ij_simulate_merge_time,
+    ij_successors,
+)
+from repro.algorithms.leader_tree import (
+    LeaderTreeAlgorithm,
+    TreeLeaderSpec,
+    figure2_initial_configuration,
+    figure2_system,
+    leaders,
+    make_leader_tree_system,
+    root_of,
+    satisfies_lc,
+)
+from repro.algorithms.matching import (
+    MatchingAlgorithm,
+    MaximalMatchingSpec,
+    is_maximal_matching,
+    make_matching_system,
+    married_pairs,
+)
+from repro.algorithms.number_theory import (
+    divisors,
+    memory_bits,
+    smallest_non_divisor,
+)
+from repro.algorithms.randomized_coloring import (
+    RandomizedColoringAlgorithm,
+    make_randomized_coloring_system,
+)
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    TokenRingAlgorithm,
+    count_tokens,
+    make_token_ring_system,
+    single_token_configuration,
+    token_holders,
+    two_token_configuration,
+)
+from repro.algorithms.two_process import (
+    BothTrueSpec,
+    TwoProcessAlgorithm,
+    make_two_process_system,
+)
+
+__all__ = [
+    "TokenRingAlgorithm",
+    "TokenCirculationSpec",
+    "make_token_ring_system",
+    "token_holders",
+    "count_tokens",
+    "single_token_configuration",
+    "two_token_configuration",
+    "LeaderTreeAlgorithm",
+    "TreeLeaderSpec",
+    "make_leader_tree_system",
+    "leaders",
+    "root_of",
+    "satisfies_lc",
+    "figure2_initial_configuration",
+    "figure2_system",
+    "TwoProcessAlgorithm",
+    "BothTrueSpec",
+    "make_two_process_system",
+    "CenterFindingAlgorithm",
+    "CentersCorrectSpec",
+    "make_center_finding_system",
+    "height_target",
+    "local_centers",
+    "CenterLeaderAlgorithm",
+    "CenterLeaderSpec",
+    "make_center_leader_system",
+    "center_leader_leaders",
+    "DijkstraKStateAlgorithm",
+    "SinglePrivilegeSpec",
+    "make_dijkstra_system",
+    "privileged_processes",
+    "HermanAlgorithm",
+    "HermanSingleTokenSpec",
+    "make_herman_system",
+    "herman_token_holders",
+    "ij_successors",
+    "ij_expected_merge_time",
+    "ij_simulate_merge_time",
+    "IJSimulationResult",
+    "GreedyColoringAlgorithm",
+    "ProperColoringSpec",
+    "make_coloring_system",
+    "monochromatic_edges",
+    "smallest_non_divisor",
+    "memory_bits",
+    "divisors",
+    "MatchingAlgorithm",
+    "MaximalMatchingSpec",
+    "make_matching_system",
+    "married_pairs",
+    "is_maximal_matching",
+    "RandomizedColoringAlgorithm",
+    "make_randomized_coloring_system",
+]

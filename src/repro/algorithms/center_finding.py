@@ -1,0 +1,124 @@
+"""Self-stabilizing tree-center finding (Bruell–Ghosh–Karaata–Pemmaraju).
+
+The paper's first (log N bits) weak-stabilizing leader election for
+anonymous trees builds on "the algorithm provided in [4]", which finds the
+centers of a tree: starting from any configuration the system reaches a
+terminal configuration in which a local predicate ``Center(p)`` holds
+exactly at the tree's centers (one center, or two neighboring centers —
+Property 1).
+
+Each process keeps a height estimate ``h_p ∈ [0, N)`` and repeatedly
+enforces::
+
+    h_p = clamp( 1 + max2 { h_q : q ∈ Neig_p } )
+
+where ``max2`` is the second-largest element of the multiset (−1 when the
+process has a single neighbor, so leaves drive toward 0).  At the fixed
+point, ``Center(p) ≡ h_p ≥ max { h_q : q ∈ Neig_p }`` marks exactly the
+true centers; with two centers the partner is the unique neighbor with an
+equal height.  Both facts are verified exhaustively in the test-suite
+against the brute-force centers of :mod:`repro.graphs.properties`.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import centers as true_centers
+from repro.graphs.properties import is_tree
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "CenterFindingAlgorithm",
+    "CentersCorrectSpec",
+    "make_center_finding_system",
+    "height_target",
+    "local_centers",
+]
+
+
+def _max2(values: tuple[int, ...]) -> int:
+    """Second-largest element; −1 for singletons (and empty sets)."""
+    if len(values) < 2:
+        return -1
+    top_two = sorted(values, reverse=True)[:2]
+    return top_two[1]
+
+
+def height_target(view: View) -> int:
+    """The BGKP update value ``clamp(1 + max2(neighbor heights))``."""
+    bound = view.const("height_bound")
+    raw = 1 + _max2(view.neighbor_values("h"))
+    return max(0, min(bound, raw))
+
+
+def _update_guard(view: View) -> bool:
+    return view.get("h") != height_target(view)
+
+
+def _update_statement(view: View) -> None:
+    view.set("h", height_target(view))
+
+
+class CenterFindingAlgorithm(Algorithm):
+    """The BGKP height-iteration protocol (reference [4] of the paper)."""
+
+    name = "bgkp-center-finding"
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        bound = max(topology.num_processes - 1, 0)
+        return VariableLayout((VarSpec("h", tuple(range(bound + 1))),))
+
+    def constants(self, topology: Topology, process: int):
+        return {"height_bound": max(topology.num_processes - 1, 0)}
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("C", _update_guard, _update_statement),
+        )
+
+
+def local_centers(system: System, configuration: Configuration) -> list[int]:
+    """Processes satisfying the local predicate ``Center``.
+
+    ``Center(p) ≡ h_p ≥ max(neighbor heights)`` (vacuously true for an
+    isolated single process).
+    """
+    result = []
+    slot = system.layouts[0].slot("h")
+    for p in system.processes:
+        h_p = configuration[p][slot]
+        neighbor_heights = [
+            configuration[q][slot] for q in system.topology.neighbors(p)
+        ]
+        if not neighbor_heights or h_p >= max(neighbor_heights):
+            result.append(p)
+    return result
+
+
+class CentersCorrectSpec(Specification):
+    """Legitimate = terminal with ``Center`` marking the true centers."""
+
+    name = "tree-centers"
+
+    def __init__(self, graph: Graph) -> None:
+        self._expected = tuple(true_centers(graph))
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        if system.enabled_processes(configuration):
+            return False
+        return tuple(local_centers(system, configuration)) == self._expected
+
+
+def make_center_finding_system(graph: Graph) -> System:
+    """BGKP center finding on a tree."""
+    if not is_tree(graph):
+        raise TopologyError("center finding requires a tree network")
+    return System(CenterFindingAlgorithm(), Topology(graph))

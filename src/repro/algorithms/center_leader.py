@@ -1,0 +1,150 @@
+"""The paper's log N-bit weak-stabilizing leader election for trees.
+
+Section 3.2, first solution: run the BGKP center-finding algorithm
+(:mod:`repro.algorithms.center_finding`); once the heights are stable the
+local predicate ``Center`` marks one center or two neighboring centers
+(Property 1).  A unique center is the leader.  Two centers break the tie
+with one extra boolean ``B``: while both centers carry the same ``B`` they
+are enabled to flip it (``B ← ¬B``); the configuration where exactly the
+``B = true`` center leads is reachable by moving only one of them — which
+is possible-convergence, not certain convergence, since a synchronous
+scheduler flips both forever.  Weak-stabilizing, not self-stabilizing.
+
+Memory: ``log N`` bits for ``h`` plus one bit for ``B``.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_tree
+from repro.algorithms.center_finding import (
+    _update_guard,
+    _update_statement,
+    height_target,
+)
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "CenterLeaderAlgorithm",
+    "CenterLeaderSpec",
+    "make_center_leader_system",
+    "center_leader_leaders",
+]
+
+
+def _is_local_center(view: View) -> bool:
+    """``Center(p)``: my height dominates all neighbor heights."""
+    heights = view.neighbor_values("h")
+    return not heights or view.get("h") >= max(heights)
+
+
+def _equal_height_neighbors(view: View) -> list[int]:
+    """Local indexes of neighbors whose height equals mine."""
+    mine = view.get("h")
+    return [k for k in view.neighbor_indexes if view.nbr(k, "h") == mine]
+
+
+def _tie_guard(view: View) -> bool:
+    """Co-centers with identical booleans are enabled to flip.
+
+    Guarded on local height stability so the guard is mutually exclusive
+    with the height-update action C (a process never has two enabled
+    actions, keeping synchronous steps deterministic).
+    """
+    if view.get("h") != height_target(view):
+        return False
+    if not _is_local_center(view):
+        return False
+    return any(
+        view.nbr(k, "B") == view.get("B")
+        for k in _equal_height_neighbors(view)
+    )
+
+
+def _tie_statement(view: View) -> None:
+    view.set("B", not view.get("B"))
+
+
+class CenterLeaderAlgorithm(Algorithm):
+    """Center finding + one-bit tie-break (log N bits solution)."""
+
+    name = "center-leader-election"
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        bound = max(topology.num_processes - 1, 0)
+        return VariableLayout(
+            (
+                VarSpec("h", tuple(range(bound + 1))),
+                VarSpec("B", (False, True)),
+            )
+        )
+
+    def constants(self, topology: Topology, process: int):
+        return {"height_bound": max(topology.num_processes - 1, 0)}
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("C", _update_guard, _update_statement),
+            deterministic_action("TB", _tie_guard, _tie_statement),
+        )
+
+
+def center_leader_leaders(
+    system: System, configuration: Configuration
+) -> list[int]:
+    """Processes elected by the composite local predicate.
+
+    A process leads when it is a local center and either has no
+    equal-height neighbor (unique center) or carries ``B = true`` while
+    every equal-height co-center carries ``B = false``.
+    """
+    result = []
+    for p in system.processes:
+        view = system.view(configuration, p, writable=False)
+        if not _is_local_center(view):
+            continue
+        partners = _equal_height_neighbors(view)
+        if not partners:
+            result.append(p)
+        elif view.get("B") and all(
+            not view.nbr(k, "B") for k in partners
+        ):
+            result.append(p)
+    return result
+
+
+class CenterLeaderSpec(Specification):
+    """Legitimate = heights stable and exactly one elected leader."""
+
+    name = "center-leader-election"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        for p in system.processes:
+            view = system.view(configuration, p, writable=False)
+            if view.get("h") != height_target(view):
+                return False
+        return len(center_leader_leaders(system, configuration)) == 1
+
+    def validate_behavior(self, system, space, legitimate_ids):
+        violations: list[str] = []
+        for config_id in legitimate_ids:
+            if not space.is_terminal(config_id):
+                violations.append(
+                    f"legitimate configuration {config_id} is not terminal"
+                )
+        return violations
+
+
+def make_center_leader_system(graph: Graph) -> System:
+    """Composite log N-bit leader election on a tree."""
+    if not is_tree(graph):
+        raise TopologyError("center-leader election requires a tree")
+    return System(CenterLeaderAlgorithm(), Topology(graph))

@@ -1,0 +1,110 @@
+"""Greedy (Δ+1)-coloring — the conflict-manager motivation of ref [14].
+
+The paper cites graph coloring as a problem probabilistic stabilization
+solves where deterministic (anonymous) stabilization fails, and its
+transformer is exactly the *conflict manager* of Gradinariu & Tixeuil
+[14].  The deterministic greedy protocol below::
+
+    FIX :: ∃ q ∈ Neig_p : c_q = c_p  →  c_p ← min(palette \\ neighbor colors)
+
+is self-stabilizing to a proper coloring under the *central* scheduler but
+livelocks under the synchronous one on symmetric graphs (both ends of an
+edge jump to the same fresh color forever) — the canonical showcase for
+Theorem 8: the coin-toss transformed version converges with probability 1
+even synchronously.
+
+Palette size Δ+1 guarantees the greedy fix always finds a color.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError
+from repro.graphs.graph import Graph
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "GreedyColoringAlgorithm",
+    "ProperColoringSpec",
+    "make_coloring_system",
+    "monochromatic_edges",
+]
+
+
+def _conflict_guard(view: View) -> bool:
+    mine = view.get("c")
+    return any(
+        view.nbr(k, "c") == mine for k in view.neighbor_indexes
+    )
+
+
+def _fix_statement(view: View) -> None:
+    used = {view.nbr(k, "c") for k in view.neighbor_indexes}
+    palette = view.const("palette")
+    view.set("c", next(color for color in range(palette) if color not in used))
+
+
+class GreedyColoringAlgorithm(Algorithm):
+    """Minimal-free-color repair with a (Δ+1)-palette."""
+
+    name = "greedy-coloring"
+
+    def __init__(self, palette_size: int | None = None) -> None:
+        self._palette = palette_size
+
+    def _palette_for(self, topology: Topology) -> int:
+        required = topology.graph.max_degree + 1
+        if self._palette is None:
+            return required
+        if self._palette < required:
+            raise ModelError(
+                f"palette of {self._palette} colors cannot greedily color a"
+                f" graph of maximum degree {topology.graph.max_degree}"
+            )
+        return self._palette
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        palette = self._palette_for(topology)
+        return VariableLayout((VarSpec("c", tuple(range(palette))),))
+
+    def constants(self, topology: Topology, process: int):
+        return {"palette": self._palette_for(topology)}
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("FIX", _conflict_guard, _fix_statement),
+        )
+
+
+def monochromatic_edges(
+    system: System, configuration: Configuration
+) -> list[tuple[int, int]]:
+    """Edges whose endpoints share a color (empty = proper coloring)."""
+    slot = system.layouts[0].slot("c")
+    return [
+        (u, v)
+        for u, v in system.topology.graph.edges
+        if configuration[u][slot] == configuration[v][slot]
+    ]
+
+
+class ProperColoringSpec(Specification):
+    """Legitimate = proper coloring (equivalently: terminal)."""
+
+    name = "proper-coloring"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        return not monochromatic_edges(system, configuration)
+
+
+def make_coloring_system(
+    graph: Graph, palette_size: int | None = None
+) -> System:
+    """Greedy coloring on any graph (default palette Δ+1)."""
+    return System(GreedyColoringAlgorithm(palette_size), Topology(graph))

@@ -1,0 +1,154 @@
+"""Israeli–Jalfon random-walk token management — baseline.
+
+Reference [17] of the paper (Israeli & Jalfon 1990: "Token management
+schemes and random walks yield self-stabilizing mutual exclusion").
+Tokens perform independent random walks on a ring; when two tokens meet
+they merge, so with probability 1 a single token remains.
+
+**Substitution note.**  The original protocol *pushes* a token onto a
+random neighbor, which a write-own-variables-only guarded-command process
+cannot express directly.  Since Israeli–Jalfon serves purely as a
+quantitative baseline (experiment Q3), we model the token dynamics
+directly as a Markov process on token-position sets (exact, for the
+expected merge times) plus a Monte-Carlo simulator — the same abstraction
+level the original analysis uses.  The paper's own algorithms are all
+implemented in the guarded-command model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.errors import ModelError
+from repro.random_source import RandomSource
+
+__all__ = [
+    "TokenWalkState",
+    "ij_successors",
+    "ij_expected_merge_time",
+    "ij_simulate_merge_time",
+    "IJSimulationResult",
+]
+
+TokenWalkState = frozenset[int]
+
+
+def _check_ring(ring_size: int) -> None:
+    if ring_size < 3:
+        raise ModelError("Israeli-Jalfon baseline needs a ring of size >= 3")
+
+
+def ij_successors(
+    state: TokenWalkState, ring_size: int
+) -> list[tuple[float, TokenWalkState]]:
+    """One-step distribution under the central randomized scheduler.
+
+    A uniformly chosen token moves one step left or right (probability ½
+    each); landing on an occupied position merges the two tokens.
+    """
+    _check_ring(ring_size)
+    if not state:
+        raise ModelError("Israeli-Jalfon requires at least one token")
+    tokens = sorted(state)
+    choice_weight = 1.0 / len(tokens)
+    result: dict[TokenWalkState, float] = {}
+    for token in tokens:
+        for direction in (-1, 1):
+            landing = (token + direction) % ring_size
+            successor = frozenset(
+                position for position in state if position != token
+            ) | {landing}
+            weight = choice_weight * 0.5
+            result[successor] = result.get(successor, 0.0) + weight
+    return [
+        (probability, successor)
+        for successor, probability in sorted(
+            result.items(), key=lambda kv: sorted(kv[0])
+        )
+    ]
+
+
+def ij_expected_merge_time(
+    ring_size: int, initial_tokens: frozenset[int]
+) -> float:
+    """Exact expected steps until one token remains (absorbing chain)."""
+    _check_ring(ring_size)
+    if len(initial_tokens) < 1:
+        raise ModelError("need at least one token")
+    if len(initial_tokens) == 1:
+        return 0.0
+    # Enumerate reachable states by BFS.
+    states: list[TokenWalkState] = []
+    index: dict[TokenWalkState, int] = {}
+    queue = [frozenset(initial_tokens)]
+    index[queue[0]] = 0
+    states.append(queue[0])
+    rows: list[list[tuple[float, int]]] = []
+    position = 0
+    while position < len(states):
+        state = states[position]
+        position += 1
+        if len(state) == 1:
+            rows.append([(1.0, index[state])])
+            continue
+        row: list[tuple[float, int]] = []
+        for probability, successor in ij_successors(state, ring_size):
+            if successor not in index:
+                index[successor] = len(states)
+                states.append(successor)
+                queue.append(successor)
+            row.append((probability, index[successor]))
+        rows.append(row)
+    n = len(states)
+    transient = [i for i, s in enumerate(states) if len(s) > 1]
+    pos_of = {s: k for k, s in enumerate(transient)}
+    m = len(transient)
+    q = np.zeros((m, m))
+    for k, state_id in enumerate(transient):
+        for probability, target in rows[state_id]:
+            if target in pos_of:
+                q[k, pos_of[target]] += probability
+    times = np.linalg.solve(np.eye(m) - q, np.ones(m))
+    return float(times[pos_of[index[frozenset(initial_tokens)]]])
+
+
+@dataclass(frozen=True)
+class IJSimulationResult:
+    """Monte-Carlo merge-time sample."""
+
+    trials: int
+    stats: SummaryStats
+
+
+def ij_simulate_merge_time(
+    ring_size: int,
+    num_tokens: int,
+    trials: int,
+    rng: RandomSource,
+    max_steps: int = 1_000_000,
+) -> IJSimulationResult:
+    """Sample the steps to a single token from random starting positions."""
+    _check_ring(ring_size)
+    if not 1 <= num_tokens <= ring_size:
+        raise ModelError(
+            f"token count must be in [1, {ring_size}], got {num_tokens}"
+        )
+    samples: list[float] = []
+    for _ in range(trials):
+        positions: set[int] = set()
+        while len(positions) < num_tokens:
+            positions.add(rng.randrange(ring_size))
+        steps = 0
+        while len(positions) > 1 and steps < max_steps:
+            token = rng.choice(sorted(positions))
+            direction = 1 if rng.coin() else -1
+            positions.discard(token)
+            positions.add((token + direction) % ring_size)
+            steps += 1
+        if len(positions) > 1:
+            raise ModelError("Israeli-Jalfon run exceeded the step budget")
+        samples.append(float(steps))
+    return IJSimulationResult(trials=trials, stats=summarize(samples))

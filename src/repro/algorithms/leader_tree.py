@@ -1,0 +1,223 @@
+"""Algorithm 2 — weak-stabilizing leader election on anonymous trees.
+
+Section 3.2 of the paper.  Every process p keeps one pointer
+``Par_p ∈ Neig_p ∪ {⊥}`` (log Δ bits) and runs three actions::
+
+    A1 :: (Par_p ≠ ⊥) ∧ (|Children_p| = |Neig_p|)          → Par_p ← ⊥
+    A2 :: (Par_p ≠ ⊥) ∧ [Neig_p \\ (Children_p ∪ {Par_p}) ≠ ∅]
+                                                → Par_p ← (Par_p + 1) mod Δ_p
+    A3 :: (Par_p = ⊥) ∧ (|Children_p| < |Neig_p|)  → Par_p ← min(Neig_p \\ Children_p)
+
+with ``Children_p = {q ∈ Neig_p : Par_q = p}`` and
+``isLeader(p) ≡ (Par_p = ⊥)``.
+
+The target terminal configurations are Definition 13's set ``LC``: exactly
+one process with ``Par = ⊥`` and every other process's parent path
+(Definition 12) rooted at it.  Facts reproduced by tests/experiments:
+
+* Lemma 7 — if nobody is a leader, some A1 is enabled;
+* Lemma 10 — γ satisfies ``LC`` iff γ is terminal;
+* Theorem 4 — deterministic weak stabilization under the distributed
+  strongly fair scheduler;
+* Figure 3 — a synchronous execution on the 4-chain never converges, so
+  the algorithm is not self-stabilizing (for any fairness).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import BOTTOM, VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError, TopologyError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import figure2_tree
+from repro.graphs.properties import is_tree
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "LeaderTreeAlgorithm",
+    "TreeLeaderSpec",
+    "make_leader_tree_system",
+    "leaders",
+    "root_of",
+    "satisfies_lc",
+    "figure2_initial_configuration",
+    "figure2_system",
+]
+
+
+def _a1_guard(view: View) -> bool:
+    """All neighbors consider p the leader."""
+    return (
+        view.get("Par") is not BOTTOM
+        and len(view.children("Par")) == view.degree
+    )
+
+
+def _a1_statement(view: View) -> None:
+    view.set("Par", BOTTOM)
+
+
+def _a2_guard(view: View) -> bool:
+    """Some neighbor is neither p's parent nor one of p's children."""
+    parent = view.get("Par")
+    if parent is BOTTOM:
+        return False
+    children = set(view.children("Par"))
+    return any(
+        k != parent and k not in children for k in view.neighbor_indexes
+    )
+
+
+def _a2_statement(view: View) -> None:
+    view.set("Par", (view.get("Par") + 1) % view.degree)
+
+
+def _a3_guard(view: View) -> bool:
+    """p thinks it leads but some neighbor disagrees."""
+    return (
+        view.get("Par") is BOTTOM
+        and len(view.children("Par")) < view.degree
+    )
+
+
+def _a3_statement(view: View) -> None:
+    children = set(view.children("Par"))
+    view.set(
+        "Par",
+        min(k for k in view.neighbor_indexes if k not in children),
+    )
+
+
+class LeaderTreeAlgorithm(Algorithm):
+    """The parent-pointer rotation protocol (paper's Algorithm 2)."""
+
+    name = "algorithm-2-leader-election"
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        degree = topology.degree(process)
+        domain = tuple(range(degree)) + (BOTTOM,)
+        return VariableLayout((VarSpec("Par", domain),))
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("A1", _a1_guard, _a1_statement),
+            deterministic_action("A2", _a2_guard, _a2_statement),
+            deterministic_action("A3", _a3_guard, _a3_statement),
+        )
+
+
+# ----------------------------------------------------------------------
+# predicates over configurations
+# ----------------------------------------------------------------------
+def _par_of(system: System, configuration: Configuration, process: int):
+    slot = system.layouts[process].slot("Par")
+    return configuration[process][slot]
+
+
+def leaders(system: System, configuration: Configuration) -> list[int]:
+    """Processes satisfying ``isLeader`` (``Par = ⊥``)."""
+    return [
+        p
+        for p in system.processes
+        if _par_of(system, configuration, p) is BOTTOM
+    ]
+
+
+def root_of(system: System, configuration: Configuration, process: int) -> int:
+    """``Root(p)`` — the initial extremity of ``ParPath(p)`` (Definition 12).
+
+    Follow parent pointers until reaching a process that either satisfies
+    ``Par = ⊥`` or forms a mutual pair with its own parent.  On a tree
+    this always terminates (Remark 2).
+    """
+    topology = system.topology
+    current = process
+    for _ in range(system.num_processes + 1):
+        parent_index = _par_of(system, configuration, current)
+        if parent_index is BOTTOM:
+            return current
+        parent = topology.neighbor(current, parent_index)
+        grandparent_index = _par_of(system, configuration, parent)
+        if (
+            grandparent_index is not BOTTOM
+            and topology.neighbor(parent, grandparent_index) == current
+        ):
+            return current
+        current = parent
+    raise ModelError(
+        "ParPath did not terminate — the topology is not a tree"
+    )  # pragma: no cover - unreachable on trees
+
+
+def satisfies_lc(system: System, configuration: Configuration) -> bool:
+    """Definition 13's legitimacy predicate ``LC``."""
+    leader_list = leaders(system, configuration)
+    if len(leader_list) != 1:
+        return False
+    leader = leader_list[0]
+    return all(
+        root_of(system, configuration, q) == leader
+        for q in system.processes
+        if q != leader
+    )
+
+
+class TreeLeaderSpec(Specification):
+    """Definition 5 via ``LC``: one leader, everyone oriented toward it.
+
+    ``validate_behavior`` checks the stability half of Lemma 10 on the
+    explored space: every legitimate configuration must be terminal (the
+    elected leader never changes).
+    """
+
+    name = "leader-election-tree"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        return satisfies_lc(system, configuration)
+
+    def validate_behavior(self, system, space, legitimate_ids):
+        violations: list[str] = []
+        for config_id in legitimate_ids:
+            if not space.is_terminal(config_id):
+                violations.append(
+                    f"legitimate configuration {config_id} is not terminal"
+                )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def make_leader_tree_system(graph: Graph) -> System:
+    """Algorithm 2 on a tree graph."""
+    if not is_tree(graph):
+        raise TopologyError("Algorithm 2 requires a tree network")
+    return System(LeaderTreeAlgorithm(), Topology(graph))
+
+
+def figure2_system() -> System:
+    """Algorithm 2 on the Figure 2 tree."""
+    return make_leader_tree_system(figure2_tree())
+
+
+def figure2_initial_configuration(system: System) -> Configuration:
+    """Configuration (i) of Figure 2 (adapted to our reconstructed tree).
+
+    Global parent targets: P1→P3, P2→P5, P3→P1, P4→P8, P5→P2, P6→P8,
+    P7→P8, P8→P7 — which makes A1 enabled exactly at P1, P2, P7, P8,
+    A2 exactly at P3, P5, P6, and P4 stable, as the paper describes.
+    """
+    topology = system.topology
+    global_parent = {0: 2, 1: 4, 2: 0, 3: 7, 4: 1, 5: 7, 6: 7, 7: 6}
+    states = []
+    for process in system.processes:
+        local = topology.local_index(process, global_parent[process])
+        states.append((local,))
+    configuration = tuple(states)
+    system.check_configuration(configuration)
+    return configuration

@@ -1,0 +1,162 @@
+"""Hsu–Huang self-stabilizing maximal matching — extra portfolio member.
+
+A classic anonymous pointer algorithm (Hsu & Huang 1992) that, like the
+paper's greedy coloring, is self-stabilizing under the *central* scheduler
+but livelocks synchronously on symmetric instances — one more natural
+customer for the Section 4 transformer, and a stress test for the model
+checker on a different specification shape (edge sets instead of single
+leaders/tokens).
+
+Each process keeps ``m_p ∈ Neig_p ∪ {⊥}``; p and q are *married* when
+they point at each other.  Rules::
+
+    ACCEPT  :: m_p = ⊥ ∧ ∃q: m_q = p                      → m_p ← min such q
+    PROPOSE :: m_p = ⊥ ∧ ∀q: m_q ≠ p ∧ ∃q: m_q = ⊥        → m_p ← min such q
+    ABANDON :: m_p = q ∧ m_q ∉ {p, ⊥}                     → m_p ← ⊥
+
+Legitimate configurations: pointers are mutual or ⊥ and no edge joins two
+⊥ processes — i.e. the married pairs form a **maximal matching**; this
+coincides with the terminal configurations.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import BOTTOM, VariableLayout, VarSpec
+from repro.core.view import View
+from repro.graphs.graph import Graph
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "MatchingAlgorithm",
+    "MaximalMatchingSpec",
+    "make_matching_system",
+    "married_pairs",
+    "is_maximal_matching",
+]
+
+
+def _points_back(view: View, k: int) -> bool:
+    return view.nbr(k, "m") == view.my_index_at(k)
+
+
+def _accept_guard(view: View) -> bool:
+    if view.get("m") is not BOTTOM:
+        return False
+    return any(_points_back(view, k) for k in view.neighbor_indexes)
+
+
+def _accept_statement(view: View) -> None:
+    view.set(
+        "m",
+        min(k for k in view.neighbor_indexes if _points_back(view, k)),
+    )
+
+
+def _propose_guard(view: View) -> bool:
+    if view.get("m") is not BOTTOM:
+        return False
+    if any(_points_back(view, k) for k in view.neighbor_indexes):
+        return False
+    return any(
+        view.nbr(k, "m") is BOTTOM for k in view.neighbor_indexes
+    )
+
+
+def _propose_statement(view: View) -> None:
+    view.set(
+        "m",
+        min(
+            k
+            for k in view.neighbor_indexes
+            if view.nbr(k, "m") is BOTTOM
+        ),
+    )
+
+
+def _abandon_guard(view: View) -> bool:
+    partner = view.get("m")
+    if partner is BOTTOM:
+        return False
+    partner_pointer = view.nbr(partner, "m")
+    return partner_pointer is not BOTTOM and not _points_back(view, partner)
+
+
+def _abandon_statement(view: View) -> None:
+    view.set("m", BOTTOM)
+
+
+class MatchingAlgorithm(Algorithm):
+    """Hsu–Huang maximal matching with min-index tie-breaks."""
+
+    name = "hsu-huang-matching"
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        degree = topology.degree(process)
+        return VariableLayout(
+            (VarSpec("m", tuple(range(degree)) + (BOTTOM,)),)
+        )
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("ACCEPT", _accept_guard, _accept_statement),
+            deterministic_action(
+                "PROPOSE", _propose_guard, _propose_statement
+            ),
+            deterministic_action(
+                "ABANDON", _abandon_guard, _abandon_statement
+            ),
+        )
+
+
+def married_pairs(
+    system: System, configuration: Configuration
+) -> list[tuple[int, int]]:
+    """Edges whose endpoints point at each other, as sorted pairs."""
+    slot = system.layouts[0].slot("m")
+    topology = system.topology
+    pairs = set()
+    for p in system.processes:
+        pointer = configuration[p][slot]
+        if pointer is BOTTOM:
+            continue
+        q = topology.neighbor(p, pointer)
+        q_pointer = configuration[q][slot]
+        if q_pointer is not BOTTOM and topology.neighbor(q, q_pointer) == p:
+            pairs.add((min(p, q), max(p, q)))
+    return sorted(pairs)
+
+
+def is_maximal_matching(
+    system: System, configuration: Configuration
+) -> bool:
+    """Married pairs form a matching no unmatched edge could extend."""
+    slot = system.layouts[0].slot("m")
+    topology = system.topology
+    matched = {p for pair in married_pairs(system, configuration) for p in pair}
+    for p in system.processes:
+        pointer = configuration[p][slot]
+        if pointer is not BOTTOM and p not in matched:
+            return False  # dangling pointer: not a clean matching state
+    for u, v in topology.graph.edges:
+        if u not in matched and v not in matched:
+            return False  # extensible: not maximal
+    return True
+
+
+class MaximalMatchingSpec(Specification):
+    """Legitimate = pointers mutual-or-⊥ and the matching is maximal."""
+
+    name = "maximal-matching"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        return is_maximal_matching(system, configuration)
+
+
+def make_matching_system(graph: Graph) -> System:
+    """Hsu–Huang matching on any graph."""
+    return System(MatchingAlgorithm(), Topology(graph))

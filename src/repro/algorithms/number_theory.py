@@ -1,0 +1,46 @@
+"""Number theory behind Algorithm 1's memory bound.
+
+Algorithm 1's counter lives in ``[0, m_N)`` where ``m_N`` is *the smallest
+integer that does not divide N* (the ring size).  Because ``m_N ∤ N``,
+summing the increments around the ring can never be ≡ 0 (mod m_N), which
+is Lemma 4: at least one token always exists.  The paper notes (after [3])
+that ``log m_N`` bits per process is also a lower bound for probabilistic
+token circulation under a distributed scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+__all__ = ["smallest_non_divisor", "memory_bits", "divisors"]
+
+
+def smallest_non_divisor(n: int) -> int:
+    """``m_N``: the smallest integer ≥ 2 that does not divide ``n``.
+
+    (1 divides everything, so the search starts at 2.)  Known values:
+    m_6 = 4 (1, 2, 3 divide 6; 4 does not), m_12 = 5, m_2 = 3... The value
+    is O(log n): the lcm of 1..k grows exponentially in k.
+    """
+    if n < 1:
+        raise ReproError(f"ring size must be positive, got {n}")
+    candidate = 2
+    while n % candidate == 0:
+        candidate += 1
+    return candidate
+
+
+def memory_bits(n: int) -> int:
+    """Bits per process used by Algorithm 1: ``ceil(log2(m_N))``."""
+    return max(1, math.ceil(math.log2(smallest_non_divisor(n))))
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n``, ascending (test helper)."""
+    if n < 1:
+        raise ReproError(f"divisors of non-positive {n}")
+    small = [d for d in range(1, int(math.isqrt(n)) + 1) if n % d == 0]
+    large = [n // d for d in reversed(small) if d * d != n]
+    return small + large

@@ -1,0 +1,96 @@
+"""Randomized graph coloring — the direct probabilistic solution.
+
+The paper cites graph coloring among the problems that are impossible for
+deterministic anonymous stabilization yet solvable probabilistically
+(references [14] and the Introduction).  Where
+:mod:`repro.algorithms.coloring` repairs conflicts deterministically (and
+livelocks synchronously), this variant redraws a **uniform random color**
+on conflict::
+
+    RFIX :: ∃q ∈ Neig_p : c_q = c_p  →  c_p ← Rand([0, palette))
+
+With palette size ≥ Δ + 2 a conflicted process keeps, in every round, a
+probability bounded away from zero of landing on a color no neighbor
+holds *after* the round, whatever the neighbors redraw — so the system is
+probabilistically self-stabilizing even under the synchronous scheduler,
+with no transformer needed.  (With Δ + 1 colors on K2 the synchronous
+dynamics still converge — two coins agree/disagree like Algorithm 3 —
+but the Δ + 2 default keeps the classical argument.)  The experiments
+compare it against trans(greedy coloring): the built-in coin beats the
+bolted-on coin on expected rounds, at the price of a larger palette.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, Outcome
+from repro.core.algorithm import Algorithm
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError
+from repro.graphs.graph import Graph
+from repro.core.system import System
+
+__all__ = ["RandomizedColoringAlgorithm", "make_randomized_coloring_system"]
+
+
+def _conflict_guard(view: View) -> bool:
+    mine = view.get("c")
+    return any(view.nbr(k, "c") == mine for k in view.neighbor_indexes)
+
+
+def _redraw_outcomes(view: View):
+    palette = view.const("palette")
+    weight = 1.0 / palette
+
+    def setter(color: int):
+        def statement(v: View) -> None:
+            v.set("c", color)
+
+        return statement
+
+    return tuple(
+        Outcome(weight, setter(color)) for color in range(palette)
+    )
+
+
+class RandomizedColoringAlgorithm(Algorithm):
+    """Uniform-redraw coloring (default palette Δ + 2)."""
+
+    name = "randomized-coloring"
+
+    def __init__(self, palette_size: int | None = None) -> None:
+        self._palette = palette_size
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return True
+
+    def _palette_for(self, topology: Topology) -> int:
+        required = topology.graph.max_degree + 1
+        default = topology.graph.max_degree + 2
+        if self._palette is None:
+            return default
+        if self._palette < required:
+            raise ModelError(
+                f"palette of {self._palette} colors cannot properly color a"
+                f" graph of maximum degree {topology.graph.max_degree}"
+            )
+        return self._palette
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        palette = self._palette_for(topology)
+        return VariableLayout((VarSpec("c", tuple(range(palette))),))
+
+    def constants(self, topology: Topology, process: int):
+        return {"palette": self._palette_for(topology)}
+
+    def actions(self) -> tuple[Action, ...]:
+        return (Action("RFIX", _conflict_guard, _redraw_outcomes),)
+
+
+def make_randomized_coloring_system(
+    graph: Graph, palette_size: int | None = None
+) -> System:
+    """Randomized coloring on any graph (default palette Δ + 2)."""
+    return System(RandomizedColoringAlgorithm(palette_size), Topology(graph))

@@ -1,0 +1,83 @@
+"""Algorithm 3 — the two-process example that *needs* simultaneous moves.
+
+Section 4 of the paper.  Two neighboring processes p and q each hold one
+boolean ``B`` and run::
+
+    A1 :: (¬B_i ∧ ¬B_j) → B_i ← true
+    A2 :: ( B_i ∧ ¬B_j) → B_i ← false
+
+Specification: ``B_p ∧ B_q``.  The algorithm is deterministically
+weak-stabilizing under a distributed (strongly fair) scheduler, but the
+only way to converge from ``(false, false)`` is that *both* processes move
+in the same step — so no central scheduler can ever make it converge, and
+the coin-toss transformer must preserve the possibility of simultaneous
+moves (the reason the paper's transformer keeps a strictly positive
+probability that every enabled process wins the toss).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import TopologyError
+from repro.graphs.generators import path
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "TwoProcessAlgorithm",
+    "BothTrueSpec",
+    "make_two_process_system",
+]
+
+
+def _a1_guard(view: View) -> bool:
+    return not view.get("B") and not view.nbr(0, "B")
+
+
+def _a1_statement(view: View) -> None:
+    view.set("B", True)
+
+
+def _a2_guard(view: View) -> bool:
+    return view.get("B") and not view.nbr(0, "B")
+
+
+def _a2_statement(view: View) -> None:
+    view.set("B", False)
+
+
+class TwoProcessAlgorithm(Algorithm):
+    """The paper's Algorithm 3 on a single edge."""
+
+    name = "algorithm-3-two-process"
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        if topology.num_processes != 2:
+            raise TopologyError("Algorithm 3 runs on exactly two processes")
+        return VariableLayout((VarSpec("B", (False, True)),))
+
+    def actions(self) -> tuple[Action, ...]:
+        return (
+            deterministic_action("A1", _a1_guard, _a1_statement),
+            deterministic_action("A2", _a2_guard, _a2_statement),
+        )
+
+
+class BothTrueSpec(Specification):
+    """``SP ≡ (B_p ∧ B_q)`` — the terminal agreement configuration."""
+
+    name = "both-true"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        slot = system.layouts[0].slot("B")
+        return all(state[slot] for state in configuration)
+
+
+def make_two_process_system() -> System:
+    """Algorithm 3 on the single-edge network."""
+    return System(TwoProcessAlgorithm(), Topology(path(2)))

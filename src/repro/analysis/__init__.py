@@ -1,0 +1,18 @@
+"""Statistics, tables and sweeps used by experiments and benchmarks."""
+
+from repro.analysis.rounds import count_rounds, round_boundaries
+from repro.analysis.stats import SummaryStats, quantile, summarize
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.tables import format_kv, format_table
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "quantile",
+    "SweepPoint",
+    "sweep",
+    "format_table",
+    "format_kv",
+    "count_rounds",
+    "round_boundaries",
+]

@@ -1,0 +1,49 @@
+"""Round counting — the standard asynchronous time measure.
+
+A *round* is a minimal execution segment in which every process enabled
+at the segment's start either executes an action or becomes disabled.
+Rounds normalize step counts across schedulers (a synchronous step is
+exactly one round; a central scheduler needs up to ``|Enabled|`` steps
+per round), which makes the Q1/Q2 sweeps comparable across scheduler
+families.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import System
+from repro.core.trace import Trace
+
+__all__ = ["round_boundaries", "count_rounds"]
+
+
+def round_boundaries(system: System, trace: Trace) -> list[int]:
+    """Indices into ``trace.configurations`` where rounds complete.
+
+    The first round starts at configuration 0; a round completes at the
+    first configuration where every process that was enabled at the
+    round's start has since acted or is no longer enabled.  A trailing
+    partial round produces no boundary.
+    """
+    boundaries: list[int] = []
+    if not trace.configurations:
+        return boundaries
+    pending = set(system.enabled_processes(trace.configurations[0]))
+    if not pending:
+        return boundaries
+    for index, step in enumerate(trace.steps):
+        pending -= step.acting_processes
+        current = trace.configurations[index + 1]
+        pending = {
+            p for p in pending if system.is_enabled(current, p)
+        }
+        if not pending:
+            boundaries.append(index + 1)
+            pending = set(system.enabled_processes(current))
+            if not pending:
+                break
+    return boundaries
+
+
+def count_rounds(system: System, trace: Trace) -> int:
+    """Number of completed rounds in the trace."""
+    return len(round_boundaries(system, trace))

@@ -1,0 +1,90 @@
+"""Summary statistics for simulation measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["SummaryStats", "summarize", "quantile"]
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        raise ReproError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile level must be in [0, 1], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(sorted_values[lower])
+    weight = position - lower
+    return float(
+        sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+    )
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread / quantiles of one metric."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        return (
+            self.mean - self.ci95_half_width,
+            self.mean + self.ci95_half_width,
+        )
+
+    def row(self) -> dict[str, float]:
+        """Dict form for tables."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "std": round(self.std, 4),
+            "min": self.minimum,
+            "median": self.median,
+            "p90": self.p90,
+            "max": self.maximum,
+            "ci95": round(self.ci95_half_width, 4),
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` of a non-empty sample."""
+    if not values:
+        raise ReproError("summarize needs at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    std = math.sqrt(variance)
+    ordered = sorted(float(v) for v in values)
+    half_width = 1.96 * std / math.sqrt(n) if n > 1 else 0.0
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        std=std,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=quantile(ordered, 0.5),
+        p90=quantile(ordered, 0.9),
+        ci95_half_width=half_width,
+    )

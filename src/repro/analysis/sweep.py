@@ -1,0 +1,35 @@
+"""Parameter sweeps for the quantitative experiments (Q1-Q3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point: the parameters plus the measurement row."""
+
+    parameters: Mapping[str, Any]
+    row: Mapping[str, Any]
+
+    def merged(self) -> dict[str, Any]:
+        """Parameters and measurements in one flat dict (table-friendly)."""
+        combined = dict(self.parameters)
+        for key, value in self.row.items():
+            combined[key] = value
+        return combined
+
+
+def sweep(
+    parameter_name: str,
+    values: Sequence[Any],
+    measure: Callable[[Any], Mapping[str, Any]],
+) -> list[SweepPoint]:
+    """Measure ``measure(v)`` for each value of one swept parameter."""
+    return [
+        SweepPoint(parameters={parameter_name: value}, row=dict(measure(value)))
+        for value in values
+    ]

@@ -1,0 +1,62 @@
+"""ASCII table formatting for experiment and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order defaults to first-row key order; missing cells render
+    empty.  Values are str()-ed, floats shown as given (pre-round them).
+    """
+    if not rows:
+        raise ReproError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [
+        [_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    parts.append("  ".join("-" * w for w in widths))
+    for line in body:
+        parts.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(parts)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_kv(pairs: Mapping[str, Any], title: str | None = None) -> str:
+    """Aligned key/value block."""
+    if not pairs:
+        raise ReproError("cannot format an empty key/value block")
+    width = max(len(str(k)) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

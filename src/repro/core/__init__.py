@@ -1,0 +1,66 @@
+"""Core guarded-command framework: the paper's Section 2 model."""
+
+from repro.core.actions import (
+    Action,
+    Outcome,
+    PROBABILITY_TOLERANCE,
+    Statement,
+    deterministic_action,
+)
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import (
+    Configuration,
+    LocalState,
+    configuration_as_dicts,
+    configuration_from_dicts,
+    count_configurations,
+    enumerate_configurations,
+    make_configuration,
+    replace_local,
+)
+from repro.core.simulate import (
+    SchedulerSampler,
+    SimulationResult,
+    run,
+    run_until,
+)
+from repro.core.system import Branch, Move, System, compose_branches
+from repro.core.topology import OrientedRing, Topology
+from repro.core.trace import Lasso, Step, Trace, lasso_from_trace
+from repro.core.variables import BOTTOM, VariableLayout, VarSpec
+from repro.core.view import View
+
+__all__ = [
+    "Action",
+    "Outcome",
+    "Statement",
+    "PROBABILITY_TOLERANCE",
+    "deterministic_action",
+    "Algorithm",
+    "Configuration",
+    "LocalState",
+    "make_configuration",
+    "replace_local",
+    "enumerate_configurations",
+    "count_configurations",
+    "configuration_as_dicts",
+    "configuration_from_dicts",
+    "SchedulerSampler",
+    "SimulationResult",
+    "run",
+    "run_until",
+    "System",
+    "Branch",
+    "Move",
+    "compose_branches",
+    "Topology",
+    "OrientedRing",
+    "Trace",
+    "Step",
+    "Lasso",
+    "lasso_from_trace",
+    "BOTTOM",
+    "VarSpec",
+    "VariableLayout",
+    "View",
+]

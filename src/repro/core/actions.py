@@ -1,0 +1,102 @@
+"""Guarded actions with (possibly probabilistic) outcome distributions.
+
+The paper's local algorithms are finite sets of guarded actions
+``⟨label⟩ :: ⟨guard⟩ → ⟨statement⟩``.  We generalize the statement to a
+finite *distribution over statements* so that one class covers:
+
+* deterministic actions (single outcome, probability 1) — Algorithms 1-3;
+* P-variable assignments (Section 2's ``Rand_v``) — Herman's protocol,
+  Israeli-Jalfon, and the transformer's coin toss.
+
+Model checking uses only the support of the distribution (possibility
+semantics); Markov analysis uses the probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.view import View
+from repro.errors import ModelError
+
+__all__ = [
+    "Statement",
+    "Outcome",
+    "Action",
+    "deterministic_action",
+    "PROBABILITY_TOLERANCE",
+]
+
+Statement = Callable[[View], None]
+Guard = Callable[[View], bool]
+OutcomeFn = Callable[[View], Sequence["Outcome"]]
+
+#: Tolerance used when checking that outcome probabilities sum to one.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One branch of an action: ``probability`` of running ``statement``."""
+
+    probability: float
+    statement: Statement
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ModelError(
+                f"outcome probability must be in (0, 1], got"
+                f" {self.probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Action:
+    """A guarded action ``name :: guard → outcome distribution``.
+
+    ``outcomes(view)`` returns the finite distribution of statements the
+    process may execute when this action fires; it may depend on the view
+    (e.g. a uniform choice among Δ_p neighbors).
+    """
+
+    name: str
+    guard: Guard
+    outcomes: OutcomeFn
+
+    def enabled(self, view: View) -> bool:
+        """Evaluate the guard on a read-only view."""
+        return bool(self.guard(view))
+
+    def outcome_list(self, view: View) -> list[Outcome]:
+        """Outcomes with the probability-sums-to-one invariant enforced."""
+        outcomes = list(self.outcomes(view))
+        if not outcomes:
+            raise ModelError(f"action {self.name!r} produced no outcomes")
+        total = sum(o.probability for o in outcomes)
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise ModelError(
+                f"action {self.name!r} outcome probabilities sum to {total!r}"
+            )
+        return outcomes
+
+    @property
+    def is_deterministic_shape(self) -> bool:
+        """Heuristic marker used by repr only (real check needs a view)."""
+        return getattr(self.outcomes, "_deterministic", False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "det" if self.is_deterministic_shape else "prob"
+        return f"Action({self.name!r}, {kind})"
+
+
+def deterministic_action(
+    name: str, guard: Guard, statement: Statement
+) -> Action:
+    """Build the single-outcome action ``name :: guard → statement``."""
+
+    def outcomes(_view: View) -> Sequence[Outcome]:
+        return (Outcome(1.0, statement),)
+
+    outcomes._deterministic = True  # type: ignore[attr-defined]
+    return Action(name=name, guard=guard, outcomes=outcomes)

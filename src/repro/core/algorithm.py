@@ -1,0 +1,67 @@
+"""The :class:`Algorithm` abstract base class.
+
+An algorithm is the *anonymous local program* every process runs: variable
+declarations (with per-degree domains), per-process constants derived from
+the topology (e.g. the ring ``pred`` pointer — constants are inputs, not
+state), and a finite list of guarded actions shared by all processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+from repro.core.actions import Action
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm(ABC):
+    """Anonymous guarded-command program executed by every process.
+
+    Subclasses declare:
+
+    * :meth:`layout` — the ordered variable specs of one process (domains
+      may depend on the degree, never on the identity);
+    * :meth:`constants` — read-only per-process inputs (empty by default);
+    * :meth:`actions` — the guarded actions, identical for all processes.
+
+    The class also carries a human-readable :attr:`name` used in reports.
+    """
+
+    #: Human-readable algorithm name (subclasses override).
+    name: str = "unnamed-algorithm"
+
+    @abstractmethod
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        """Variable layout of ``process`` on ``topology``."""
+
+    def constants(
+        self, topology: Topology, process: int
+    ) -> Mapping[str, Any]:
+        """Per-process constants (default: none)."""
+        return {}
+
+    @abstractmethod
+    def actions(self) -> tuple[Action, ...]:
+        """The guarded actions of the local program."""
+
+    @property
+    def is_probabilistic(self) -> bool:
+        """Whether the algorithm uses P-variables (actions with coin flips).
+
+        Subclasses with randomized statements must override this to return
+        ``True``; it is advisory metadata used by reports and sanity checks.
+        """
+        return False
+
+    def describe(self) -> str:
+        """One-line description used by the experiment harness."""
+        kind = "probabilistic" if self.is_probabilistic else "deterministic"
+        labels = ", ".join(action.name for action in self.actions())
+        return f"{self.name} ({kind}; actions: {labels})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,101 @@
+"""Configurations: immutable snapshots of all process states.
+
+A configuration is "an instance of the state of its processes" (Section 2).
+We represent the local state of process p as a tuple of values ordered by
+the process's :class:`~repro.core.variables.VariableLayout`, and a
+configuration as the tuple of local states indexed by process id.  Tuples
+are hashable, so configurations can be interned to dense integer ids during
+state-space exploration.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.variables import VariableLayout
+from repro.errors import ModelError
+
+__all__ = [
+    "LocalState",
+    "Configuration",
+    "make_configuration",
+    "replace_local",
+    "enumerate_configurations",
+    "count_configurations",
+    "configuration_as_dicts",
+    "configuration_from_dicts",
+]
+
+LocalState = tuple[Any, ...]
+Configuration = tuple[LocalState, ...]
+
+
+def make_configuration(states: Sequence[Sequence[Any]]) -> Configuration:
+    """Freeze a sequence of per-process value sequences into a configuration."""
+    return tuple(tuple(state) for state in states)
+
+
+def replace_local(
+    configuration: Configuration, process: int, state: LocalState
+) -> Configuration:
+    """Copy of ``configuration`` with process ``process``'s state replaced."""
+    return (
+        configuration[:process] + (tuple(state),) + configuration[process + 1:]
+    )
+
+
+def enumerate_configurations(
+    layouts: Sequence[VariableLayout],
+) -> Iterator[Configuration]:
+    """Yield every configuration of the product space, in domain order.
+
+    The iteration order is deterministic: process 0's variables vary
+    slowest.  This is the paper's set ``C`` — and because stabilizing
+    systems take ``I = C``, it is also the initial set.
+    """
+    per_process = [
+        list(product(*(spec.domain for spec in layout.specs)))
+        for layout in layouts
+    ]
+    for states in product(*per_process):
+        yield tuple(states)
+
+
+def count_configurations(layouts: Sequence[VariableLayout]) -> int:
+    """``|C|`` — the product of all per-process domain sizes."""
+    total = 1
+    for layout in layouts:
+        total *= layout.num_states
+    return total
+
+
+def configuration_as_dicts(
+    configuration: Configuration, layouts: Sequence[VariableLayout]
+) -> list[dict[str, Any]]:
+    """Human-readable form: one ``{name: value}`` dict per process."""
+    if len(configuration) != len(layouts):
+        raise ModelError("configuration and layouts disagree on process count")
+    return [
+        dict(zip(layout.names, state))
+        for state, layout in zip(configuration, layouts)
+    ]
+
+
+def configuration_from_dicts(
+    dicts: Sequence[Mapping[str, Any]], layouts: Sequence[VariableLayout]
+) -> Configuration:
+    """Inverse of :func:`configuration_as_dicts`, validating domains."""
+    if len(dicts) != len(layouts):
+        raise ModelError("dicts and layouts disagree on process count")
+    states: list[LocalState] = []
+    for mapping, layout in zip(dicts, layouts):
+        if set(mapping) != set(layout.names):
+            raise ModelError(
+                f"process state keys {sorted(mapping)} do not match"
+                f" layout variables {sorted(layout.names)}"
+            )
+        state = tuple(mapping[name] for name in layout.names)
+        layout.check_state(state)
+        states.append(state)
+    return tuple(states)

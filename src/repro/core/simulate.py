@@ -1,0 +1,124 @@
+"""Execution engine: drive a system with a scheduler sampler.
+
+The simulator repeatedly asks a *sampler* (see
+:mod:`repro.schedulers.samplers`) for a non-empty subset of the enabled
+processes, performs the atomic step (sampling action outcomes through the
+given :class:`~repro.random_source.RandomSource`), and records a
+:class:`~repro.core.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.trace import Step, Trace
+from repro.errors import SchedulerError
+from repro.random_source import RandomSource
+
+__all__ = ["SchedulerSampler", "run", "run_until", "SimulationResult"]
+
+
+class SchedulerSampler(Protocol):
+    """Strategy choosing which enabled processes move in each step."""
+
+    def choose(
+        self,
+        system: System,
+        configuration: Configuration,
+        enabled: Sequence[int],
+        rng: RandomSource,
+    ) -> Sequence[int]:
+        """Return a non-empty subset of ``enabled``."""
+        ...  # pragma: no cover - protocol
+
+
+class SimulationResult:
+    """Outcome of :func:`run_until`: the trace plus why it stopped."""
+
+    __slots__ = ("trace", "converged", "hit_terminal", "steps_taken")
+
+    def __init__(
+        self,
+        trace: Trace,
+        converged: bool,
+        hit_terminal: bool,
+    ) -> None:
+        self.trace = trace
+        self.converged = converged
+        self.hit_terminal = hit_terminal
+        self.steps_taken = trace.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(steps={self.steps_taken},"
+            f" converged={self.converged}, terminal={self.hit_terminal})"
+        )
+
+
+def run(
+    system: System,
+    sampler: SchedulerSampler,
+    initial: Configuration,
+    max_steps: int,
+    rng: RandomSource,
+) -> Trace:
+    """Execute up to ``max_steps`` steps (stops early at terminal configs)."""
+    trace = Trace.starting_at(initial)
+    configuration = initial
+    for _ in range(max_steps):
+        enabled = system.enabled_processes(configuration)
+        if not enabled:
+            break
+        subset = list(sampler.choose(system, configuration, enabled, rng))
+        _validate_subset(subset, enabled)
+        configuration, moves = system.sample_step(configuration, subset, rng)
+        trace.append(Step(moves), configuration)
+    return trace
+
+
+def run_until(
+    system: System,
+    sampler: SchedulerSampler,
+    initial: Configuration,
+    stop: Callable[[Configuration], bool],
+    max_steps: int,
+    rng: RandomSource,
+) -> SimulationResult:
+    """Execute until ``stop(configuration)`` holds or budgets run out.
+
+    The predicate is also checked on the initial configuration, matching
+    the convention that stabilization time from a legitimate configuration
+    is zero.
+    """
+    trace = Trace.starting_at(initial)
+    configuration = initial
+    if stop(configuration):
+        return SimulationResult(trace, converged=True, hit_terminal=False)
+    for _ in range(max_steps):
+        enabled = system.enabled_processes(configuration)
+        if not enabled:
+            return SimulationResult(
+                trace, converged=stop(configuration), hit_terminal=True
+            )
+        subset = list(sampler.choose(system, configuration, enabled, rng))
+        _validate_subset(subset, enabled)
+        configuration, moves = system.sample_step(configuration, subset, rng)
+        trace.append(Step(moves), configuration)
+        if stop(configuration):
+            return SimulationResult(trace, converged=True, hit_terminal=False)
+    return SimulationResult(trace, converged=False, hit_terminal=False)
+
+
+def _validate_subset(subset: Sequence[int], enabled: Sequence[int]) -> None:
+    if not subset:
+        raise SchedulerError("sampler returned an empty subset")
+    enabled_set = set(enabled)
+    offenders = [p for p in subset if p not in enabled_set]
+    if offenders:
+        raise SchedulerError(
+            f"sampler chose disabled processes {offenders}"
+        )
+    if len(set(subset)) != len(subset):
+        raise SchedulerError("sampler returned duplicate processes")

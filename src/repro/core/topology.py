@@ -1,0 +1,188 @@
+"""Topologies: graphs with the local-index structure of anonymous systems.
+
+The paper's processes are anonymous: they "can only differ by their
+degrees" and "distinguish all their neighbors using local indexes" stored
+in ``Neig_p = {0, ..., Δ_p - 1}`` (Section 2).  A :class:`Topology` binds a
+:class:`~repro.graphs.graph.Graph` to exactly that addressing scheme, plus
+the cross-index translation needed to evaluate predicates such as
+Algorithm 2's ``Children_p = {q ∈ Neig_p : Par_q = p}`` — where ``Par_q``
+holds a *local index of q*, so p must know its own index in q's numbering.
+
+:class:`OrientedRing` adds the constant ``Pred`` pointer of Section 3.1's
+unidirectional rings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_ring
+
+__all__ = ["Topology", "OrientedRing"]
+
+
+class Topology:
+    """A graph equipped with per-process ordered neighbor lists.
+
+    The neighbor order is the graph's sorted adjacency by default, but any
+    permutation can be supplied per process (useful to build symmetric
+    instances for the Theorem 3 impossibility argument, where the local
+    numbering must respect the mirror automorphism).
+    """
+
+    __slots__ = ("_graph", "_neighbors", "_local_index", "_mirror_index")
+
+    def __init__(
+        self,
+        graph: Graph,
+        neighbor_order: Sequence[Sequence[int]] | None = None,
+    ) -> None:
+        self._graph = graph
+        if neighbor_order is None:
+            ordered = tuple(graph.neighbors(p) for p in graph.nodes)
+        else:
+            if len(neighbor_order) != graph.num_nodes:
+                raise TopologyError(
+                    "neighbor_order must list every process exactly once"
+                )
+            ordered = tuple(tuple(order) for order in neighbor_order)
+            for p, order in enumerate(ordered):
+                if sorted(order) != sorted(graph.neighbors(p)):
+                    raise TopologyError(
+                        f"neighbor_order[{p}] = {order} is not a permutation"
+                        f" of the neighbors of {p}"
+                    )
+        self._neighbors = ordered
+        self._local_index: tuple[dict[int, int], ...] = tuple(
+            {q: i for i, q in enumerate(order)} for order in ordered
+        )
+        # _mirror_index[p][i] = local index of p in the numbering of its
+        # i-th neighbor; precomputed because Algorithm 2 evaluates it in
+        # every guard.
+        self._mirror_index: tuple[tuple[int, ...], ...] = tuple(
+            tuple(
+                self._local_index[q][p] for q in self._neighbors[p]
+            )
+            for p in graph.nodes
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying undirected graph."""
+        return self._graph
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes N."""
+        return self._graph.num_nodes
+
+    @property
+    def processes(self) -> range:
+        """Process ids ``0 .. N-1`` (never exposed to algorithm code)."""
+        return self._graph.nodes
+
+    def degree(self, process: int) -> int:
+        """Δ_p."""
+        return len(self._neighbors[process])
+
+    def neighbors(self, process: int) -> tuple[int, ...]:
+        """Global ids of p's neighbors in local-index order."""
+        return self._neighbors[process]
+
+    def neighbor(self, process: int, local_index: int) -> int:
+        """Global id of p's neighbor with the given local index."""
+        order = self._neighbors[process]
+        if not 0 <= local_index < len(order):
+            raise TopologyError(
+                f"local index {local_index} out of range for process"
+                f" {process} with degree {len(order)}"
+            )
+        return order[local_index]
+
+    def local_index(self, process: int, neighbor: int) -> int:
+        """Local index of ``neighbor`` in ``process``'s numbering."""
+        try:
+            return self._local_index[process][neighbor]
+        except KeyError:
+            raise TopologyError(
+                f"{neighbor} is not a neighbor of {process}"
+            ) from None
+
+    def mirror_index(self, process: int, local_index: int) -> int:
+        """Local index of ``process`` at its ``local_index``-th neighbor."""
+        row = self._mirror_index[process]
+        if not 0 <= local_index < len(row):
+            raise TopologyError(
+                f"local index {local_index} out of range for process"
+                f" {process} with degree {len(row)}"
+            )
+        return row[local_index]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(processes={self.num_processes},"
+            f" edges={self._graph.num_edges})"
+        )
+
+
+class OrientedRing(Topology):
+    """A ring with the consistent ``Pred`` orientation of Section 3.1.
+
+    ``Pred_p`` designates a neighbor q as p's predecessor such that q is
+    the predecessor of p iff p is *not* the predecessor of q.  With nodes
+    labeled around the ring, process p's predecessor is ``p - 1 (mod N)``
+    and its successor ``p + 1 (mod N)``; ``reversed_orientation`` flips
+    both.
+    """
+
+    __slots__ = ("_pred", "_succ")
+
+    def __init__(self, graph: Graph, reversed_orientation: bool = False) -> None:
+        if not is_ring(graph):
+            raise TopologyError("OrientedRing requires a ring graph")
+        super().__init__(graph)
+        n = graph.num_nodes
+        order = self._ring_order(graph)
+        pred = [0] * n
+        succ = [0] * n
+        for position, process in enumerate(order):
+            before = order[(position - 1) % n]
+            after = order[(position + 1) % n]
+            if reversed_orientation:
+                before, after = after, before
+            pred[process] = before
+            succ[process] = after
+        self._pred = tuple(pred)
+        self._succ = tuple(succ)
+
+    @staticmethod
+    def _ring_order(graph: Graph) -> list[int]:
+        """Nodes in cyclic order starting at 0 toward its smaller neighbor."""
+        order = [0, graph.neighbors(0)[0]]
+        while len(order) < graph.num_nodes:
+            current = order[-1]
+            previous = order[-2]
+            nxt = next(
+                q for q in graph.neighbors(current) if q != previous
+            )
+            order.append(nxt)
+        return order
+
+    def predecessor(self, process: int) -> int:
+        """Global id of ``Pred_p``."""
+        return self._pred[process]
+
+    def successor(self, process: int) -> int:
+        """Global id of p's successor (the process whose Pred is p)."""
+        return self._succ[process]
+
+    def pred_local_index(self, process: int) -> int:
+        """Local index of ``Pred_p`` — the per-process constant of Alg 1."""
+        return self.local_index(process, self._pred[process])
+
+    def succ_local_index(self, process: int) -> int:
+        """Local index of p's successor."""
+        return self.local_index(process, self._succ[process])

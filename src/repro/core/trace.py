@@ -1,0 +1,200 @@
+"""Execution traces and lassos.
+
+A :class:`Trace` records a finite execution prefix ``γ0 ↦ γ1 ↦ ...``
+together with the acting subsets; a :class:`Lasso` represents an
+*ultimately periodic infinite execution* (finite prefix + repeated cycle),
+which is how non-converging executions (Figure 3, Theorem 6) are
+represented and checked for fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.system import Move
+from repro.errors import ModelError
+
+__all__ = ["Step", "Trace", "Lasso"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One recorded step: who moved and how."""
+
+    moves: tuple[Move, ...]
+
+    @property
+    def acting_processes(self) -> frozenset[int]:
+        """The scheduler's chosen subset for this step."""
+        return frozenset(move.process for move in self.moves)
+
+
+@dataclass
+class Trace:
+    """A finite execution: ``configurations[i] ↦ configurations[i+1]``.
+
+    Invariant: ``len(configurations) == len(steps) + 1``.
+    """
+
+    configurations: list[Configuration] = field(default_factory=list)
+    steps: list[Step] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.configurations and (
+            len(self.configurations) != len(self.steps) + 1
+        ):
+            raise ModelError(
+                "trace needs exactly one more configuration than steps"
+            )
+
+    @classmethod
+    def starting_at(cls, configuration: Configuration) -> "Trace":
+        """Empty trace anchored at an initial configuration."""
+        return cls(configurations=[configuration], steps=[])
+
+    def append(self, step: Step, target: Configuration) -> None:
+        """Record one step and its resulting configuration."""
+        if not self.configurations:
+            raise ModelError("trace has no initial configuration")
+        self.steps.append(step)
+        self.configurations.append(target)
+
+    @property
+    def initial(self) -> Configuration:
+        """γ0."""
+        if not self.configurations:
+            raise ModelError("empty trace")
+        return self.configurations[0]
+
+    @property
+    def final(self) -> Configuration:
+        """The last recorded configuration."""
+        if not self.configurations:
+            raise ModelError("empty trace")
+        return self.configurations[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of steps."""
+        return len(self.steps)
+
+    def acting_sets(self) -> list[frozenset[int]]:
+        """Chosen subset of every step, in order."""
+        return [step.acting_processes for step in self.steps]
+
+    def visits(self, configuration: Configuration) -> bool:
+        """Whether the trace passes through ``configuration``."""
+        return configuration in self.configurations
+
+    def first_index_where(self, predicate) -> int | None:
+        """Index of the first configuration satisfying ``predicate``."""
+        for index, configuration in enumerate(self.configurations):
+            if predicate(configuration):
+                return index
+        return None
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self.configurations)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """An ultimately periodic execution ``prefix · cycle^ω``.
+
+    ``prefix_configurations`` runs γ0 .. γk (the cycle entry); the cycle
+    starts and ends at γk: ``cycle_configurations[0] is the successor of
+    γk`` and its last element equals γk again.  Steps are aligned so that
+    ``prefix_steps[i]`` goes from prefix configuration i to i+1, and
+    ``cycle_steps[j]`` goes from the j-th configuration of the cycle ring
+    to the next.
+    """
+
+    prefix_configurations: tuple[Configuration, ...]
+    prefix_steps: tuple[Step, ...]
+    cycle_configurations: tuple[Configuration, ...]
+    cycle_steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.prefix_configurations) != len(self.prefix_steps) + 1:
+            raise ModelError("lasso prefix shape mismatch")
+        if len(self.cycle_configurations) != len(self.cycle_steps):
+            raise ModelError(
+                "lasso cycle needs as many configurations as steps"
+            )
+        if not self.cycle_configurations:
+            raise ModelError("lasso cycle must be non-empty")
+        if self.cycle_configurations[-1] != self.prefix_configurations[-1]:
+            raise ModelError(
+                "lasso cycle must loop back to the prefix's last"
+                " configuration"
+            )
+
+    @property
+    def entry(self) -> Configuration:
+        """The configuration where the cycle is entered (γk)."""
+        return self.prefix_configurations[-1]
+
+    def cycle_ring(self) -> list[Configuration]:
+        """Cycle configurations starting at the entry point.
+
+        ``ring[j]`` is the source of ``cycle_steps[j]``; the cycle is
+        ``ring[0] ↦ ring[1] ↦ ... ↦ ring[0]``.
+        """
+        return [self.entry, *self.cycle_configurations[:-1]]
+
+    def unroll(self, repetitions: int) -> Trace:
+        """Materialize ``prefix · cycle^repetitions`` as a finite trace."""
+        if repetitions < 0:
+            raise ModelError("repetitions must be non-negative")
+        trace = Trace(
+            configurations=list(self.prefix_configurations),
+            steps=list(self.prefix_steps),
+        )
+        for _ in range(repetitions):
+            for step, configuration in zip(
+                self.cycle_steps, self.cycle_configurations
+            ):
+                trace.append(step, configuration)
+        return trace
+
+    def configurations_seen_infinitely_often(self) -> set[Configuration]:
+        """The set of configurations the periodic tail visits forever."""
+        return set(self.cycle_configurations)
+
+    @property
+    def cycle_length(self) -> int:
+        """Number of steps in one period."""
+        return len(self.cycle_steps)
+
+
+def lasso_from_trace(
+    trace: Trace, cycle_entry_index: int
+) -> Lasso:
+    """Split a finite trace whose final configuration re-visits an earlier one.
+
+    ``trace.configurations[cycle_entry_index]`` must equal ``trace.final``;
+    everything before it is the prefix, everything after the cycle.
+    """
+    if trace.configurations[cycle_entry_index] != trace.final:
+        raise ModelError(
+            "cycle entry configuration does not match the trace's final"
+            " configuration"
+        )
+    return Lasso(
+        prefix_configurations=tuple(
+            trace.configurations[: cycle_entry_index + 1]
+        ),
+        prefix_steps=tuple(trace.steps[:cycle_entry_index]),
+        cycle_configurations=tuple(
+            trace.configurations[cycle_entry_index + 1:]
+        ),
+        cycle_steps=tuple(trace.steps[cycle_entry_index:]),
+    )
+
+
+__all__.append("lasso_from_trace")

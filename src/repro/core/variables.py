@@ -1,0 +1,133 @@
+"""Finite-domain variable specifications.
+
+Every process holds a finite set of shared variables (Section 2 of the
+paper).  A :class:`VarSpec` declares one variable with its *finite* domain,
+which is what makes exhaustive model checking and Markov analysis possible:
+the configuration space is the product of all per-process domains.
+
+The sentinel :data:`BOTTOM` (Python ``None``) plays the paper's ``⊥``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from repro.errors import DomainError, ModelError
+
+__all__ = ["BOTTOM", "VarSpec", "VariableLayout"]
+
+#: The paper's ``⊥`` value (used e.g. by Algorithm 2's ``Par`` variable).
+BOTTOM = None
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """One shared variable with its finite domain.
+
+    Parameters
+    ----------
+    name:
+        Variable name used by guards/statements (e.g. ``"dt"``, ``"Par"``).
+    domain:
+        Tuple of admissible values.  Order is meaningful: configuration
+        enumeration iterates domains in this order, which keeps traces and
+        state spaces reproducible.
+    """
+
+    name: str
+    domain: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError("variable name must be a non-empty string")
+        if len(self.domain) == 0:
+            raise ModelError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ModelError(
+                f"variable {self.name!r} has duplicate domain values"
+            )
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` belongs to the domain.
+
+        Uses identity-aware equality so that ``True``/``1`` and
+        ``False``/``0`` are distinguished (Python treats them as equal,
+        which would let a boolean leak into an integer domain).
+        """
+        return any(
+            value == member and type(value) is type(member)
+            for member in self.domain
+        )
+
+    def check(self, value: Any) -> None:
+        """Raise :class:`DomainError` unless ``value`` is in the domain."""
+        if not self.contains(value):
+            raise DomainError(
+                f"value {value!r} outside domain of variable {self.name!r}"
+                f" (domain {self.domain!r})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the domain."""
+        return len(self.domain)
+
+
+@dataclass(frozen=True)
+class VariableLayout:
+    """Ordered variable specs of one process, with name -> slot lookup.
+
+    All processes of an algorithm share the same variable *names* in the
+    same order (anonymous systems run identical code), but the domains may
+    depend on the process degree — e.g. Algorithm 2's
+    ``Par ∈ Neig_p ∪ {⊥}`` has ``Δ_p + 1`` values.
+    """
+
+    specs: tuple[VarSpec, ...]
+    _slots: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate variable names in layout: {names}")
+        object.__setattr__(
+            self, "_slots", {name: i for i, name in enumerate(names)}
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Variable names in slot order."""
+        return tuple(spec.name for spec in self.specs)
+
+    def slot(self, name: str) -> int:
+        """Position of variable ``name`` in the local-state tuple."""
+        try:
+            return self._slots[name]
+        except KeyError:
+            raise ModelError(f"unknown variable {name!r}") from None
+
+    def spec(self, name: str) -> VarSpec:
+        """The :class:`VarSpec` for ``name``."""
+        return self.specs[self.slot(name)]
+
+    def check_state(self, state: Sequence[Any]) -> None:
+        """Validate a full local state tuple against all domains."""
+        if len(state) != len(self.specs):
+            raise ModelError(
+                f"local state has {len(state)} values,"
+                f" layout expects {len(self.specs)}"
+            )
+        for value, spec in zip(state, self.specs):
+            spec.check(value)
+
+    @property
+    def num_states(self) -> int:
+        """Product of the domain sizes."""
+        product = 1
+        for spec in self.specs:
+            product *= spec.size
+        return product
+
+    def __len__(self) -> int:
+        return len(self.specs)

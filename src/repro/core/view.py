@@ -1,0 +1,173 @@
+"""Process-local views: the only window algorithm code gets on the system.
+
+Guards and statements run against a :class:`View` bound to one process and
+one configuration.  The view enforces the paper's communication model:
+
+* a process reads its **own** variables and **writes only its own**
+  variables (``get`` / ``set``);
+* it reads neighbor variables **by local index only** (``nbr``) — global
+  process ids are never exposed, preserving anonymity;
+* it can translate indexes across the shared edge (``my_index_at``), which
+  is exactly what Algorithm 2 needs to evaluate ``Par_q = p``;
+* per-process constants (e.g. the ring ``pred`` pointer) come from
+  ``const``.
+
+Reads always observe the *pre-step* configuration and writes are staged,
+which gives the atomic, simultaneous-step semantics of the paper: when
+several processes move in one step they all read the old configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout
+from repro.errors import ModelError
+
+__all__ = ["View"]
+
+
+class View:
+    """Read window plus staged-write buffer for one process.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    layouts:
+        Per-process variable layouts (indexed by global id).
+    configuration:
+        The pre-step configuration all reads observe.
+    process:
+        Global id of the process this view belongs to.
+    constants:
+        Per-process constants produced by the algorithm
+        (:meth:`repro.core.algorithm.Algorithm.constants`).
+    writable:
+        Guards get read-only views; statements get writable ones.
+    """
+
+    __slots__ = (
+        "_topology",
+        "_layouts",
+        "_configuration",
+        "_process",
+        "_constants",
+        "_writable",
+        "_writes",
+    )
+
+    def __init__(
+        self,
+        topology: Topology,
+        layouts: tuple[VariableLayout, ...],
+        configuration: tuple[tuple[Any, ...], ...],
+        process: int,
+        constants: Mapping[str, Any],
+        writable: bool,
+    ) -> None:
+        self._topology = topology
+        self._layouts = layouts
+        self._configuration = configuration
+        self._process = process
+        self._constants = constants
+        self._writable = writable
+        self._writes: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """Value of my own variable ``name`` in the pre-step configuration."""
+        slot = self._layouts[self._process].slot(name)
+        return self._configuration[self._process][slot]
+
+    def nbr(self, local_index: int, name: str) -> Any:
+        """Value of variable ``name`` at my ``local_index``-th neighbor."""
+        neighbor = self._topology.neighbor(self._process, local_index)
+        slot = self._layouts[neighbor].slot(name)
+        return self._configuration[neighbor][slot]
+
+    def const(self, name: str) -> Any:
+        """A per-process constant (raises for unknown names)."""
+        try:
+            return self._constants[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown constant {name!r} for this algorithm"
+            ) from None
+
+    @property
+    def degree(self) -> int:
+        """My degree Δ_p — the number of local indexes."""
+        return self._topology.degree(self._process)
+
+    @property
+    def neighbor_indexes(self) -> range:
+        """``Neig_p = {0, ..., Δ_p - 1}``."""
+        return range(self._topology.degree(self._process))
+
+    def my_index_at(self, local_index: int) -> int:
+        """My local index in the numbering of my ``local_index``-th neighbor."""
+        return self._topology.mirror_index(self._process, local_index)
+
+    def nbr_degree(self, local_index: int) -> int:
+        """Degree of my ``local_index``-th neighbor (observable: anonymous
+        processes may differ by degree)."""
+        neighbor = self._topology.neighbor(self._process, local_index)
+        return self._topology.degree(neighbor)
+
+    def children(self, pointer_name: str) -> tuple[int, ...]:
+        """Local indexes of neighbors whose ``pointer_name`` points at me.
+
+        Implements the paper's ``Children_p = {q ∈ Neig_p : Par_q = p}``
+        for any pointer-valued variable.
+        """
+        return tuple(
+            k
+            for k in self.neighbor_indexes
+            if self.nbr(k, pointer_name) == self.my_index_at(k)
+        )
+
+    def neighbor_values(self, name: str) -> tuple[Any, ...]:
+        """Values of ``name`` at all neighbors, in local-index order."""
+        return tuple(self.nbr(k, name) for k in self.neighbor_indexes)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: Any) -> None:
+        """Stage a write to my own variable ``name``.
+
+        The value is validated against the variable's finite domain
+        immediately; the write takes effect only when the step commits.
+        """
+        if not self._writable:
+            raise ModelError(
+                f"guard evaluation may not write (attempted {name!r})"
+            )
+        layout = self._layouts[self._process]
+        slot = layout.slot(name)
+        layout.specs[slot].check(value)
+        self._writes[slot] = value
+
+    def staged_state(self) -> tuple[Any, ...]:
+        """My post-step local state: old values overlaid with staged writes."""
+        old = self._configuration[self._process]
+        if not self._writes:
+            return old
+        return tuple(
+            self._writes.get(slot, old[slot]) for slot in range(len(old))
+        )
+
+    @property
+    def has_writes(self) -> bool:
+        """Whether any write was staged."""
+        return bool(self._writes)
+
+    def iter_writes(self) -> Iterator[tuple[str, Any]]:
+        """Staged writes as ``(variable name, value)`` pairs."""
+        names = self._layouts[self._process].names
+        for slot, value in sorted(self._writes.items()):
+            yield names[slot], value

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single ``except``
+clause while still being able to distinguish the failure family.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "TopologyError",
+    "ModelError",
+    "DomainError",
+    "SchedulerError",
+    "StateSpaceError",
+    "MarkovError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph-algorithm precondition failure."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology operation (bad local index, missing orientation...)."""
+
+
+class ModelError(ReproError):
+    """Violation of the guarded-command model (bad action, view misuse...)."""
+
+
+class DomainError(ModelError):
+    """A variable was assigned a value outside its declared finite domain."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler produced an invalid activation set."""
+
+
+class StateSpaceError(ReproError):
+    """State-space exploration failed (budget exceeded, unknown config...)."""
+
+
+class MarkovError(ReproError):
+    """Markov-chain construction or solving failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown id, invalid parameters...)."""

@@ -1,0 +1,18 @@
+"""Reproduction experiments: one per figure, theorem and extension."""
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    all_ids,
+    get_experiment,
+    run_all,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "all_ids",
+    "get_experiment",
+    "run_all",
+]

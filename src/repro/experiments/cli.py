@@ -1,0 +1,104 @@
+"""Command-line front end: ``repro-experiments`` / ``python -m
+repro.experiments``.
+
+Subcommands::
+
+    list                 show registered experiments
+    run ID [ID ...]      run selected experiments
+    run-all [--fast]     run everything (--fast shrinks parameters)
+    report [--fast] -o EXPERIMENTS.generated.md
+                         run everything and write the markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_ids, get_experiment, run_all
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduction experiments for 'Weak vs. Self vs."
+        " Probabilistic Stabilization' (ICDCS 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_parser = sub.add_parser("run", help="run selected experiments")
+    run_parser.add_argument("ids", nargs="+", metavar="ID")
+
+    run_all_parser = sub.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--fast", action="store_true", help="shrink heavy parameters"
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run everything, write markdown"
+    )
+    report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument(
+        "-o", "--output", default="EXPERIMENTS.generated.md"
+    )
+    return parser
+
+
+def _print_results(results: Sequence[ExperimentResult]) -> int:
+    failures = 0
+    for result in results:
+        print(result.render())
+        print()
+        failures += not result.passed
+    print(
+        f"{len(results) - failures}/{len(results)} experiments passed"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in all_ids():
+            experiment = get_experiment(experiment_id)
+            print(f"{experiment_id:5s}  {experiment.title}")
+        return 0
+    if args.command == "run":
+        results = []
+        for experiment_id in args.ids:
+            started = time.perf_counter()
+            result = get_experiment(experiment_id).run()
+            elapsed = time.perf_counter() - started
+            print(f"({experiment_id} took {elapsed:.1f}s)")
+            results.append(result)
+        return _print_results(results)
+    if args.command == "run-all":
+        return _print_results(run_all(fast=args.fast))
+    if args.command == "report":
+        results = run_all(fast=args.fast)
+        sections = [
+            "# Generated experiment report",
+            "",
+            "One section per reproduction target; see EXPERIMENTS.md for"
+            " the curated paper-vs-measured discussion.",
+            "",
+        ]
+        sections.extend(result.markdown() for result in results)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+        print(f"wrote {args.output}")
+        return _print_results(results)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""FIG3 — Figure 3: a synchronous execution that never converges.
+
+The paper's Figure 3 shows Algorithm 2 on the 4-chain oscillating under
+the synchronous scheduler: starting from configuration (i) the system
+returns to (i) after three steps, forever.  We run the (unique)
+synchronous execution from *every* initial configuration of the chain and
+count which converge and which enter a cycle; the reproduction passes when
+at least one cycle exists (the paper's existence claim) and no cycle
+configuration satisfies ``LC``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algorithms.leader_tree import (
+    make_leader_tree_system,
+    satisfies_lc,
+)
+from repro.experiments.base import ExperimentResult
+from repro.graphs.generators import figure3_chain
+from repro.stabilization.witnesses import synchronous_lasso
+from repro.viz.trace_render import render_lasso
+
+EXPERIMENT_ID = "FIG3"
+
+
+def run_fig3() -> ExperimentResult:
+    """Classify every synchronous run of Algorithm 2 on the 4-chain."""
+    system = make_leader_tree_system(figure3_chain())
+    cycle_lengths: Counter[int] = Counter()
+    converged = 0
+    oscillating = 0
+    cycle_in_lc = False
+    sample_lasso = None
+    for initial in system.all_configurations():
+        _, lasso = synchronous_lasso(system, initial)
+        if lasso is None:
+            converged += 1
+            continue
+        oscillating += 1
+        cycle_lengths[lasso.cycle_length] += 1
+        if any(
+            satisfies_lc(system, configuration)
+            for configuration in lasso.cycle_configurations
+        ):
+            cycle_in_lc = True
+        if sample_lasso is None or (
+            lasso.cycle_length == 3 and sample_lasso.cycle_length != 3
+        ):
+            sample_lasso = lasso
+
+    total = converged + oscillating
+    rows = [
+        {
+            "cycle length": length,
+            "initial configurations": count,
+        }
+        for length, count in sorted(cycle_lengths.items())
+    ]
+    rows.append(
+        {"cycle length": "(converged)", "initial configurations": converged}
+    )
+    passed = oscillating > 0 and not cycle_in_lc
+    details = ""
+    if sample_lasso is not None:
+        details = (
+            "sample non-converging synchronous execution:\n"
+            + render_lasso(system, sample_lasso)
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Figure 3: synchronous non-convergence of Algorithm 2 (4-chain)",
+        paper_claim=(
+            "There is a synchronous execution of Algorithm 2 on the"
+            " 4-chain that never converges (hence the algorithm is not"
+            " self-stabilizing under any fairness assumption)."
+        ),
+        measured=(
+            f"of {total} initial configurations, {oscillating} enter a"
+            f" synchronous cycle (lengths {sorted(cycle_lengths)}) and"
+            f" {converged} converge; no cycle touches LC:"
+            f" {not cycle_in_lc}"
+        ),
+        passed=passed,
+        rows=rows,
+        details=details,
+    )

@@ -1,0 +1,168 @@
+"""Q3 — quantitative extension: baseline comparison on rings.
+
+Puts the transformed Algorithm 1 next to the literature it competes with:
+
+* **Herman** [16] — probabilistic, anonymous, synchronous, 1 bit/process,
+  expected Θ(N²) rounds;
+* **Israeli–Jalfon** [17] — probabilistic token random walk (modeled at
+  the token level, see the module's substitution note);
+* **Dijkstra K-state** [10] — deterministic but *not anonymous*
+  (distinguished bottom process, K = N states);
+* **trans(Algorithm 1)** — this paper's recipe: anonymous, probabilistic
+  via the scheduler/coin, m_N states per process.
+
+The memory column reproduces the paper's point that Algorithm 1 meets the
+log m_N lower bound of [3] — exponentially below Dijkstra's log N.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dijkstra_ring import (
+    SinglePrivilegeSpec,
+    make_dijkstra_system,
+)
+from repro.algorithms.herman_ring import (
+    HermanSingleTokenSpec,
+    make_herman_system,
+)
+from repro.algorithms.israeli_jalfon import ij_expected_merge_time
+from repro.algorithms.number_theory import memory_bits, smallest_non_divisor
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.experiments.base import ExperimentResult
+from repro.markov.builder import build_chain
+from repro.markov.hitting import hitting_summary
+from repro.markov.lumping import lumped_synchronous_transformed_chain
+from repro.markov.montecarlo import estimate_stabilization_time
+from repro.random_source import RandomSource
+from repro.schedulers.distributions import SynchronousDistribution
+from repro.schedulers.relations import CentralRelation
+from repro.schedulers.samplers import CentralRandomizedSampler
+from repro.stabilization.classify import classify
+
+EXPERIMENT_ID = "Q3"
+
+import math
+
+
+def run_q3(seed: int = 2008, trials: int = 200) -> ExperimentResult:
+    """Build the baseline comparison table."""
+    rows = []
+    rng = RandomSource(seed)
+
+    # Herman, exact on odd rings.
+    herman_means = {}
+    for n in (5, 7):
+        system = make_herman_system(n)
+        chain = build_chain(system, SynchronousDistribution())
+        summary = hitting_summary(
+            chain, chain.mark(HermanSingleTokenSpec().legitimate)
+        )
+        herman_means[n] = summary.mean_expected_steps
+        rows.append(
+            {
+                "protocol": "Herman [16]",
+                "N": n,
+                "anonymous": True,
+                "bits/process": 1,
+                "scheduler": "synchronous",
+                "mean E[steps or rounds]": round(
+                    summary.mean_expected_steps, 3
+                ),
+                "prob-1": summary.converges_with_probability_one,
+            }
+        )
+
+    # Israeli-Jalfon, exact from two opposite tokens.
+    for n in (6, 8, 10):
+        expected = ij_expected_merge_time(
+            n, frozenset({0, n // 2})
+        )
+        rows.append(
+            {
+                "protocol": "Israeli-Jalfon [17]",
+                "N": n,
+                "anonymous": True,
+                "bits/process": 1,
+                "scheduler": "central randomized",
+                "mean E[steps or rounds]": round(expected, 3),
+                "prob-1": True,
+            }
+        )
+
+    # trans(Algorithm 1), exact via lumping.
+    trans_means = {}
+    for n in (4, 5, 6):
+        system = make_token_ring_system(n)
+        lumped = lumped_synchronous_transformed_chain(system)
+        summary = hitting_summary(
+            lumped, lumped.mark(TokenCirculationSpec().legitimate)
+        )
+        trans_means[n] = summary.mean_expected_steps
+        rows.append(
+            {
+                "protocol": "trans(Algorithm 1) [this paper]",
+                "N": n,
+                "anonymous": True,
+                "bits/process": memory_bits(n),
+                "scheduler": "synchronous",
+                "mean E[steps or rounds]": round(
+                    summary.mean_expected_steps, 3
+                ),
+                "prob-1": summary.converges_with_probability_one,
+            }
+        )
+
+    # Dijkstra K-state: deterministic, needs identifiers.
+    dijkstra_ok = True
+    for n in (4, 5):
+        system = make_dijkstra_system(n)
+        verdict = classify(system, SinglePrivilegeSpec(), CentralRelation())
+        dijkstra_ok = dijkstra_ok and verdict.is_self_stabilizing
+        result = estimate_stabilization_time(
+            system,
+            CentralRandomizedSampler(),
+            lambda cfg, s=system: SinglePrivilegeSpec().legitimate(s, cfg),
+            trials=trials,
+            max_steps=100_000,
+            rng=rng.spawn(n),
+        )
+        rows.append(
+            {
+                "protocol": "Dijkstra K-state [10] (non-anonymous)",
+                "N": n,
+                "anonymous": False,
+                "bits/process": math.ceil(math.log2(n)),
+                "scheduler": "central randomized",
+                "mean E[steps or rounds]": (
+                    round(result.stats.mean, 3) if result.stats else "-"
+                ),
+                "prob-1": f"deterministic self-stab: {verdict.is_self_stabilizing}",
+            }
+        )
+
+    herman_quadratic = (
+        herman_means[7] / herman_means[5] > (7 / 5) ** 1.3
+    )
+    memory_point = memory_bits(6) <= math.ceil(math.log2(6))
+    passed = dijkstra_ok and herman_quadratic and memory_point
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Q3 (extension): baseline comparison on rings",
+        paper_claim=(
+            "Anonymous deterministic self-stabilizing token circulation is"
+            " impossible; the escape routes are randomization (Herman,"
+            " Israeli-Jalfon, the transformer) or identifiers (Dijkstra)."
+            " Algorithm 1 uses log m_N bits — the lower bound of [3]."
+        ),
+        measured=(
+            f"Dijkstra deterministically self-stabilizing: {dijkstra_ok};"
+            " Herman's expected rounds grow superlinearly (≈ quadratic):"
+            f" {herman_quadratic}; trans(Alg 1) memory ≤ Dijkstra memory:"
+            f" {memory_point}"
+        ),
+        passed=passed,
+        rows=rows,
+    )

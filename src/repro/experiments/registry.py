@@ -1,0 +1,193 @@
+"""Registry of all reproduction experiments."""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.abl1 import run_abl1
+from repro.experiments.alg3 import run_alg3
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.q1 import run_q1
+from repro.experiments.q2 import run_q2
+from repro.experiments.q3 import run_q3
+from repro.experiments.q4 import run_q4
+from repro.experiments.thm1 import run_thm1
+from repro.experiments.thm2 import run_thm2
+from repro.experiments.thm3 import run_thm3
+from repro.experiments.thm4 import run_thm4
+from repro.experiments.thm5 import run_thm5
+from repro.experiments.thm6 import run_thm6
+from repro.experiments.thm7 import run_thm7
+from repro.experiments.thm8 import run_thm8
+from repro.experiments.thm9 import run_thm9
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all", "all_ids"]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment(
+            "FIG1",
+            "Figure 1: legitimate execution of Algorithm 1",
+            "Figure 1",
+            run_fig1,
+            {"ring_size": 6, "steps": 12},
+        ),
+        Experiment(
+            "FIG2",
+            "Figure 2: possible convergence of Algorithm 2",
+            "Figure 2",
+            run_fig2,
+        ),
+        Experiment(
+            "FIG3",
+            "Figure 3: synchronous non-convergence of Algorithm 2",
+            "Figure 3",
+            run_fig3,
+        ),
+        Experiment(
+            "THM1",
+            "Theorem 1: synchronous weak ⟺ self",
+            "Theorem 1",
+            run_thm1,
+        ),
+        Experiment(
+            "THM2",
+            "Theorem 2: Algorithm 1 weak-stabilizing",
+            "Theorem 2",
+            run_thm2,
+            {"ring_sizes": (3, 4, 5, 6, 7, 8)},
+        ),
+        Experiment(
+            "THM3",
+            "Theorem 3: leader-election impossibility",
+            "Theorem 3",
+            run_thm3,
+        ),
+        Experiment(
+            "THM4",
+            "Theorem 4: Algorithm 2 weak-stabilizing",
+            "Theorem 4",
+            run_thm4,
+            {"exhaustive_max_nodes": 5},
+        ),
+        Experiment(
+            "THM5",
+            "Theorem 5: Gouda fairness upgrades weak to self",
+            "Theorem 5",
+            run_thm5,
+        ),
+        Experiment(
+            "THM6",
+            "Theorem 6: Gouda ≻ strong fairness",
+            "Theorem 6",
+            run_thm6,
+        ),
+        Experiment(
+            "THM7",
+            "Theorem 7: randomized-scheduler equivalence",
+            "Theorem 7",
+            run_thm7,
+        ),
+        Experiment(
+            "THM8",
+            "Theorem 8: transformer vs synchronous scheduler",
+            "Theorem 8",
+            run_thm8,
+        ),
+        Experiment(
+            "THM9",
+            "Theorem 9: transformer vs distributed randomized scheduler",
+            "Theorem 9",
+            run_thm9,
+        ),
+        Experiment(
+            "ALG3",
+            "Algorithm 3: synchrony can be required",
+            "Section 4 example",
+            run_alg3,
+        ),
+        Experiment(
+            "Q1",
+            "Q1: expected stabilization time of trans(Algorithm 1)",
+            "future work (extension)",
+            run_q1,
+            {
+                "exact_sizes": (3, 4, 5, 6),
+                "monte_carlo_sizes": (8, 10),
+                "trials": 300,
+                "seed": 2008,
+            },
+        ),
+        Experiment(
+            "Q2",
+            "Q2: expected stabilization time of trans(Algorithm 2)",
+            "future work (extension)",
+            run_q2,
+            {
+                "monte_carlo_sizes": (8, 10),
+                "trials": 300,
+                "seed": 2008,
+            },
+        ),
+        Experiment(
+            "Q3",
+            "Q3: baseline comparison on rings",
+            "future work (extension)",
+            run_q3,
+            {"seed": 2008, "trials": 200},
+        ),
+        Experiment(
+            "Q4",
+            "Q4: design cost of the transformer",
+            "conclusion trade-off (extension)",
+            run_q4,
+        ),
+        Experiment(
+            "ABL1",
+            "ABL1: transformer coin-bias ablation",
+            "design-choice ablation (extension)",
+            run_abl1,
+            {"biases": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)},
+        ),
+    )
+}
+
+
+def all_ids() -> list[str]:
+    """Registered experiment ids, registry order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Lookup by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {all_ids()}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_all(fast: bool = False) -> list[ExperimentResult]:
+    """Run every experiment (``fast`` shrinks the heavy parameters)."""
+    overrides: dict[str, dict] = {}
+    if fast:
+        overrides = {
+            "THM2": {"ring_sizes": (3, 4, 5)},
+            "THM4": {"exhaustive_max_nodes": 4},
+            "Q1": {
+                "exact_sizes": (3, 4),
+                "monte_carlo_sizes": (8,),
+                "trials": 50,
+            },
+            "Q2": {"monte_carlo_sizes": (8,), "trials": 50},
+            "Q3": {"trials": 50},
+            "ABL1": {"biases": (0.25, 0.5, 0.75)},
+        }
+    results = []
+    for experiment_id, experiment in EXPERIMENTS.items():
+        results.append(experiment.run(**overrides.get(experiment_id, {})))
+    return results

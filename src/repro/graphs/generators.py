@@ -1,0 +1,178 @@
+"""Graph generators for the topologies used by the paper and its baselines.
+
+Rings (Section 3.1), chains and general trees (Section 3.2), plus a few
+extra families (stars, spiders, brooms, complete graphs, caterpillars,
+random trees) used by tests, the coloring baseline and the quantitative
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.prufer import prufer_decode
+
+__all__ = [
+    "ring",
+    "path",
+    "star",
+    "complete",
+    "spider",
+    "broom",
+    "double_broom",
+    "caterpillar",
+    "balanced_binary_tree",
+    "random_tree",
+    "figure2_tree",
+    "figure3_chain",
+]
+
+
+def ring(num_nodes: int) -> Graph:
+    """Cycle C_N; the paper's unidirectional rings need ``N >= 3``."""
+    if num_nodes < 3:
+        raise GraphError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    return Graph(
+        num_nodes,
+        [(i, (i + 1) % num_nodes) for i in range(num_nodes)],
+    )
+
+
+def path(num_nodes: int) -> Graph:
+    """Chain P_n: nodes ``0 - 1 - ... - n-1``."""
+    if num_nodes < 1:
+        raise GraphError("path needs at least one node")
+    return Graph(num_nodes, [(i, i + 1) for i in range(num_nodes - 1)])
+
+
+def star(num_leaves: int) -> Graph:
+    """Star K_{1,k}: node 0 is the hub, nodes ``1..k`` the leaves."""
+    if num_leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    return Graph(num_leaves + 1, [(0, i) for i in range(1, num_leaves + 1)])
+
+
+def complete(num_nodes: int) -> Graph:
+    """Complete graph K_n."""
+    if num_nodes < 1:
+        raise GraphError("complete graph needs at least one node")
+    return Graph(
+        num_nodes,
+        [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)],
+    )
+
+
+def spider(num_legs: int, leg_length: int) -> Graph:
+    """Spider: ``num_legs`` disjoint paths of ``leg_length`` edges from hub 0."""
+    if num_legs < 1 or leg_length < 1:
+        raise GraphError("spider needs >= 1 leg of length >= 1")
+    edges: list[tuple[int, int]] = []
+    next_id = 1
+    for _ in range(num_legs):
+        previous = 0
+        for _ in range(leg_length):
+            edges.append((previous, next_id))
+            previous = next_id
+            next_id += 1
+    return Graph(next_id, edges)
+
+
+def broom(handle_length: int, num_bristles: int) -> Graph:
+    """Path of ``handle_length`` edges whose far end carries leaf bristles.
+
+    Node 0 is the free end of the handle; node ``handle_length`` holds the
+    bristles.
+    """
+    if handle_length < 1 or num_bristles < 1:
+        raise GraphError("broom needs handle >= 1 and bristles >= 1")
+    edges = [(i, i + 1) for i in range(handle_length)]
+    hub = handle_length
+    next_id = handle_length + 1
+    for _ in range(num_bristles):
+        edges.append((hub, next_id))
+        next_id += 1
+    return Graph(next_id, edges)
+
+
+def double_broom(handle_length: int, left: int, right: int) -> Graph:
+    """Central path with ``left`` leaves at node 0 and ``right`` at the end."""
+    if handle_length < 1 or left < 1 or right < 1:
+        raise GraphError("double_broom needs positive handle and leaf counts")
+    edges = [(i, i + 1) for i in range(handle_length)]
+    next_id = handle_length + 1
+    for _ in range(left):
+        edges.append((0, next_id))
+        next_id += 1
+    for _ in range(right):
+        edges.append((handle_length, next_id))
+        next_id += 1
+    return Graph(next_id, edges)
+
+
+def caterpillar(spine_length: int, legs_per_node: Sequence[int]) -> Graph:
+    """Spine path plus ``legs_per_node[i]`` leaves hanging off spine node i."""
+    if spine_length < 1:
+        raise GraphError("caterpillar needs a spine of at least one node")
+    if len(legs_per_node) != spine_length:
+        raise GraphError("legs_per_node must match spine_length")
+    edges = [(i, i + 1) for i in range(spine_length - 1)]
+    next_id = spine_length
+    for spine_node, legs in enumerate(legs_per_node):
+        if legs < 0:
+            raise GraphError("leg counts must be non-negative")
+        for _ in range(legs):
+            edges.append((spine_node, next_id))
+            next_id += 1
+    return Graph(next_id, edges)
+
+
+def balanced_binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (depth 0 = single node)."""
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    num_nodes = 2 ** (depth + 1) - 1
+    edges = [((child - 1) // 2, child) for child in range(1, num_nodes)]
+    return Graph(num_nodes, edges)
+
+
+class _RangeSampler(Protocol):
+    """Anything with ``randrange(upper)`` — random.Random or RandomSource."""
+
+    def randrange(self, upper: int) -> int:
+        ...  # pragma: no cover - protocol
+
+
+def random_tree(num_nodes: int, rng: _RangeSampler) -> Graph:
+    """Uniform random labeled tree via a random Prüfer sequence."""
+    if num_nodes < 1:
+        raise GraphError("tree needs at least one node")
+    if num_nodes <= 2:
+        return prufer_decode((), num_nodes)
+    sequence = tuple(
+        rng.randrange(num_nodes) for _ in range(num_nodes - 2)
+    )
+    return prufer_decode(sequence, num_nodes)
+
+
+def figure2_tree() -> Graph:
+    """The 8-node tree used to reproduce Figure 2 of the paper.
+
+    The OCR of the paper does not give the exact edge list, so we use a
+    tree that satisfies the figure's *stated* constraints on the initial
+    configuration (i): with no process satisfying ``Par = ⊥``, action A1
+    is enabled exactly at P1, P2, P7, P8 (each pointed at by all its
+    neighbors), A2 exactly at P3, P5, P6, and P4 is stable.  Node ids are
+    0-based: paper ``P{i}`` is node ``i - 1``.
+
+    Layout (edges)::
+
+        P1 - P3,  P2 - P5,  P3 - P5,  P5 - P6,  P6 - P8,  P7 - P8,  P4 - P8
+    """
+    return Graph(8, [(0, 2), (1, 4), (2, 4), (4, 5), (5, 7), (6, 7), (3, 7)])
+
+
+def figure3_chain() -> Graph:
+    """The 4-process chain P1-P2-P3-P4 of Figure 3 / Theorem 3 (0-based)."""
+    return path(4)

@@ -1,0 +1,182 @@
+"""Immutable undirected graphs.
+
+The paper models a network as an undirected connected graph ``G = (V, E)``
+whose nodes are processes (Section 2).  This module provides the immutable
+:class:`Graph` used everywhere in the library.  Nodes are the integers
+``0 .. n-1``; the *adjacency order* of each node is fixed at construction
+time and defines the **local indexes** through which anonymous processes
+address their neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+__all__ = ["Graph", "Edge", "normalize_edge"]
+
+Edge = tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``."""
+    if u == v:
+        raise GraphError(f"self-loop {u!r} is not a valid undirected edge")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A finite, simple, undirected graph on nodes ``0 .. n-1``.
+
+    The graph is immutable: the node count and edge set are fixed at
+    construction.  Neighbor lists are sorted ascending; the position of a
+    neighbor in that list is its *local index*, the only neighbor identity
+    visible to anonymous algorithm code.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are ``range(num_nodes)``.
+    edges:
+        Iterable of node pairs.  Duplicates (in either orientation) are
+        rejected, as are self-loops and out-of-range endpoints.
+    """
+
+    __slots__ = ("_n", "_edges", "_adjacency", "_edge_set")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge]) -> None:
+        if num_nodes < 1:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._n = int(num_nodes)
+        seen: set[Edge] = set()
+        ordered: list[Edge] = []
+        adjacency: list[list[int]] = [[] for _ in range(self._n)]
+        for raw_u, raw_v in edges:
+            u, v = int(raw_u), int(raw_v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range for {self._n} nodes"
+                )
+            edge = normalize_edge(u, v)
+            if edge in seen:
+                raise GraphError(f"duplicate edge {edge}")
+            seen.add(edge)
+            ordered.append(edge)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        self._edges: tuple[Edge, ...] = tuple(sorted(ordered))
+        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adjacency
+        )
+        self._edge_set = seen
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``N``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    @property
+    def nodes(self) -> range:
+        """The node ids, always ``range(num_nodes)``."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """Sorted tuple of canonical edges."""
+        return self._edges
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Sorted neighbors of ``node`` (Γ_p in the paper)."""
+        self._check_node(node)
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        """Degree Δ_p of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    @property
+    def max_degree(self) -> int:
+        """Degree Δ of the graph: ``max_p Δ_p``."""
+        return max(len(nbrs) for nbrs in self._adjacency)
+
+    @property
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes."""
+        return min(len(nbrs) for nbrs in self._adjacency)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge (order irrelevant)."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._edge_set
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise GraphError(f"node {node!r} out of range [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def degree_sequence(self) -> tuple[int, ...]:
+        """Non-increasing degree sequence."""
+        return tuple(sorted((len(a) for a in self._adjacency), reverse=True))
+
+    def subgraph_edges(self, keep: Sequence[int]) -> list[Edge]:
+        """Edges with both endpoints in ``keep`` (node ids unchanged)."""
+        kept = set(keep)
+        return [e for e in self._edges if e[0] in kept and e[1] in kept]
+
+    def relabeled(self, mapping: Sequence[int]) -> "Graph":
+        """Return an isomorphic copy where node ``i`` becomes ``mapping[i]``.
+
+        ``mapping`` must be a permutation of ``range(num_nodes)``.
+        """
+        if sorted(mapping) != list(range(self._n)):
+            raise GraphError("mapping must be a permutation of the nodes")
+        return Graph(
+            self._n, [(mapping[u], mapping[v]) for u, v in self._edges]
+        )
+
+    def is_automorphism(self, mapping: Sequence[int]) -> bool:
+        """Whether the permutation ``mapping`` preserves the edge set."""
+        if sorted(mapping) != list(range(self._n)):
+            return False
+        return all(
+            normalize_edge(mapping[u], mapping[v]) in self._edge_set
+            for u, v in self._edges
+        )
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, int) and 0 <= node < self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self._n}, num_edges={len(self._edges)})"

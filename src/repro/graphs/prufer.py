@@ -1,0 +1,119 @@
+"""Prüfer-sequence codec for labeled trees.
+
+Every labeled tree on ``n >= 2`` nodes corresponds bijectively to a sequence
+of ``n - 2`` node labels (Cayley's formula).  We use the codec to enumerate
+*all* labeled trees of a given small size (exhaustive theorem checks) and to
+sample uniform random trees (property-based tests, quantitative sweeps).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import product
+from typing import Iterator, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, normalize_edge
+from repro.graphs.properties import is_tree
+
+__all__ = [
+    "prufer_decode",
+    "prufer_encode",
+    "all_labeled_trees",
+    "num_labeled_trees",
+]
+
+
+def prufer_decode(sequence: Sequence[int], num_nodes: int) -> Graph:
+    """Build the labeled tree on ``num_nodes`` nodes for a Prüfer sequence.
+
+    ``sequence`` must have length ``num_nodes - 2`` with entries in
+    ``range(num_nodes)``.  ``num_nodes == 1`` (empty tree) and
+    ``num_nodes == 2`` (single edge) take the empty sequence.
+    """
+    n = num_nodes
+    if n < 1:
+        raise GraphError("tree needs at least one node")
+    if len(sequence) != max(n - 2, 0):
+        raise GraphError(
+            f"Prüfer sequence for {n} nodes must have length {max(n - 2, 0)},"
+            f" got {len(sequence)}"
+        )
+    if any(not 0 <= s < n for s in sequence):
+        raise GraphError("Prüfer sequence entry out of range")
+    if n == 1:
+        return Graph(1, [])
+    if n == 2:
+        return Graph(2, [(0, 1)])
+
+    remaining_degree = [1] * n
+    for s in sequence:
+        remaining_degree[s] += 1
+    # Min-heap of current leaves for the canonical decode order.
+    leaf_heap = [v for v in range(n) if remaining_degree[v] == 1]
+    heapq.heapify(leaf_heap)
+    edges: list[tuple[int, int]] = []
+    for s in sequence:
+        leaf = heapq.heappop(leaf_heap)
+        edges.append(normalize_edge(leaf, s))
+        remaining_degree[s] -= 1
+        if remaining_degree[s] == 1:
+            heapq.heappush(leaf_heap, s)
+    last_u = heapq.heappop(leaf_heap)
+    last_v = heapq.heappop(leaf_heap)
+    edges.append(normalize_edge(last_u, last_v))
+    return Graph(n, edges)
+
+
+def prufer_encode(tree: Graph) -> tuple[int, ...]:
+    """Prüfer sequence of a labeled tree (inverse of :func:`prufer_decode`)."""
+    n = tree.num_nodes
+    if not is_tree(tree):
+        raise GraphError("prufer_encode requires a tree")
+    if n <= 2:
+        return ()
+    degree = [tree.degree(v) for v in tree.nodes]
+    removed = [False] * n
+    adjacency = [list(tree.neighbors(v)) for v in tree.nodes]
+    leaf_heap = [v for v in tree.nodes if degree[v] == 1]
+    heapq.heapify(leaf_heap)
+    sequence: list[int] = []
+    for _ in range(n - 2):
+        leaf = heapq.heappop(leaf_heap)
+        removed[leaf] = True
+        neighbor = next(v for v in adjacency[leaf] if not removed[v])
+        sequence.append(neighbor)
+        degree[neighbor] -= 1
+        if degree[neighbor] == 1:
+            heapq.heappush(leaf_heap, neighbor)
+    return tuple(sequence)
+
+
+def all_labeled_trees(num_nodes: int) -> Iterator[Graph]:
+    """Yield every labeled tree on ``num_nodes`` nodes (n^(n-2) of them).
+
+    Intended for exhaustive checks with ``num_nodes <= 7`` (7^5 = 16807
+    trees); larger sizes raise to protect against accidental blow-ups.
+    """
+    if num_nodes < 1:
+        raise GraphError("tree needs at least one node")
+    if num_nodes > 7:
+        raise GraphError(
+            "all_labeled_trees is capped at 7 nodes"
+            f" ({num_nodes}^{num_nodes - 2} trees would be generated);"
+            " sample with prufer_decode + a RNG instead"
+        )
+    if num_nodes <= 2:
+        yield prufer_decode((), num_nodes)
+        return
+    for sequence in product(range(num_nodes), repeat=num_nodes - 2):
+        yield prufer_decode(sequence, num_nodes)
+
+
+def num_labeled_trees(num_nodes: int) -> int:
+    """Cayley's formula ``n^(n-2)`` (1 for n in {1, 2})."""
+    if num_nodes < 1:
+        raise GraphError("tree needs at least one node")
+    if num_nodes <= 2:
+        return 1
+    return num_nodes ** (num_nodes - 2)

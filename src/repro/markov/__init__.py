@@ -1,0 +1,32 @@
+"""Markov-chain analysis: exact hitting times and Monte-Carlo estimation."""
+
+from repro.markov.builder import build_chain
+from repro.markov.chain import MarkovChain, ROW_SUM_TOLERANCE
+from repro.markov.hitting import (
+    ABSORPTION_TOLERANCE,
+    HittingSummary,
+    absorption_probabilities,
+    expected_hitting_times,
+    hitting_summary,
+)
+from repro.markov.lumping import lumped_synchronous_transformed_chain
+from repro.markov.montecarlo import (
+    MonteCarloResult,
+    estimate_stabilization_time,
+    random_configuration,
+)
+
+__all__ = [
+    "build_chain",
+    "MarkovChain",
+    "ROW_SUM_TOLERANCE",
+    "absorption_probabilities",
+    "expected_hitting_times",
+    "hitting_summary",
+    "HittingSummary",
+    "ABSORPTION_TOLERANCE",
+    "lumped_synchronous_transformed_chain",
+    "MonteCarloResult",
+    "estimate_stabilization_time",
+    "random_configuration",
+]

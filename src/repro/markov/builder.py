@@ -1,0 +1,115 @@
+"""Transition-matrix construction from a scheduler distribution.
+
+For every configuration γ with ``Enabled(γ) ≠ ∅``::
+
+    P(γ → δ) = Σ_{subsets s}  w(s) · Π_{p ∈ s}  (1/|A_p|) · q_p(o_p)
+
+where ``w`` is the scheduler distribution over activation subsets, ``A_p``
+the enabled actions of mover p (uniform choice when several are enabled —
+irrelevant for the paper's algorithms, whose guards are mutually
+exclusive), and ``q_p`` the action's outcome distribution.  Terminal
+configurations self-loop with probability one, so legitimate terminal
+configurations are absorbing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.system import System, compose_branches
+from repro.errors import MarkovError
+from repro.markov.chain import MarkovChain
+from repro.schedulers.distributions import SchedulerDistribution
+
+__all__ = ["build_chain", "DEFAULT_MAX_STATES"]
+
+#: State-count guard against accidental blow-ups.
+DEFAULT_MAX_STATES = 500_000
+
+
+def build_chain(
+    system: System,
+    distribution: SchedulerDistribution,
+    initial: Iterable[Configuration] | None = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> MarkovChain:
+    """Build the Markov chain of ``system`` under ``distribution``.
+
+    ``initial=None`` takes the full configuration space as the state set
+    (the paper's ``I = C``); otherwise the chain is the forward closure of
+    the given configurations.
+    """
+    if initial is None:
+        total = system.num_configurations()
+        if total > max_states:
+            raise MarkovError(
+                f"configuration space has {total} states, budget is"
+                f" {max_states}; pass an explicit initial set"
+            )
+        seeds: Iterable[Configuration] = system.all_configurations()
+    else:
+        seeds = initial
+
+    states: list[Configuration] = []
+    index: dict[Configuration, int] = {}
+    queue: deque[int] = deque()
+
+    def intern(configuration: Configuration) -> int:
+        existing = index.get(configuration)
+        if existing is not None:
+            return existing
+        if len(states) >= max_states:
+            raise MarkovError(f"chain exceeded {max_states} states")
+        fresh = len(states)
+        index[configuration] = fresh
+        states.append(configuration)
+        queue.append(fresh)
+        return fresh
+
+    for seed in seeds:
+        intern(seed)
+
+    rows: list[dict[int, float]] = []
+    processed = 0
+    while queue:
+        state_id = queue.popleft()
+        assert state_id == processed
+        processed += 1
+        rows.append(_row(system, distribution, states[state_id], intern))
+
+    return MarkovChain(system, states, rows, distribution.name)
+
+
+def _row(
+    system: System,
+    distribution: SchedulerDistribution,
+    configuration: Configuration,
+    intern,
+) -> dict[int, float]:
+    # Resolve guards/outcomes once; every weighted subset composes from
+    # the same per-process solo resolutions (pre-step reads).
+    resolved = system.resolved_actions(configuration)
+    enabled = tuple(sorted(resolved))
+    row: dict[int, float] = {}
+    if not enabled:
+        row[intern(configuration)] = 1.0
+        return row
+    for weight, subset in distribution.weighted_subsets(enabled):
+        if weight <= 0.0:
+            continue
+        if not subset:
+            # Lazy daemons (Bernoulli with include_empty) may activate
+            # nobody: an explicit self-loop.
+            self_id = intern(configuration)
+            row[self_id] = row.get(self_id, 0.0) + weight
+            continue
+        action_choices = 1
+        for process in subset:
+            action_choices *= len(resolved[process])
+        for branch in compose_branches(configuration, subset, resolved):
+            probability = weight * branch.probability / action_choices
+            target_id = intern(branch.target)
+            row[target_id] = row.get(target_id, 0.0) + probability
+    return row

@@ -1,0 +1,133 @@
+"""Finite Markov chains over configuration spaces.
+
+Under a *scheduler distribution* (Definition 6) plus the outcome
+probabilities of probabilistic actions, a system becomes a finite Markov
+chain over ``C``.  :class:`MarkovChain` stores the chain sparsely (one
+``{target: probability}`` dict per state) and converts to numpy/scipy
+matrices on demand for the linear-algebra solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.errors import MarkovError
+
+__all__ = ["MarkovChain", "ROW_SUM_TOLERANCE"]
+
+#: Maximum allowed deviation of a row sum from one.
+ROW_SUM_TOLERANCE = 1e-9
+
+
+class MarkovChain:
+    """A finite Markov chain whose states are system configurations."""
+
+    def __init__(
+        self,
+        system: System,
+        states: list[Configuration],
+        rows: list[dict[int, float]],
+        scheduler_name: str,
+    ) -> None:
+        if len(states) != len(rows):
+            raise MarkovError("states and rows disagree in length")
+        self.system = system
+        self.states = states
+        self.rows = rows
+        self.scheduler_name = scheduler_name
+        self.index: dict[Configuration, int] = {
+            state: i for i, state in enumerate(states)
+        }
+        self._check_rows()
+
+    def _check_rows(self) -> None:
+        for state_id, row in enumerate(self.rows):
+            if not row:
+                raise MarkovError(f"state {state_id} has no transitions")
+            total = sum(row.values())
+            if abs(total - 1.0) > ROW_SUM_TOLERANCE * max(len(row), 1):
+                raise MarkovError(
+                    f"row {state_id} sums to {total!r}, expected 1"
+                )
+            if any(p < 0 for p in row.values()):
+                raise MarkovError(f"row {state_id} has negative probability")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def id_of(self, configuration: Configuration) -> int:
+        """Dense id of a configuration."""
+        try:
+            return self.index[configuration]
+        except KeyError:
+            raise MarkovError(
+                f"configuration {configuration!r} is not a chain state"
+            ) from None
+
+    def probability(self, source: int, target: int) -> float:
+        """One transition probability."""
+        return self.rows[source].get(target, 0.0)
+
+    def support_adjacency(self) -> list[list[int]]:
+        """Digraph of positive-probability transitions."""
+        return [sorted(row) for row in self.rows]
+
+    def mark(
+        self, predicate: Callable[[System, Configuration], bool]
+    ) -> np.ndarray:
+        """Boolean array evaluating a predicate on every state."""
+        return np.array(
+            [predicate(self.system, state) for state in self.states],
+            dtype=bool,
+        )
+
+    # ------------------------------------------------------------------
+    # matrix exports
+    # ------------------------------------------------------------------
+    def dense_matrix(self) -> np.ndarray:
+        """Dense row-stochastic matrix (small chains only)."""
+        n = self.num_states
+        matrix = np.zeros((n, n), dtype=float)
+        for source, row in enumerate(self.rows):
+            for target, probability in row.items():
+                matrix[source, target] = probability
+        return matrix
+
+    def sparse_matrix(self) -> sparse.csr_matrix:
+        """CSR row-stochastic matrix."""
+        data: list[float] = []
+        indices: list[int] = []
+        indptr = [0]
+        for row in self.rows:
+            for target in sorted(row):
+                indices.append(target)
+                data.append(row[target])
+            indptr.append(len(indices))
+        n = self.num_states
+        return sparse.csr_matrix(
+            (np.array(data), np.array(indices), np.array(indptr)),
+            shape=(n, n),
+        )
+
+    def step_distribution(
+        self, distribution: Sequence[float]
+    ) -> np.ndarray:
+        """One push of a row distribution through the chain."""
+        vector = np.asarray(distribution, dtype=float)
+        if vector.shape != (self.num_states,):
+            raise MarkovError("distribution length mismatch")
+        return vector @ self.sparse_matrix()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovChain(states={self.num_states},"
+            f" scheduler={self.scheduler_name!r})"
+        )

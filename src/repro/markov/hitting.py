@@ -1,0 +1,228 @@
+"""Absorption probabilities and expected hitting times.
+
+Implements the classic absorbing-chain analysis used to *measure*
+Theorems 7-9 and the paper's future-work question (expected stabilization
+time of transformed algorithms):
+
+* :func:`absorption_probabilities` — probability of ever reaching the
+  target set, per state.  Probabilistic self-stabilization (Definition 2)
+  means this is 1 everywhere.
+* :func:`expected_hitting_times` — mean number of steps to reach the
+  target, per state (``inf`` where absorption is uncertain).
+* :func:`hitting_summary` — the aggregate a paper table would report:
+  worst-case and average expected time over all initial configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import MarkovError
+from repro.markov.chain import MarkovChain
+
+__all__ = [
+    "absorption_probabilities",
+    "expected_hitting_times",
+    "HittingSummary",
+    "hitting_summary",
+    "ABSORPTION_TOLERANCE",
+]
+
+#: States with absorption probability below ``1 - ABSORPTION_TOLERANCE``
+#: are treated as having infinite expected hitting time.
+ABSORPTION_TOLERANCE = 1e-8
+
+#: Below this state count we solve densely with numpy; above, sparsely.
+_DENSE_LIMIT = 1500
+
+
+def _target_vector(chain: MarkovChain, target: np.ndarray) -> np.ndarray:
+    target = np.asarray(target, dtype=bool)
+    if target.shape != (chain.num_states,):
+        raise MarkovError(
+            f"target mask has shape {target.shape},"
+            f" expected ({chain.num_states},)"
+        )
+    if not target.any():
+        raise MarkovError("target set is empty")
+    return target
+
+
+def absorption_probabilities(
+    chain: MarkovChain, target: np.ndarray
+) -> np.ndarray:
+    """P[ever reach target | start in state i] for every i.
+
+    Solves ``(I - Q) h = b`` on the transient block, where ``Q`` is the
+    transient-to-transient submatrix and ``b`` the one-step mass into the
+    target.  States that cannot reach the target at all are exactly the
+    zeros of the solution (we pre-filter them for numerical stability).
+    """
+    target = _target_vector(chain, target)
+    n = chain.num_states
+    result = np.zeros(n, dtype=float)
+    result[target] = 1.0
+
+    # States that can reach the target in the support digraph.
+    can_reach = _backward_closure(chain, target)
+    transient = ~target & can_reach
+    if not transient.any():
+        return result
+
+    transient_ids = np.flatnonzero(transient)
+    position = {int(s): k for k, s in enumerate(transient_ids)}
+    m = len(transient_ids)
+    b = np.zeros(m, dtype=float)
+
+    if m <= _DENSE_LIMIT:
+        q = np.zeros((m, m), dtype=float)
+        for k, state in enumerate(transient_ids):
+            for successor, probability in chain.rows[int(state)].items():
+                if target[successor]:
+                    b[k] += probability
+                elif successor in position:
+                    q[k, position[successor]] += probability
+        h = np.linalg.solve(np.eye(m) - q, b)
+    else:
+        from scipy import sparse
+
+        rows_idx: list[int] = []
+        cols_idx: list[int] = []
+        values: list[float] = []
+        for k, state in enumerate(transient_ids):
+            for successor, probability in chain.rows[int(state)].items():
+                if target[successor]:
+                    b[k] += probability
+                elif successor in position:
+                    rows_idx.append(k)
+                    cols_idx.append(position[successor])
+                    values.append(probability)
+        q = sparse.csr_matrix(
+            (values, (rows_idx, cols_idx)), shape=(m, m)
+        )
+        h = spsolve(sparse.identity(m, format="csr") - q, b)
+
+    result[transient_ids] = np.clip(h, 0.0, 1.0)
+    return result
+
+
+def expected_hitting_times(
+    chain: MarkovChain, target: np.ndarray
+) -> np.ndarray:
+    """Expected steps to reach the target; ``inf`` where absorption < 1."""
+    target = _target_vector(chain, target)
+    absorption = absorption_probabilities(chain, target)
+    certain = absorption >= 1.0 - ABSORPTION_TOLERANCE
+
+    n = chain.num_states
+    times = np.full(n, np.inf, dtype=float)
+    times[target] = 0.0
+
+    solve_states = np.flatnonzero(certain & ~target)
+    if solve_states.size == 0:
+        return times
+    position = {int(s): k for k, s in enumerate(solve_states)}
+    m = len(solve_states)
+    ones = np.ones(m, dtype=float)
+
+    if m <= _DENSE_LIMIT:
+        q = np.zeros((m, m), dtype=float)
+        for k, state in enumerate(solve_states):
+            for successor, probability in chain.rows[int(state)].items():
+                if successor in position:
+                    q[k, position[successor]] += probability
+        t = np.linalg.solve(np.eye(m) - q, ones)
+    else:
+        from scipy import sparse
+
+        rows_idx: list[int] = []
+        cols_idx: list[int] = []
+        values: list[float] = []
+        for k, state in enumerate(solve_states):
+            for successor, probability in chain.rows[int(state)].items():
+                if successor in position:
+                    rows_idx.append(k)
+                    cols_idx.append(position[successor])
+                    values.append(probability)
+        q = sparse.csr_matrix(
+            (values, (rows_idx, cols_idx)), shape=(m, m)
+        )
+        t = spsolve(sparse.identity(m, format="csr") - q, ones)
+
+    times[solve_states] = np.maximum(t, 0.0)
+    return times
+
+
+def _backward_closure(
+    chain: MarkovChain, target: np.ndarray
+) -> np.ndarray:
+    from collections import deque
+
+    n = chain.num_states
+    predecessors: list[list[int]] = [[] for _ in range(n)]
+    for source, row in enumerate(chain.rows):
+        for successor in row:
+            predecessors[successor].append(source)
+    reached = np.array(target, dtype=bool)
+    queue = deque(int(s) for s in np.flatnonzero(target))
+    while queue:
+        current = queue.popleft()
+        for predecessor in predecessors[current]:
+            if not reached[predecessor]:
+                reached[predecessor] = True
+                queue.append(predecessor)
+    return reached
+
+
+@dataclass(frozen=True)
+class HittingSummary:
+    """Aggregate convergence report over all initial configurations."""
+
+    num_states: int
+    num_target: int
+    min_absorption: float
+    converges_with_probability_one: bool
+    worst_expected_steps: float
+    mean_expected_steps: float
+
+    def row(self) -> dict[str, object]:
+        """Dict form for tables."""
+        return {
+            "states": self.num_states,
+            "target": self.num_target,
+            "min_absorption": round(self.min_absorption, 10),
+            "prob1": self.converges_with_probability_one,
+            "worst_E[steps]": round(self.worst_expected_steps, 4),
+            "mean_E[steps]": round(self.mean_expected_steps, 4),
+        }
+
+
+def hitting_summary(chain: MarkovChain, target: np.ndarray) -> HittingSummary:
+    """Absorption + expected-time aggregate for one chain and target set."""
+    target = _target_vector(chain, target)
+    absorption = absorption_probabilities(chain, target)
+    min_absorption = float(absorption.min())
+    converges = bool(min_absorption >= 1.0 - ABSORPTION_TOLERANCE)
+    if converges:
+        times = expected_hitting_times(chain, target)
+        transient = ~target
+        if transient.any():
+            worst = float(times[transient].max())
+            mean = float(times[transient].mean())
+        else:
+            worst = 0.0
+            mean = 0.0
+    else:
+        worst = float("inf")
+        mean = float("inf")
+    return HittingSummary(
+        num_states=chain.num_states,
+        num_target=int(target.sum()),
+        min_absorption=min_absorption,
+        converges_with_probability_one=converges,
+        worst_expected_steps=worst,
+        mean_expected_steps=mean,
+    )

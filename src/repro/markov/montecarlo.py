@@ -1,0 +1,129 @@
+"""Monte-Carlo estimation of stabilization times.
+
+Exact hitting-time analysis needs the full chain in memory; for larger
+networks we instead sample executions under a scheduler sampler and
+measure the number of steps until the specification's legitimate predicate
+first holds.  Initial configurations are drawn uniformly from ``C``
+(the paper's "arbitrary initial configuration") unless given explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.core.configuration import Configuration
+from repro.core.simulate import SchedulerSampler, run_until
+from repro.core.system import System
+from repro.errors import MarkovError
+from repro.random_source import RandomSource
+
+__all__ = ["MonteCarloResult", "estimate_stabilization_time",
+           "random_configuration"]
+
+
+def random_configuration(system: System, rng: RandomSource) -> Configuration:
+    """Uniform random configuration of the full space ``C``."""
+    states = []
+    for layout in system.layouts:
+        states.append(
+            tuple(
+                spec.domain[rng.randrange(spec.size)]
+                for spec in layout.specs
+            )
+        )
+    return tuple(states)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Stabilization-time sample summary.
+
+    ``censored`` counts trials that hit ``max_steps`` without converging;
+    their (unknown, larger) times are *not* included in ``stats`` — a
+    non-zero censored count therefore flags an unreliable estimate.
+    ``round_stats`` (when round counting was requested) summarizes the
+    *rounds* to stabilization, the scheduler-independent time measure.
+    """
+
+    trials: int
+    converged: int
+    censored: int
+    stats: SummaryStats | None
+    round_stats: SummaryStats | None = None
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of trials that converged within the budget."""
+        return self.converged / self.trials if self.trials else 0.0
+
+    def row(self) -> dict[str, object]:
+        """Dict form for tables."""
+        base: dict[str, object] = {
+            "trials": self.trials,
+            "converged": self.converged,
+            "censored": self.censored,
+        }
+        if self.stats is not None:
+            base.update(self.stats.row())
+        return base
+
+
+def estimate_stabilization_time(
+    system: System,
+    sampler: SchedulerSampler,
+    legitimate: Callable[[Configuration], bool],
+    trials: int,
+    max_steps: int,
+    rng: RandomSource,
+    initial_configurations: Sequence[Configuration] | None = None,
+    measure_rounds: bool = False,
+) -> MonteCarloResult:
+    """Sample stabilization times over random starts and scheduler draws.
+
+    With ``measure_rounds=True`` each converged trial additionally
+    reports its completed-round count (see :mod:`repro.analysis.rounds`),
+    which makes measurements comparable across scheduler families.
+    """
+    if trials < 1:
+        raise MarkovError("need at least one trial")
+    times: list[float] = []
+    rounds: list[float] = []
+    censored = 0
+    for trial in range(trials):
+        if initial_configurations is not None:
+            initial = initial_configurations[
+                trial % len(initial_configurations)
+            ]
+        else:
+            initial = random_configuration(system, rng)
+        result = run_until(
+            system,
+            sampler,
+            initial,
+            stop=legitimate,
+            max_steps=max_steps,
+            rng=rng,
+        )
+        if result.converged:
+            times.append(float(result.steps_taken))
+            if measure_rounds:
+                from repro.analysis.rounds import count_rounds
+
+                rounds.append(float(count_rounds(system, result.trace)))
+        elif result.hit_terminal:
+            # Terminal but illegitimate: the run can never converge.  Count
+            # it as censored so the caller sees the failure.
+            censored += 1
+        else:
+            censored += 1
+    stats = summarize(times) if times else None
+    round_stats = summarize(rounds) if rounds else None
+    return MonteCarloResult(
+        trials=trials,
+        converged=len(times),
+        censored=censored,
+        stats=stats,
+        round_stats=round_stats,
+    )

@@ -1,0 +1,106 @@
+"""Seeded randomness for simulations and samplers.
+
+All stochastic behavior in the library flows through a :class:`RandomSource`
+so experiments are reproducible from a single integer seed and no module
+ever touches the global :mod:`random` state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["RandomSource"]
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """Thin deterministic wrapper over :class:`random.Random`.
+
+    Parameters
+    ----------
+    seed:
+        Any hashable seed; identical seeds give identical streams.
+    """
+
+    __slots__ = ("_rng", "_seed")
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> int | None:
+        """The seed this source was created with."""
+        return self._seed
+
+    def spawn(self, salt: int) -> "RandomSource":
+        """Derive an independent, reproducible child source."""
+        base = self._seed if self._seed is not None else 0
+        return RandomSource((base * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._rng.random()
+
+    def randrange(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)``."""
+        if upper <= 0:
+            raise ReproError(f"randrange needs a positive bound, got {upper}")
+        return self._rng.randrange(upper)
+
+    def coin(self) -> bool:
+        """Fair boolean coin — the paper's ``Rand(true, false)``."""
+        return self._rng.random() < 0.5
+
+    def bernoulli(self, probability: float) -> bool:
+        """Biased coin with the given success probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ReproError(
+                f"bernoulli probability must be in [0, 1], got {probability}"
+            )
+        return self._rng.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ReproError("choice from an empty sequence")
+        return items[self._rng.randrange(len(items))]
+
+    def sample_nonempty_subset(self, items: Sequence[T]) -> list[T]:
+        """Uniform non-empty subset of ``items`` (Definition 6, distributed).
+
+        Uniformity is over the ``2^k - 1`` non-empty subsets, achieved by
+        rejection-free sampling of an integer in ``[1, 2^k)`` whose bits
+        select the members.
+        """
+        if not items:
+            raise ReproError("subset of an empty sequence")
+        k = len(items)
+        mask = self._rng.randrange(1, 2**k)
+        return [item for i, item in enumerate(items) if mask >> i & 1]
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Index sampled proportionally to ``weights`` (must be positive)."""
+        if not weights:
+            raise ReproError("weighted_index needs at least one weight")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ReproError("weights must sum to a positive value")
+        point = self._rng.random() * total
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if point < cumulative:
+                return index
+        return len(weights) - 1
+
+    def shuffle(self, items: list[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomSource(seed={self._seed!r})"

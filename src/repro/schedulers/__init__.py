@@ -1,0 +1,75 @@
+"""Schedulers in three guises: relations, distributions, samplers."""
+
+from repro.schedulers.distributions import (
+    BernoulliDistribution,
+    CentralRandomizedDistribution,
+    DistributedRandomizedDistribution,
+    SchedulerDistribution,
+    SynchronousDistribution,
+    distribution_by_name,
+)
+from repro.schedulers.bounded_fairness import (
+    is_k_fair_lasso,
+    k_fairness_bound,
+    k_fairness_violations,
+)
+from repro.schedulers.fairness import (
+    FairnessReport,
+    cycle_acting_processes,
+    cycle_enabled_processes,
+    fairness_report,
+    is_gouda_fair_lasso,
+    is_strongly_fair_lasso,
+    is_weakly_fair_lasso,
+)
+from repro.schedulers.relations import (
+    BoundedRelation,
+    CentralRelation,
+    DistributedRelation,
+    SchedulerRelation,
+    SynchronousRelation,
+    relation_by_name,
+)
+from repro.schedulers.samplers import (
+    BernoulliSampler,
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    GreedySingletonSampler,
+    RoundRobinSampler,
+    ScriptedSampler,
+    SynchronousSampler,
+    sampler_by_name,
+)
+
+__all__ = [
+    "SchedulerRelation",
+    "CentralRelation",
+    "DistributedRelation",
+    "SynchronousRelation",
+    "BoundedRelation",
+    "relation_by_name",
+    "SchedulerDistribution",
+    "SynchronousDistribution",
+    "CentralRandomizedDistribution",
+    "DistributedRandomizedDistribution",
+    "BernoulliDistribution",
+    "distribution_by_name",
+    "SynchronousSampler",
+    "CentralRandomizedSampler",
+    "DistributedRandomizedSampler",
+    "BernoulliSampler",
+    "RoundRobinSampler",
+    "ScriptedSampler",
+    "GreedySingletonSampler",
+    "sampler_by_name",
+    "FairnessReport",
+    "fairness_report",
+    "is_weakly_fair_lasso",
+    "is_strongly_fair_lasso",
+    "is_gouda_fair_lasso",
+    "cycle_enabled_processes",
+    "cycle_acting_processes",
+    "k_fairness_bound",
+    "is_k_fair_lasso",
+    "k_fairness_violations",
+]

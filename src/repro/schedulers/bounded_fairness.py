@@ -1,0 +1,95 @@
+"""k-bounded fairness — the (N−1)-fairness behind Algorithm 1.
+
+The paper takes Algorithm 1 from Beauquier–Gradinariu–Johnen [3], whose
+setting is *(N−1)-fairness*: (i) every process acts infinitely often and
+(ii) between two consecutive actions of any process p, any other process
+acts at most N−1 times.  On an ultimately periodic execution (lasso) both
+conditions are decidable by scanning one unrolled period:
+
+* every process must act somewhere in the cycle;
+* for each ordered pair (p, q), the maximum number of q-actions strictly
+  between consecutive p-actions (cyclically) must not exceed k.
+
+:func:`k_fairness_bound` returns the smallest k for which a lasso is
+k-fair (so ``bound ≤ N - 1`` certifies the [3] setting), and
+:func:`is_k_fair_lasso` the corresponding predicate.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import System
+from repro.core.trace import Lasso
+from repro.schedulers.fairness import cycle_acting_processes
+
+__all__ = ["k_fairness_bound", "is_k_fair_lasso", "k_fairness_violations"]
+
+
+def _cycle_actor_sets(lasso: Lasso) -> list[frozenset[int]]:
+    return [step.acting_processes for step in lasso.cycle_steps]
+
+
+def k_fairness_bound(system: System, lasso: Lasso) -> int | None:
+    """Smallest k such that the lasso is k-fair; ``None`` if some process
+    never acts in the cycle (then no finite k works)."""
+    actors = _cycle_actor_sets(lasso)
+    processes = set(range(system.num_processes))
+    acting = cycle_acting_processes(lasso)
+    if acting != processes:
+        return None
+    worst = 0
+    # Scan the doubled cycle so between-occurrence windows wrap correctly.
+    doubled = actors + actors
+    for p in processes:
+        positions = [i for i, step in enumerate(actors) if p in step]
+        for q in processes:
+            if q == p:
+                continue
+            for index, start in enumerate(positions):
+                if index + 1 < len(positions):
+                    end = positions[index + 1]
+                else:
+                    end = positions[0] + len(actors)
+                between = sum(
+                    1
+                    for i in range(start + 1, end)
+                    if q in doubled[i]
+                )
+                worst = max(worst, between)
+    return worst
+
+
+def is_k_fair_lasso(system: System, lasso: Lasso, k: int) -> bool:
+    """Whether the lasso satisfies k-bounded fairness."""
+    bound = k_fairness_bound(system, lasso)
+    return bound is not None and bound <= k
+
+
+def k_fairness_violations(
+    system: System, lasso: Lasso, k: int
+) -> list[tuple[int, int, int]]:
+    """All ``(p, q, count)`` windows exceeding the bound (diagnostics)."""
+    actors = _cycle_actor_sets(lasso)
+    processes = set(range(system.num_processes))
+    acting = cycle_acting_processes(lasso)
+    violations: list[tuple[int, int, int]] = []
+    for starved in sorted(processes - acting):
+        violations.append((starved, -1, -1))
+    doubled = actors + actors
+    for p in sorted(acting):
+        positions = [i for i, step in enumerate(actors) if p in step]
+        for q in sorted(processes):
+            if q == p:
+                continue
+            worst = 0
+            for index, start in enumerate(positions):
+                if index + 1 < len(positions):
+                    end = positions[index + 1]
+                else:
+                    end = positions[0] + len(actors)
+                between = sum(
+                    1 for i in range(start + 1, end) if q in doubled[i]
+                )
+                worst = max(worst, between)
+            if worst > k:
+                violations.append((p, q, worst))
+    return violations

@@ -1,0 +1,142 @@
+"""Fairness predicates on ultimately periodic executions (lassos).
+
+The paper compares four scheduler fairness notions:
+
+* **weakly fair** — every continuously enabled process is eventually
+  activated;
+* **strongly fair** — every process enabled infinitely often is activated
+  infinitely often;
+* **Gouda's strong fairness** (Theorem 5) — every transition from a
+  configuration occurring infinitely often occurs infinitely often;
+* the **proper** scheduler (no constraint unless a single process is
+  enabled) — weakest, never constrains a lasso with ≥ 1 mover per step.
+
+On a lasso ``prefix · cycle^ω`` these become decidable: the set of
+configurations occurring infinitely often is exactly the cycle ring, and
+the set of transitions taken infinitely often is exactly the cycle's steps.
+Theorem 6 (Gouda fairness is *strictly* stronger than strong fairness) is
+reproduced by exhibiting a lasso that satisfies
+:func:`is_strongly_fair_lasso` but not :func:`is_gouda_fair_lasso`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.trace import Lasso
+from repro.schedulers.relations import SchedulerRelation
+
+__all__ = [
+    "cycle_enabled_processes",
+    "cycle_acting_processes",
+    "is_weakly_fair_lasso",
+    "is_strongly_fair_lasso",
+    "is_gouda_fair_lasso",
+    "FairnessReport",
+    "fairness_report",
+]
+
+
+def cycle_enabled_processes(
+    system: System, lasso: Lasso
+) -> dict[int, set[int]]:
+    """For each ring position, the set of processes enabled there."""
+    return {
+        position: set(system.enabled_processes(configuration))
+        for position, configuration in enumerate(lasso.cycle_ring())
+    }
+
+
+def cycle_acting_processes(lasso: Lasso) -> set[int]:
+    """Processes that execute an action somewhere in the cycle."""
+    acting: set[int] = set()
+    for step in lasso.cycle_steps:
+        acting.update(step.acting_processes)
+    return acting
+
+
+def is_weakly_fair_lasso(system: System, lasso: Lasso) -> bool:
+    """Weak fairness: nobody is enabled at *every* ring position yet
+    frozen out of every cycle step."""
+    enabled_by_position = cycle_enabled_processes(system, lasso)
+    if not enabled_by_position:
+        return True
+    always_enabled = set.intersection(*enabled_by_position.values())
+    return always_enabled <= cycle_acting_processes(lasso)
+
+
+def is_strongly_fair_lasso(system: System, lasso: Lasso) -> bool:
+    """Strong fairness: anyone enabled at *some* ring position (hence
+    enabled infinitely often) acts in some cycle step."""
+    enabled_by_position = cycle_enabled_processes(system, lasso)
+    if not enabled_by_position:
+        return True
+    ever_enabled = set.union(*enabled_by_position.values())
+    return ever_enabled <= cycle_acting_processes(lasso)
+
+
+def is_gouda_fair_lasso(
+    system: System, lasso: Lasso, relation: SchedulerRelation
+) -> bool:
+    """Gouda fairness: every allowed transition out of a ring configuration
+    appears among the cycle's transitions.
+
+    ``relation`` fixes which steps the scheduler may take (the transition
+    system the fairness quantifies over).
+    """
+    taken: set[tuple[Configuration, Configuration]] = set()
+    ring = lasso.cycle_ring()
+    for position, source in enumerate(ring):
+        target = lasso.cycle_configurations[position]
+        taken.add((source, target))
+    for source in ring:
+        enabled = system.enabled_processes(source)
+        if not enabled:
+            continue
+        for subset in relation.subsets(enabled):
+            for branch in system.subset_branches(source, subset):
+                if (source, branch.target) not in taken:
+                    return False
+    return True
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """All fairness verdicts for one lasso (used by Theorem 6's experiment)."""
+
+    weakly_fair: bool
+    strongly_fair: bool
+    gouda_fair: bool
+    ever_enabled: frozenset[int]
+    acting: frozenset[int]
+    starved: frozenset[int]
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        return (
+            f"weak={self.weakly_fair} strong={self.strongly_fair}"
+            f" gouda={self.gouda_fair} starved={sorted(self.starved)}"
+        )
+
+
+def fairness_report(
+    system: System, lasso: Lasso, relation: SchedulerRelation
+) -> FairnessReport:
+    """Evaluate all three fairness notions on one lasso."""
+    enabled_by_position = cycle_enabled_processes(system, lasso)
+    ever_enabled = (
+        set.union(*enabled_by_position.values())
+        if enabled_by_position
+        else set()
+    )
+    acting = cycle_acting_processes(lasso)
+    return FairnessReport(
+        weakly_fair=is_weakly_fair_lasso(system, lasso),
+        strongly_fair=is_strongly_fair_lasso(system, lasso),
+        gouda_fair=is_gouda_fair_lasso(system, lasso, relation),
+        ever_enabled=frozenset(ever_enabled),
+        acting=frozenset(acting),
+        starved=frozenset(ever_enabled - acting),
+    )

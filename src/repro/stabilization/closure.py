@@ -1,0 +1,38 @@
+"""Strong closure checking (Definitions 1-3, condition (i)).
+
+``L`` is *strongly closed* when every step out of a legitimate
+configuration lands in a legitimate configuration — so an execution that
+reaches ``L`` stays in ``L`` forever, whatever the scheduler does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stabilization.statespace import StateSpace
+
+__all__ = ["ClosureViolation", "check_strong_closure"]
+
+
+@dataclass(frozen=True)
+class ClosureViolation:
+    """A legitimate configuration with an escaping edge."""
+
+    source_id: int
+    target_id: int
+    activation_mask: int
+
+
+def check_strong_closure(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> list[ClosureViolation]:
+    """All edges leaving ``L``; empty list means strong closure holds."""
+    violations: list[ClosureViolation] = []
+    for source, outgoing in enumerate(space.edges):
+        if not legitimate[source]:
+            continue
+        for mask, target in outgoing:
+            if not legitimate[target]:
+                violations.append(ClosureViolation(source, target, mask))
+    return violations

@@ -1,0 +1,196 @@
+"""Convergence analysis: possible, certain, and distance-to-L.
+
+* **Possible convergence** (Definition 3, weak stabilization): from every
+  configuration *some* execution reaches ``L`` — backward reachability
+  from ``L`` must cover the whole space.
+* **Certain convergence** (Definition 1, self-stabilization): *every*
+  execution reaches ``L`` — equivalently, the subgraph induced by the
+  transient configurations ``C \\ L`` contains no terminal configuration
+  and no cycle (any transient cycle yields an infinite execution avoiding
+  ``L``, and with ``I = C`` that execution is admissible).
+* **SCC machinery** (Tarjan, iterative) shared with the witness search.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stabilization.statespace import StateSpace
+
+__all__ = [
+    "backward_reachable",
+    "possible_convergence",
+    "certain_convergence",
+    "CertainConvergenceReport",
+    "shortest_distances_to_legitimate",
+    "strongly_connected_components",
+    "transient_cycles_exist",
+]
+
+
+def backward_reachable(
+    space: StateSpace, targets: Sequence[bool]
+) -> list[bool]:
+    """Configurations from which some path reaches a target configuration."""
+    reverse = space.reverse_adjacency()
+    reached = list(targets)
+    queue: deque[int] = deque(
+        config_id for config_id, hit in enumerate(targets) if hit
+    )
+    while queue:
+        current = queue.popleft()
+        for predecessor in reverse[current]:
+            if not reached[predecessor]:
+                reached[predecessor] = True
+                queue.append(predecessor)
+    return reached
+
+
+def possible_convergence(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> tuple[bool, list[int]]:
+    """Whether every configuration can reach ``L``; also the stranded ids."""
+    if not any(legitimate):
+        return False, list(range(space.num_configurations))
+    reached = backward_reachable(space, legitimate)
+    stranded = [i for i, ok in enumerate(reached) if not ok]
+    return not stranded, stranded
+
+
+def strongly_connected_components(
+    adjacency: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """Tarjan's SCC algorithm, iterative (safe for large spaces).
+
+    Returns components in reverse topological order (Tarjan's natural
+    output order): every edge leaving a component points to a component
+    that appears *earlier* in the returned list.
+    """
+    n = len(adjacency)
+    index_counter = 0
+    indices = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[list[int]] = []
+
+    for root in range(n):
+        if indices[root] != -1:
+            continue
+        # Each frame: (node, iterator position over successors)
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, position = work.pop()
+            if position == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            successors = adjacency[node]
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if indices[successor] == -1:
+                    work.append((node, position))
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if on_stack[successor]:
+                    lowlink[node] = min(lowlink[node], indices[successor])
+            if recurse:
+                continue
+            if lowlink[node] == indices[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def transient_cycles_exist(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> bool:
+    """Whether the ``C \\ L``-induced subgraph contains any cycle."""
+    adjacency: list[list[int]] = [[] for _ in range(space.num_configurations)]
+    for source, outgoing in enumerate(space.edges):
+        if legitimate[source]:
+            continue
+        for _, target in outgoing:
+            if not legitimate[target]:
+                adjacency[source].append(target)
+    for component in strongly_connected_components(adjacency):
+        if len(component) > 1:
+            if not legitimate[component[0]]:
+                return True
+        else:
+            node = component[0]
+            if not legitimate[node] and node in adjacency[node]:
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class CertainConvergenceReport:
+    """Why certain convergence holds or fails."""
+
+    holds: bool
+    terminal_outside: tuple[int, ...]
+    has_transient_cycle: bool
+
+
+def certain_convergence(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> CertainConvergenceReport:
+    """Check that every maximal execution reaches ``L``.
+
+    Fails iff (a) some terminal configuration lies outside ``L`` (a maximal
+    finite execution that never converges) or (b) the transient subgraph
+    has a cycle (an infinite execution avoiding ``L``).
+    """
+    terminal_outside = tuple(
+        config_id
+        for config_id in space.terminal_ids()
+        if not legitimate[config_id]
+    )
+    has_cycle = transient_cycles_exist(space, legitimate)
+    return CertainConvergenceReport(
+        holds=not terminal_outside and not has_cycle,
+        terminal_outside=terminal_outside,
+        has_transient_cycle=has_cycle,
+    )
+
+
+def shortest_distances_to_legitimate(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> list[int]:
+    """Per-configuration length of the *shortest* path into ``L``.
+
+    Distance 0 for legitimate configurations, ``-1`` for stranded ones.
+    This is the optimistic ("friendly scheduler") convergence time that
+    weak stabilization promises.
+    """
+    reverse = space.reverse_adjacency()
+    distance = [-1] * space.num_configurations
+    queue: deque[int] = deque()
+    for config_id, ok in enumerate(legitimate):
+        if ok:
+            distance[config_id] = 0
+            queue.append(config_id)
+    while queue:
+        current = queue.popleft()
+        for predecessor in reverse[current]:
+            if distance[predecessor] == -1:
+                distance[predecessor] = distance[current] + 1
+                queue.append(predecessor)
+    return distance

@@ -1,0 +1,66 @@
+"""Convergence profiles: how far is the configuration space from L?
+
+For a weak-stabilizing system the BFS distance from each configuration to
+the legitimate set is the *optimistic* stabilization time — the number of
+steps a friendly scheduler needs.  The profile aggregates this field into
+the numbers a paper table would show (worst case, mean, histogram) and is
+used by the THM2/THM4 experiment rows and the Q-sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stabilization.convergence import shortest_distances_to_legitimate
+from repro.stabilization.statespace import StateSpace
+
+__all__ = ["ConvergenceProfile", "convergence_profile"]
+
+
+@dataclass(frozen=True)
+class ConvergenceProfile:
+    """Distribution of shortest distances from ``C`` to ``L``."""
+
+    num_configurations: int
+    num_legitimate: int
+    num_stranded: int
+    max_distance: int
+    mean_distance: float
+    histogram: tuple[tuple[int, int], ...]
+
+    @property
+    def all_can_converge(self) -> bool:
+        """Possible convergence (no stranded configuration)."""
+        return self.num_stranded == 0
+
+    def row(self) -> dict[str, object]:
+        """Dict form for tables."""
+        return {
+            "|C|": self.num_configurations,
+            "|L|": self.num_legitimate,
+            "stranded": self.num_stranded,
+            "max dist to L": self.max_distance,
+            "mean dist to L": round(self.mean_distance, 3),
+        }
+
+
+def convergence_profile(
+    space: StateSpace, legitimate: Sequence[bool]
+) -> ConvergenceProfile:
+    """Profile the shortest-distance-to-L field of an explored space."""
+    distances = shortest_distances_to_legitimate(space, legitimate)
+    reachable = [d for d in distances if d >= 0]
+    stranded = len(distances) - len(reachable)
+    histogram = tuple(sorted(Counter(reachable).items()))
+    return ConvergenceProfile(
+        num_configurations=space.num_configurations,
+        num_legitimate=sum(1 for ok in legitimate if ok),
+        num_stranded=stranded,
+        max_distance=max(reachable) if reachable else 0,
+        mean_distance=(
+            sum(reachable) / len(reachable) if reachable else 0.0
+        ),
+        histogram=histogram,
+    )

@@ -1,0 +1,81 @@
+"""Problem specifications and legitimate-configuration predicates.
+
+A specification ``SP`` is a predicate over executions (Section 2).  For the
+problems in the paper, ``SP`` is characterized by a set ``L`` of legitimate
+configurations plus behavioral conditions on executions that start in ``L``
+(e.g. "the token visits every process infinitely often").  A
+:class:`Specification` therefore provides:
+
+* :meth:`legitimate` — membership in ``L``;
+* :meth:`validate_behavior` — optional extra checks run on the
+  ``L``-induced portion of an explored state space (defaults to nothing).
+
+Concrete problem specs live next to their algorithms in
+:mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.stabilization.statespace import StateSpace
+
+__all__ = ["Specification", "PredicateSpecification"]
+
+
+class Specification(ABC):
+    """A problem specification with a legitimacy predicate."""
+
+    #: Short name used in reports.
+    name: str = "abstract-spec"
+
+    @abstractmethod
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        """Whether ``configuration`` belongs to ``L``."""
+
+    def validate_behavior(
+        self,
+        system: System,
+        space: "StateSpace",
+        legitimate_ids: Sequence[int],
+    ) -> list[str]:
+        """Extra behavioral checks on the legitimate sub-space.
+
+        Returns a list of human-readable violation messages (empty when the
+        behavior is correct).  The default accepts everything beyond
+        closure, which the checker verifies separately.
+        """
+        return []
+
+    def legitimate_ids(
+        self, system: System, space: "StateSpace"
+    ) -> list[int]:
+        """Ids of the legitimate configurations inside an explored space."""
+        return [
+            index
+            for index, configuration in enumerate(space.configurations)
+            if self.legitimate(system, configuration)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PredicateSpecification(Specification):
+    """Adapter turning a plain predicate into a specification."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[System, Configuration], bool],
+    ) -> None:
+        self.name = name
+        self._predicate = predicate
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        return bool(self._predicate(system, configuration))

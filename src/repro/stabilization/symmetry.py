@@ -1,0 +1,148 @@
+"""Symmetry arguments — the engine behind Theorem 3's impossibility.
+
+The paper's Theorem 3 proof takes the 4-chain, the set ``X`` of mirror-
+symmetric configurations ``⟨a, b, b, a⟩``, and shows ``X`` is closed under
+synchronous steps of any deterministic algorithm while containing no
+configuration with a distinguished leader.
+
+This module makes the argument executable for arbitrary graph
+automorphisms: :func:`transport_configuration` moves a configuration along
+an automorphism (translating pointer-valued variables across local
+indexes), :func:`is_equivariant_synchronous_step` checks that the unique
+synchronous step of a deterministic system commutes with the automorphism,
+and :func:`symmetric_configurations` enumerates the fixed points of the
+automorphism (the set ``X``).
+
+If the synchronous step commutes with a fixed-point-free involution σ then
+``X`` is closed, and since any reasonable "leader" predicate is
+anonymous (σ-equivariant), no configuration of ``X`` elects exactly one
+leader — deterministic self-stabilizing leader election is impossible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.variables import BOTTOM
+from repro.errors import ModelError
+from repro.stabilization.witnesses import synchronous_successor
+
+__all__ = [
+    "transport_configuration",
+    "symmetric_configurations",
+    "is_equivariant_synchronous_step",
+    "check_symmetric_class_closed",
+    "mirror_of_path",
+]
+
+#: Marks variables holding local neighbor indexes (translated under σ)
+#: versus plain values (copied verbatim).
+PointerPredicate = Callable[[str], bool]
+
+
+def _default_is_pointer(name: str) -> bool:
+    return name in ("Par",)
+
+
+def mirror_of_path(num_nodes: int) -> list[int]:
+    """The mirror automorphism of the path ``0 - 1 - ... - n-1``."""
+    return [num_nodes - 1 - i for i in range(num_nodes)]
+
+
+def transport_configuration(
+    system: System,
+    configuration: Configuration,
+    sigma: Sequence[int],
+    is_pointer: PointerPredicate = _default_is_pointer,
+) -> Configuration:
+    """The configuration σ(γ): process σ(p) gets p's translated state.
+
+    Pointer variables (local indexes) are translated: if p points at its
+    k-th neighbor q, then σ(p) points at σ(q) — which sits at some local
+    index of σ(p).  ``⊥`` and non-pointer values transport unchanged.
+    """
+    topology = system.topology
+    if not topology.graph.is_automorphism(list(sigma)):
+        raise ModelError("sigma is not a graph automorphism")
+    names = system.variable_names()
+    new_states: list[tuple] = [()] * system.num_processes
+    for p in system.processes:
+        image = sigma[p]
+        values = []
+        for slot, name in enumerate(names):
+            value = configuration[p][slot]
+            if is_pointer(name) and value is not BOTTOM:
+                neighbor = topology.neighbor(p, value)
+                values.append(topology.local_index(image, sigma[neighbor]))
+            else:
+                values.append(value)
+        new_states[image] = tuple(values)
+    result = tuple(new_states)
+    system.check_configuration(result)
+    return result
+
+
+def symmetric_configurations(
+    system: System,
+    sigma: Sequence[int],
+    is_pointer: PointerPredicate = _default_is_pointer,
+) -> Iterator[Configuration]:
+    """All configurations fixed by σ (the paper's set ``X``)."""
+    for configuration in system.all_configurations():
+        if (
+            transport_configuration(system, configuration, sigma, is_pointer)
+            == configuration
+        ):
+            yield configuration
+
+
+def is_equivariant_synchronous_step(
+    system: System,
+    configuration: Configuration,
+    sigma: Sequence[int],
+    is_pointer: PointerPredicate = _default_is_pointer,
+) -> bool:
+    """Whether ``σ(F(γ)) == F(σ(γ))`` for the synchronous step ``F``.
+
+    Terminal configurations count as equivariant when their image is
+    terminal too.
+    """
+    image = transport_configuration(system, configuration, sigma, is_pointer)
+    step = synchronous_successor(system, configuration)
+    image_step = synchronous_successor(system, image)
+    if step is None or image_step is None:
+        return step is None and image_step is None
+    return (
+        transport_configuration(system, step[0], sigma, is_pointer)
+        == image_step[0]
+    )
+
+
+def check_symmetric_class_closed(
+    system: System,
+    sigma: Sequence[int],
+    is_pointer: PointerPredicate = _default_is_pointer,
+) -> tuple[int, list[Configuration]]:
+    """Verify every σ-fixed configuration's synchronous step stays σ-fixed.
+
+    Returns ``(number of symmetric configurations, violations)`` where a
+    violation is a symmetric configuration whose synchronous successor is
+    not symmetric.  An empty violation list is the closure half of
+    Theorem 3's argument.
+    """
+    violations: list[Configuration] = []
+    count = 0
+    for configuration in symmetric_configurations(system, sigma, is_pointer):
+        count += 1
+        step = synchronous_successor(system, configuration)
+        if step is None:
+            continue
+        successor = step[0]
+        if (
+            transport_configuration(system, successor, sigma, is_pointer)
+            != successor
+        ):
+            violations.append(configuration)
+    return count, violations

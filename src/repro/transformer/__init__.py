@@ -1,0 +1,19 @@
+"""The Section 4 coin-toss transformer and its configuration projections."""
+
+from repro.transformer.coin_toss import (
+    COIN_VARIABLE,
+    CoinTossTransform,
+    TransformedSpec,
+    lift_configuration,
+    make_transformed_system,
+    project_configuration,
+)
+
+__all__ = [
+    "COIN_VARIABLE",
+    "CoinTossTransform",
+    "TransformedSpec",
+    "project_configuration",
+    "lift_configuration",
+    "make_transformed_system",
+]

@@ -1,0 +1,200 @@
+"""The paper's weak-to-probabilistic transformer (Section 4).
+
+Every action ``A :: G_A → S_A`` of a deterministic weak-stabilizing input
+algorithm becomes::
+
+    Trans(A) :: G_A → B ← Rand(true, false); if B then S_A
+
+i.e. an activated process first tosses a fair coin into a fresh boolean
+P-variable ``B`` and only applies the original statement when the toss
+returns true.  The transformed system ``S_Prob``:
+
+* keeps all original variables (D-variables) plus one boolean ``B`` per
+  process, so configurations project onto the original space
+  (:func:`project_configuration`);
+* has legitimate set ``L_Prob = {γ : γ|S_Det ∈ L_Det}``
+  (:class:`TransformedSpec`), which Lemma 1 shows strongly closed;
+* is probabilistically self-stabilizing under the synchronous scheduler
+  (Theorem 8) and the distributed randomized scheduler (Theorem 9) —
+  both verified by the Markov analysis in the experiments.
+
+Simultaneity is preserved: with probability ``2^{-|Enabled|} > 0`` every
+enabled process wins its toss, which Algorithm 3 shows is indispensable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.actions import Action, Outcome
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError
+from repro.stabilization.specification import Specification
+
+__all__ = [
+    "CoinTossTransform",
+    "TransformedSpec",
+    "COIN_VARIABLE",
+    "project_configuration",
+    "lift_configuration",
+    "make_transformed_system",
+]
+
+#: Name of the boolean P-variable the transformer adds to every process.
+COIN_VARIABLE = "B_coin"
+
+
+def _win_statement(base_statement):
+    def statement(view: View) -> None:
+        view.set(COIN_VARIABLE, True)
+        base_statement(view)
+
+    return statement
+
+
+def _lose_statement(view: View) -> None:
+    view.set(COIN_VARIABLE, False)
+
+
+class CoinTossTransform(Algorithm):
+    """``Trans(·)`` applied to every action of a base algorithm.
+
+    The base algorithm may itself be probabilistic: the winning branch
+    composes the coin with the base outcome distribution, the losing
+    branch only records ``B = false``.
+
+    ``win_probability`` generalizes the paper's fair coin (its value ½)
+    to a biased ``Rand``; the ablation experiment ABL1 sweeps it.  Any
+    value in (0, 1) preserves Theorems 8-9 — correctness only needs every
+    toss pattern to have positive probability.
+    """
+
+    def __init__(self, base: Algorithm, win_probability: float = 0.5) -> None:
+        if COIN_VARIABLE in self._base_variable_names(base):
+            raise ModelError(
+                f"base algorithm already declares {COIN_VARIABLE!r}"
+            )
+        if not 0.0 < win_probability < 1.0:
+            raise ModelError(
+                f"coin bias must be in (0, 1), got {win_probability!r}"
+            )
+        self._base = base
+        self._win = win_probability
+        if win_probability == 0.5:
+            self.name = f"trans({base.name})"
+        else:
+            self.name = f"trans({base.name}, p={win_probability})"
+
+    @staticmethod
+    def _base_variable_names(base: Algorithm) -> tuple[str, ...]:
+        # Variable names are topology-independent; probe lazily during
+        # layout construction instead of here when unavailable.
+        return ()
+
+    @property
+    def base(self) -> Algorithm:
+        """The wrapped (typically deterministic weak-stabilizing) algorithm."""
+        return self._base
+
+    @property
+    def win_probability(self) -> float:
+        """Probability that a toss lets the base statement run."""
+        return self._win
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return True
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        base_layout = self._base.layout(topology, process)
+        if COIN_VARIABLE in base_layout.names:
+            raise ModelError(
+                f"base algorithm already declares {COIN_VARIABLE!r}"
+            )
+        return VariableLayout(
+            base_layout.specs + (VarSpec(COIN_VARIABLE, (False, True)),)
+        )
+
+    def constants(self, topology: Topology, process: int) -> Mapping:
+        return self._base.constants(topology, process)
+
+    def actions(self) -> tuple[Action, ...]:
+        transformed = []
+        for action in self._base.actions():
+            transformed.append(self._transform_action(action, self._win))
+        return tuple(transformed)
+
+    @staticmethod
+    def _transform_action(action: Action, win: float) -> Action:
+        def outcomes(view: View):
+            branches = [
+                Outcome(win * outcome.probability,
+                        _win_statement(outcome.statement))
+                for outcome in action.outcomes(view)
+            ]
+            branches.append(Outcome(1.0 - win, _lose_statement))
+            return branches
+
+        return Action(
+            name=f"Trans({action.name})",
+            guard=action.guard,
+            outcomes=outcomes,
+        )
+
+
+# ----------------------------------------------------------------------
+# configuration projection (the paper's γ|S_Det)
+# ----------------------------------------------------------------------
+def project_configuration(
+    transformed_system: System, configuration: Configuration
+) -> Configuration:
+    """Drop the coin variable: ``γ ↦ γ|S_Det``."""
+    slot = transformed_system.layouts[0].slot(COIN_VARIABLE)
+    return tuple(
+        state[:slot] + state[slot + 1:] for state in configuration
+    )
+
+
+def lift_configuration(
+    transformed_system: System,
+    base_configuration: Configuration,
+    coin_value: bool = False,
+) -> Configuration:
+    """One lift of a base configuration (all coins set to ``coin_value``)."""
+    slot = transformed_system.layouts[0].slot(COIN_VARIABLE)
+    lifted = []
+    for state in base_configuration:
+        values = list(state)
+        values.insert(slot, coin_value)
+        lifted.append(tuple(values))
+    configuration = tuple(lifted)
+    transformed_system.check_configuration(configuration)
+    return configuration
+
+
+class TransformedSpec(Specification):
+    """``L_Prob = {γ ∈ C_Prob : γ|S_Det ∈ L_Det}`` (Definition 7)."""
+
+    def __init__(self, base_spec: Specification, base_system: System) -> None:
+        self.name = f"trans({base_spec.name})"
+        self._base_spec = base_spec
+        self._base_system = base_system
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        projected = project_configuration(system, configuration)
+        return self._base_spec.legitimate(self._base_system, projected)
+
+
+def make_transformed_system(
+    base_system: System, win_probability: float = 0.5
+) -> System:
+    """Transformed system on the same topology as ``base_system``."""
+    return System(
+        CoinTossTransform(base_system.algorithm, win_probability),
+        base_system.topology,
+    )

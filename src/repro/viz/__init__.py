@@ -1,0 +1,14 @@
+"""Text renderings of configurations and executions (the paper's figures)."""
+
+from repro.viz.ring_art import render_ring_configuration, render_ring_execution
+from repro.viz.trace_render import render_lasso, render_trace
+from repro.viz.tree_art import render_enabled_actions, render_parent_pointers
+
+__all__ = [
+    "render_ring_configuration",
+    "render_ring_execution",
+    "render_parent_pointers",
+    "render_enabled_actions",
+    "render_trace",
+    "render_lasso",
+]

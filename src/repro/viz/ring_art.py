@@ -1,0 +1,66 @@
+"""ASCII rendering of ring configurations (reproduces Figure 1 as text).
+
+The paper's Figure 1 draws the ring with each process's ``dt`` value and
+an asterisk on the token holder.  We render one configuration per column
+so an execution reads left-to-right like the paper's (i), (ii), (iii).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+
+__all__ = ["render_ring_configuration", "render_ring_execution"]
+
+
+def render_ring_configuration(
+    system: System,
+    configuration: Configuration,
+    marked: Sequence[int],
+    variable: str = "dt",
+) -> str:
+    """One ring configuration as ``p0:v0  p1:v1* ...`` (``*`` = marked)."""
+    slot = system.layouts[0].slot(variable)
+    cells = []
+    marked_set = set(marked)
+    for p in system.processes:
+        star = "*" if p in marked_set else " "
+        cells.append(f"p{p}:{configuration[p][slot]}{star}")
+    return " ".join(cells)
+
+
+def render_ring_execution(
+    system: System,
+    configurations: Sequence[Configuration],
+    mark: Callable[[System, Configuration], Sequence[int]],
+    variable: str = "dt",
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Several configurations, one per line, Roman-numbered like Figure 1."""
+    lines = []
+    for index, configuration in enumerate(configurations):
+        label = (
+            labels[index]
+            if labels is not None
+            else f"({_roman(index + 1)})"
+        )
+        rendered = render_ring_configuration(
+            system, configuration, mark(system, configuration), variable
+        )
+        lines.append(f"{label:>7}  {rendered}")
+    return "\n".join(lines)
+
+
+def _roman(value: int) -> str:
+    numerals = (
+        (10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i"),
+    )
+    parts = []
+    remaining = value
+    for magnitude, symbol in numerals:
+        while remaining >= magnitude:
+            parts.append(symbol)
+            remaining -= magnitude
+    return "".join(parts)

@@ -1,0 +1,49 @@
+"""Tabular rendering of execution traces."""
+
+from __future__ import annotations
+
+from repro.core.system import System
+from repro.core.trace import Lasso, Trace
+
+__all__ = ["render_trace", "render_lasso"]
+
+
+def render_trace(system: System, trace: Trace, max_rows: int = 50) -> str:
+    """Step-by-step table: configuration, then who moved with which action."""
+    names = system.variable_names()
+    lines = [f"step | movers | {' '.join(names)} per process"]
+    for index, configuration in enumerate(trace.configurations):
+        if index >= max_rows:
+            lines.append(f"... ({len(trace.configurations) - max_rows} more)")
+            break
+        if index == 0:
+            movers = "(init)"
+        else:
+            step = trace.steps[index - 1]
+            movers = ",".join(
+                f"p{move.process}:{move.action_name}"
+                for move in step.moves
+            )
+        state = " | ".join(
+            ",".join(str(v) for v in local) for local in configuration
+        )
+        lines.append(f"{index:4d} | {movers} | {state}")
+    return "\n".join(lines)
+
+
+def render_lasso(system: System, lasso: Lasso, max_rows: int = 50) -> str:
+    """Prefix then cycle, with the cycle marked."""
+    prefix = Trace(
+        configurations=list(lasso.prefix_configurations),
+        steps=list(lasso.prefix_steps),
+    )
+    cycle = Trace(
+        configurations=[lasso.entry, *lasso.cycle_configurations],
+        steps=list(lasso.cycle_steps),
+    )
+    return (
+        "prefix:\n"
+        + render_trace(system, prefix, max_rows)
+        + f"\ncycle (period {lasso.cycle_length}, repeats forever):\n"
+        + render_trace(system, cycle, max_rows)
+    )

@@ -1,0 +1,43 @@
+"""ASCII rendering of parent-pointer configurations on trees (Figures 2-3).
+
+The paper draws ``Par`` pointers as arrows.  We render a configuration as
+one ``p -> q`` line per process (``p -> LEADER`` for ``Par = ⊥``), plus
+the enabled-action labels that annotate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.variables import BOTTOM
+
+__all__ = ["render_parent_pointers", "render_enabled_actions"]
+
+
+def render_parent_pointers(
+    system: System,
+    configuration: Configuration,
+    pointer: str = "Par",
+) -> str:
+    """One line per process: ``p3 -> p1`` or ``p5 -> LEADER``."""
+    slot = system.layouts[0].slot(pointer)
+    topology = system.topology
+    lines = []
+    for p in system.processes:
+        value = configuration[p][slot]
+        if value is BOTTOM:
+            lines.append(f"p{p} -> LEADER")
+        else:
+            lines.append(f"p{p} -> p{topology.neighbor(p, value)}")
+    return "\n".join(lines)
+
+
+def render_enabled_actions(
+    system: System, configuration: Configuration
+) -> str:
+    """The paper's figure annotations: ``p0:[A1] p1:[] p2:[A2] ...``."""
+    cells = []
+    for p in system.processes:
+        names = [a.name for a in system.enabled_actions(configuration, p)]
+        cells.append(f"p{p}:[{','.join(names)}]")
+    return " ".join(cells)

@@ -1,0 +1,190 @@
+"""Tests for the Dijkstra, Herman and Israeli-Jalfon baselines."""
+
+import math
+
+import pytest
+
+from repro.algorithms.dijkstra_ring import (
+    DijkstraKStateAlgorithm,
+    SinglePrivilegeSpec,
+    make_dijkstra_system,
+    privileged_processes,
+)
+from repro.algorithms.herman_ring import (
+    HermanAlgorithm,
+    HermanSingleTokenSpec,
+    herman_token_holders,
+    make_herman_system,
+)
+from repro.algorithms.israeli_jalfon import (
+    ij_expected_merge_time,
+    ij_simulate_merge_time,
+    ij_successors,
+)
+from repro.errors import ModelError
+from repro.markov.builder import build_chain
+from repro.markov.hitting import hitting_summary
+from repro.random_source import RandomSource
+from repro.schedulers.distributions import SynchronousDistribution
+from repro.schedulers.relations import CentralRelation
+from repro.stabilization.classify import classify
+
+
+class TestDijkstra:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DijkstraKStateAlgorithm(2)
+        with pytest.raises(ModelError):
+            DijkstraKStateAlgorithm(3, k=1)
+
+    def test_default_k_is_n(self):
+        assert DijkstraKStateAlgorithm(5).k == 5
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_self_stabilizing_under_central(self, n):
+        verdict = classify(
+            make_dijkstra_system(n),
+            SinglePrivilegeSpec(),
+            CentralRelation(),
+        )
+        assert verdict.is_self_stabilizing
+        assert verdict.behavior_violations == ()
+
+    def test_k_too_small_breaks_self_stabilization(self):
+        """K = 2 on a 4-ring is known to admit livelocks."""
+        verdict = classify(
+            make_dijkstra_system(4, k=2),
+            SinglePrivilegeSpec(),
+            CentralRelation(),
+        )
+        assert not verdict.is_self_stabilizing
+
+    def test_legitimate_single_privilege(self):
+        system = make_dijkstra_system(4)
+        # all-equal counters: only the bottom is privileged
+        configuration = ((0,), (0,), (0,), (0,))
+        assert privileged_processes(system, configuration) == (0,)
+
+    def test_privilege_circulates(self):
+        system = make_dijkstra_system(4)
+        configuration = ((0,), (0,), (0,), (0,))
+        seen = set()
+        for _ in range(4 * 4):
+            (holder,) = privileged_processes(system, configuration)
+            seen.add(holder)
+            (branch,) = system.subset_branches(configuration, (holder,))
+            configuration = branch.target
+        assert seen == {0, 1, 2, 3}
+
+
+class TestHerman:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            HermanAlgorithm(4)  # even
+        with pytest.raises(ModelError):
+            HermanAlgorithm(1)
+
+    def test_probabilistic_flag(self):
+        assert HermanAlgorithm(5).is_probabilistic
+
+    def test_token_parity_odd(self):
+        system = make_herman_system(5)
+        for configuration in system.all_configurations():
+            assert len(herman_token_holders(system, configuration)) % 2 == 1
+
+    def test_all_processes_always_enabled(self):
+        system = make_herman_system(5)
+        for configuration in list(system.all_configurations())[:8]:
+            assert system.enabled_processes(configuration) == tuple(range(5))
+
+    def test_converges_with_probability_one(self):
+        system = make_herman_system(5)
+        chain = build_chain(system, SynchronousDistribution())
+        summary = hitting_summary(
+            chain, chain.mark(HermanSingleTokenSpec().legitimate)
+        )
+        assert summary.converges_with_probability_one
+
+    def test_expected_time_grows_quadratically_ish(self):
+        means = {}
+        for n in (3, 5, 7):
+            system = make_herman_system(n)
+            chain = build_chain(system, SynchronousDistribution())
+            summary = hitting_summary(
+                chain, chain.mark(HermanSingleTokenSpec().legitimate)
+            )
+            means[n] = summary.mean_expected_steps
+        assert means[3] < means[5] < means[7]
+        # superlinear growth
+        assert means[7] / means[5] > 7 / 5
+
+    def test_single_token_closed_in_support(self):
+        """Herman's legitimate set is closed: from one token the support
+        of the synchronous step stays at one token."""
+        system = make_herman_system(5)
+        spec = HermanSingleTokenSpec()
+        chain = build_chain(system, SynchronousDistribution())
+        for state_id, state in enumerate(chain.states):
+            if not spec.legitimate(system, state):
+                continue
+            for successor in chain.rows[state_id]:
+                assert spec.legitimate(system, chain.states[successor])
+
+
+class TestIsraeliJalfon:
+    def test_successors_two_tokens(self):
+        successors = ij_successors(frozenset({0, 3}), 6)
+        total = sum(p for p, _ in successors)
+        assert math.isclose(total, 1.0)
+        for probability, state in successors:
+            assert 1 <= len(state) <= 2
+
+    def test_successors_merge(self):
+        # tokens adjacent: moving one onto the other merges
+        successors = ij_successors(frozenset({0, 1}), 5)
+        merged = [s for _, s in successors if len(s) == 1]
+        assert merged
+
+    def test_successors_validation(self):
+        with pytest.raises(ModelError):
+            ij_successors(frozenset(), 5)
+        with pytest.raises(ModelError):
+            ij_successors(frozenset({0}), 2)
+
+    def test_expected_merge_time_single_token_zero(self):
+        assert ij_expected_merge_time(6, frozenset({2})) == 0.0
+
+    def test_expected_merge_time_positive(self):
+        time_6 = ij_expected_merge_time(6, frozenset({0, 3}))
+        assert time_6 > 0
+
+    def test_expected_merge_time_grows_with_gap(self):
+        close = ij_expected_merge_time(10, frozenset({0, 1}))
+        far = ij_expected_merge_time(10, frozenset({0, 5}))
+        assert far > close
+
+    def test_two_opposite_tokens_matches_gamblers_ruin(self):
+        """The inter-token distance is a lazy ±1 random walk absorbed at
+        0 or N: from distance d the classical expected absorption time of
+        the (non-lazy) walk is d (N - d); each IJ step moves the gap with
+        probability 1 (one of the two tokens always moves), so the times
+        match exactly."""
+        n = 8
+        measured = ij_expected_merge_time(n, frozenset({0, 4}))
+        assert math.isclose(measured, 4 * (8 - 4))
+
+    def test_simulation_agrees_with_exact(self):
+        n = 6
+        exact = ij_expected_merge_time(n, frozenset({0, 3}))
+        result = ij_simulate_merge_time(
+            n, num_tokens=2, trials=1500, rng=RandomSource(4)
+        )
+        # random starting positions average over distances; compare
+        # loosely against the diametric case
+        assert 0.3 * exact < result.stats.mean < 1.5 * exact
+
+    def test_simulation_validation(self):
+        with pytest.raises(ModelError):
+            ij_simulate_merge_time(6, 0, 1, RandomSource(0))
+        with pytest.raises(ModelError):
+            ij_simulate_merge_time(6, 7, 1, RandomSource(0))

@@ -1,0 +1,184 @@
+"""Tests for Algorithm 2 (leader election) — Lemmas 7, 10, Theorem 4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.leader_tree import (
+    LeaderTreeAlgorithm,
+    TreeLeaderSpec,
+    figure2_initial_configuration,
+    figure2_system,
+    leaders,
+    make_leader_tree_system,
+    root_of,
+    satisfies_lc,
+)
+from repro.core.variables import BOTTOM
+from repro.errors import TopologyError
+from repro.graphs.generators import path, random_tree, ring, star
+from repro.graphs.prufer import all_labeled_trees
+from repro.random_source import RandomSource
+from repro.schedulers.relations import CentralRelation, DistributedRelation
+from repro.stabilization.classify import classify
+from repro.stabilization.witnesses import synchronous_lasso
+
+
+class TestConstruction:
+    def test_rejects_non_tree(self):
+        with pytest.raises(TopologyError):
+            make_leader_tree_system(ring(4))
+
+    def test_par_domain_sizes(self):
+        system = make_leader_tree_system(star(3))
+        assert system.layouts[0].spec("Par").size == 4  # hub: 3 + bottom
+        assert system.layouts[1].spec("Par").size == 2  # leaf: 1 + bottom
+
+
+class TestPredicates:
+    def test_leaders(self, chain4_system):
+        configuration = ((BOTTOM,), (0,), (1,), (0,))
+        assert leaders(chain4_system, configuration) == [0]
+
+    def test_root_of_follows_pointers(self, chain4_system):
+        # all point left: 3 -> 2 -> 1 -> 0 (leader)
+        configuration = ((BOTTOM,), (0,), (0,), (0,))
+        for q in range(4):
+            assert root_of(chain4_system, configuration, q) == 0
+
+    def test_root_of_mutual_pair(self, chain4_system):
+        # 0 <-> 1 mutual pair; 2, 3 hang below 1... Par_2 = toward 1,
+        # Par_3 = toward 2.
+        configuration = ((0,), (0,), (0,), (0,))
+        assert root_of(chain4_system, configuration, 0) == 0
+        assert root_of(chain4_system, configuration, 1) == 1
+        assert root_of(chain4_system, configuration, 3) in (0, 1)
+
+    def test_lc_requires_unique_leader(self, chain4_system):
+        no_leader = ((0,), (0,), (0,), (0,))
+        two_leaders = ((BOTTOM,), (0,), (BOTTOM,), (0,))
+        assert not satisfies_lc(chain4_system, no_leader)
+        assert not satisfies_lc(chain4_system, two_leaders)
+
+    def test_lc_positive_case(self, chain4_system):
+        configuration = ((BOTTOM,), (0,), (0,), (0,))
+        assert satisfies_lc(chain4_system, configuration)
+
+    def test_lc_leader_not_rooted(self, chain4_system):
+        # 0 is leader but 2,3 point away from it (toward 3): their root
+        # is not 0 -> LC fails.
+        configuration = ((BOTTOM,), (0,), (1,), (0,))
+        assert satisfies_lc(chain4_system, configuration) == (
+            root_of(chain4_system, configuration, 2) == 0
+            and root_of(chain4_system, configuration, 3) == 0
+        )
+
+
+class TestLemma10:
+    """LC(γ) iff γ terminal — exhaustively on several trees."""
+
+    @pytest.mark.parametrize(
+        "graph", [path(2), path(3), path(4), star(3), star(4)],
+        ids=["P2", "P3", "P4", "K13", "K14"],
+    )
+    def test_lc_iff_terminal(self, graph):
+        system = make_leader_tree_system(graph)
+        for configuration in system.all_configurations():
+            assert satisfies_lc(system, configuration) == system.is_terminal(
+                configuration
+            )
+
+    def test_number_of_terminal_configs_equals_n(self):
+        """Each process can be the unique leader in exactly one terminal
+        configuration (pointers toward it are forced on a tree)."""
+        for graph in (path(3), path(4), star(4)):
+            system = make_leader_tree_system(graph)
+            terminal = [
+                c
+                for c in system.all_configurations()
+                if system.is_terminal(c)
+            ]
+            assert len(terminal) == graph.num_nodes
+
+
+class TestLemma7:
+    @pytest.mark.parametrize(
+        "graph", [path(3), path(4), star(3)], ids=["P3", "P4", "K13"]
+    )
+    def test_no_leader_implies_a1_enabled(self, graph):
+        system = make_leader_tree_system(graph)
+        for configuration in system.all_configurations():
+            if leaders(system, configuration):
+                continue
+            a1_enabled = any(
+                action.name == "A1"
+                for p in system.processes
+                for action in system.enabled_actions(configuration, p)
+            )
+            assert a1_enabled
+
+
+class TestTheorem4:
+    def test_all_labeled_trees_n4_weak(self):
+        for tree in all_labeled_trees(4):
+            verdict = classify(
+                make_leader_tree_system(tree),
+                TreeLeaderSpec(),
+                DistributedRelation(),
+            )
+            assert verdict.is_weak_stabilizing
+            assert not verdict.is_self_stabilizing
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(0, 10**6))
+    def test_random_trees_weak_under_central(self, n, seed):
+        tree = random_tree(n, RandomSource(seed))
+        verdict = classify(
+            make_leader_tree_system(tree),
+            TreeLeaderSpec(),
+            CentralRelation(),
+        )
+        assert verdict.strong_closure
+        assert verdict.possible_convergence
+
+
+class TestFigure2:
+    def test_initial_pattern(self):
+        system = figure2_system()
+        configuration = figure2_initial_configuration(system)
+        expected = {
+            0: ["A1"], 1: ["A1"], 2: ["A2"], 3: [],
+            4: ["A2"], 5: ["A2"], 6: ["A1"], 7: ["A1"],
+        }
+        for process, names in expected.items():
+            enabled = [
+                a.name
+                for a in system.enabled_actions(configuration, process)
+            ]
+            assert enabled == names
+
+    def test_initially_no_leader(self):
+        system = figure2_system()
+        configuration = figure2_initial_configuration(system)
+        assert leaders(system, configuration) == []
+
+
+class TestFigure3Oscillation:
+    def test_synchronous_cycle_exists(self, chain4_system):
+        oscillations = 0
+        for configuration in chain4_system.all_configurations():
+            _, lasso = synchronous_lasso(chain4_system, configuration)
+            if lasso is not None:
+                oscillations += 1
+                assert all(
+                    not satisfies_lc(chain4_system, c)
+                    for c in lasso.cycle_configurations
+                )
+        assert oscillations > 0
+
+    def test_all_point_left_oscillates(self, chain4_system):
+        _, lasso = synchronous_lasso(
+            chain4_system, ((0,), (0,), (0,), (0,))
+        )
+        assert lasso is not None
+        assert lasso.cycle_length == 2

@@ -1,0 +1,162 @@
+"""Tests for the Hsu–Huang maximal matching portfolio member."""
+
+import pytest
+
+from repro.algorithms.matching import (
+    MaximalMatchingSpec,
+    is_maximal_matching,
+    make_matching_system,
+    married_pairs,
+)
+from repro.core.variables import BOTTOM
+from repro.graphs.generators import complete, path, ring, star
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization.classify import classify
+from repro.stabilization.witnesses import synchronous_lasso
+from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
+
+
+class TestPredicates:
+    def test_married_pairs_mutual_only(self):
+        system = make_matching_system(path(3))
+        # 0 -> 1, 1 -> 0, 2 -> 1: pair (0,1) married, 2 dangling
+        configuration = ((0,), (0,), (0,))
+        assert married_pairs(system, configuration) == [(0, 1)]
+
+    def test_married_pairs_empty(self):
+        system = make_matching_system(path(3))
+        configuration = ((BOTTOM,), (BOTTOM,), (BOTTOM,))
+        assert married_pairs(system, configuration) == []
+
+    def test_maximal_on_p2(self):
+        system = make_matching_system(path(2))
+        assert is_maximal_matching(system, ((0,), (0,)))
+        assert not is_maximal_matching(system, ((BOTTOM,), (BOTTOM,)))
+
+    def test_dangling_pointer_not_legitimate(self):
+        system = make_matching_system(path(3))
+        # 2 points at 1 but 1 is married to 0: dangling
+        configuration = ((0,), (0,), (0,))
+        assert not is_maximal_matching(system, configuration)
+
+    def test_maximal_p3(self):
+        system = make_matching_system(path(3))
+        # (0,1) married, 2 unmatched but its only neighbor is matched
+        configuration = ((0,), (0,), (BOTTOM,))
+        assert is_maximal_matching(system, configuration)
+
+    def test_non_maximal_star(self):
+        system = make_matching_system(star(3))
+        # nobody matched: hub has unmatched neighbors -> not maximal
+        configuration = ((BOTTOM,),) * 4
+        assert not is_maximal_matching(system, configuration)
+
+
+class TestRules:
+    def test_accept_prefers_min_index(self):
+        system = make_matching_system(star(2))
+        # both leaves propose to the hub; hub accepts local index 0
+        configuration = ((BOTTOM,), (0,), (0,))
+        (action,) = system.enabled_actions(configuration, 0)
+        assert action.name == "ACCEPT"
+        (branch,) = system.subset_branches(configuration, (0,))
+        assert branch.target[0] == (0,)
+
+    def test_propose_only_toward_free_neighbor(self):
+        system = make_matching_system(path(3))
+        # 0 free; 1 married to 2
+        configuration = ((BOTTOM,), (1,), (0,))
+        assert not any(
+            a.name == "PROPOSE"
+            for a in system.enabled_actions(configuration, 0)
+        )
+
+    def test_abandon_when_partner_married_elsewhere(self):
+        system = make_matching_system(path(3))
+        configuration = ((0,), (1,), (0,))  # 0 -> 1, but 1 -> 2 and 2 -> 1
+        names = [
+            a.name for a in system.enabled_actions(configuration, 0)
+        ]
+        assert names == ["ABANDON"]
+        (branch,) = system.subset_branches(configuration, (0,))
+        assert branch.target[0] == (BOTTOM,)
+
+    def test_waits_on_pending_proposal(self):
+        system = make_matching_system(path(2))
+        # 0 -> 1, 1 free: 0 must wait (no rule), 1 accepts
+        configuration = ((0,), (BOTTOM,))
+        assert system.enabled_actions(configuration, 0) == ()
+        (action,) = system.enabled_actions(configuration, 1)
+        assert action.name == "ACCEPT"
+
+
+class TestStabilization:
+    @pytest.mark.parametrize(
+        "graph",
+        [path(2), path(3), path(4), star(3), ring(4), complete(3)],
+        ids=["P2", "P3", "P4", "K13", "C4", "K3"],
+    )
+    def test_self_stabilizing_under_central(self, graph):
+        verdict = classify(
+            make_matching_system(graph),
+            MaximalMatchingSpec(),
+            CentralRelation(),
+        )
+        assert verdict.is_self_stabilizing
+
+    def test_legitimate_iff_terminal(self):
+        system = make_matching_system(path(4))
+        spec = MaximalMatchingSpec()
+        for configuration in system.all_configurations():
+            assert spec.legitimate(
+                system, configuration
+            ) == system.is_terminal(configuration)
+
+    def test_mutual_proposal_marries_synchronously(self):
+        """Unlike coloring, colliding simultaneous moves *help* here: two
+        free neighbors proposing to each other get married — so the
+        synchronous run from all-⊥ on P2 terminates immediately."""
+        system = make_matching_system(path(2))
+        trace, lasso = synchronous_lasso(system, ((BOTTOM,), (BOTTOM,)))
+        assert lasso is None
+        assert trace.final == ((0,), (0,))
+
+    @pytest.mark.parametrize(
+        "graph", [path(2), path(4), ring(4)], ids=["P2", "P4", "C4"]
+    )
+    def test_self_stabilizing_even_synchronously(self, graph):
+        """Min-index tie-breaking suffices: no synchronous livelock on
+        any tested instance — a genuinely different robustness profile
+        from greedy coloring, worth having in the portfolio."""
+        verdict = classify(
+            make_matching_system(graph),
+            MaximalMatchingSpec(),
+            SynchronousRelation(),
+        )
+        assert verdict.is_self_stabilizing
+
+    def test_self_stabilizing_under_distributed(self):
+        verdict = classify(
+            make_matching_system(path(3)),
+            MaximalMatchingSpec(),
+            DistributedRelation(),
+        )
+        assert verdict.is_self_stabilizing
+
+    def test_transformed_still_converges(self):
+        """Trans(·) never *breaks* a self-stabilizing input (Theorem 8
+        needs only weak stabilization, which self implies)."""
+        from repro.markov.builder import build_chain
+        from repro.markov.hitting import hitting_summary
+        from repro.schedulers.distributions import SynchronousDistribution
+
+        base = make_matching_system(path(2))
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(MaximalMatchingSpec(), base)
+        chain = build_chain(transformed, SynchronousDistribution())
+        summary = hitting_summary(chain, chain.mark(tspec.legitimate))
+        assert summary.converges_with_probability_one

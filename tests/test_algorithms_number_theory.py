@@ -1,0 +1,88 @@
+"""Unit + property tests for the m_N number theory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.number_theory import (
+    divisors,
+    memory_bits,
+    smallest_non_divisor,
+)
+from repro.errors import ReproError
+
+
+class TestSmallestNonDivisor:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, 2),
+            (2, 3),
+            (3, 2),
+            (4, 3),
+            (5, 2),
+            (6, 4),  # the paper's example: ring of 6 has m_N = 4
+            (7, 2),
+            (8, 3),
+            (12, 5),
+            (24, 5),
+            (60, 7),
+            (2520, 11),  # lcm(1..10): first non-divisor is 11
+        ],
+    )
+    def test_known_values(self, n, expected):
+        assert smallest_non_divisor(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            smallest_non_divisor(0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_definition(self, n):
+        m = smallest_non_divisor(n)
+        assert n % m != 0
+        assert all(n % k == 0 for k in range(1, m))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=3, max_value=10**6))
+    def test_odd_rings_have_m2(self, n):
+        if n % 2 == 1:
+            assert smallest_non_divisor(n) == 2
+
+
+class TestMemoryBits:
+    @pytest.mark.parametrize(
+        "n,bits", [(3, 1), (5, 1), (6, 2), (4, 2), (12, 3), (2520, 4)]
+    )
+    def test_values(self, n, bits):
+        assert memory_bits(n) == bits
+
+    def test_at_least_one_bit(self):
+        assert memory_bits(3) == 1
+
+
+class TestDivisors:
+    def test_twelve(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_square(self):
+        assert divisors(36) == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            divisors(0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_every_divisor_divides(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert ds[0] == 1 and ds[-1] == n

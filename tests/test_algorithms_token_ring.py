@@ -1,0 +1,176 @@
+"""Tests for Algorithm 1 (token circulation) — Lemmas 4-6, Theorem 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.number_theory import smallest_non_divisor
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    TokenRingAlgorithm,
+    count_tokens,
+    make_token_ring_system,
+    single_token_configuration,
+    token_holders,
+    two_token_configuration,
+)
+from repro.core.topology import OrientedRing, Topology
+from repro.core.system import System
+from repro.errors import ModelError, TopologyError
+from repro.graphs.generators import path, ring
+from repro.schedulers.relations import DistributedRelation
+from repro.stabilization.classify import classify
+
+
+class TestAlgorithmShape:
+    def test_modulus(self):
+        assert TokenRingAlgorithm(6).modulus == 4
+        assert TokenRingAlgorithm(5).modulus == 2
+
+    def test_ring_size_validation(self):
+        with pytest.raises(ModelError):
+            TokenRingAlgorithm(2)
+
+    def test_requires_oriented_ring(self):
+        algorithm = TokenRingAlgorithm(4)
+        with pytest.raises(TopologyError):
+            System(algorithm, Topology(ring(4)))
+
+    def test_describe(self):
+        system = make_token_ring_system(5)
+        assert "deterministic" in system.algorithm.describe()
+
+
+class TestTokenPredicates:
+    def test_enabled_equals_holders(self, ring6_system):
+        for configuration in list(ring6_system.all_configurations())[:200]:
+            assert list(
+                ring6_system.enabled_processes(configuration)
+            ) == token_holders(ring6_system, configuration)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=3, max_value=8), st.data())
+    def test_lemma4_no_token_free_configuration(self, n, data):
+        """Lemma 4: |TokenHolders(γ)| > 0 for every γ (m_N ∤ N)."""
+        system = make_token_ring_system(n)
+        modulus = smallest_non_divisor(n)
+        values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=modulus - 1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        configuration = tuple((v,) for v in values)
+        assert count_tokens(system, configuration) >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=3, max_value=9), st.data())
+    def test_token_parity_invariant_under_steps(self, n, data):
+        """Firing one token holder changes the count by 0 or -1... and
+        never to zero (Lemma 4 again, dynamically)."""
+        system = make_token_ring_system(n)
+        modulus = smallest_non_divisor(n)
+        values = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=modulus - 1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        configuration = tuple((v,) for v in values)
+        holders = token_holders(system, configuration)
+        before = len(holders)
+        mover = data.draw(st.sampled_from(holders))
+        (branch,) = system.subset_branches(configuration, (mover,))
+        after = count_tokens(system, branch.target)
+        assert 1 <= after <= before
+
+
+class TestSingleTokenConstruction:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_single_token_any_holder(self, n):
+        system = make_token_ring_system(n)
+        for holder in range(n):
+            configuration = single_token_configuration(system, holder)
+            assert token_holders(system, configuration) == [holder]
+
+    def test_two_token_even_ring(self):
+        system = make_token_ring_system(6)
+        configuration = two_token_configuration(system, 0, 3)
+        assert token_holders(system, configuration) == [0, 3]
+
+    def test_two_token_various_positions(self):
+        system = make_token_ring_system(6)
+        for a, b in [(0, 1), (1, 4), (2, 5)]:
+            configuration = two_token_configuration(system, a, b)
+            assert token_holders(system, configuration) == sorted((a, b))
+
+    def test_two_token_odd_ring_impossible(self):
+        """m_N = 2 forces token parity = N parity: no 2-token config on
+        odd rings."""
+        system = make_token_ring_system(5)
+        with pytest.raises(ModelError):
+            two_token_configuration(system, 0, 2)
+
+    def test_two_token_same_holder_rejected(self):
+        system = make_token_ring_system(6)
+        with pytest.raises(ModelError):
+            two_token_configuration(system, 2, 2)
+
+    def test_builders_require_token_system(self, two_process_system):
+        with pytest.raises((ModelError, TopologyError)):
+            single_token_configuration(two_process_system)
+
+
+class TestLemma6Closure:
+    """From a single-token configuration: unique successor, token moves
+    to the ring successor."""
+
+    @pytest.mark.parametrize("n", [3, 5, 6])
+    def test_token_advances(self, n):
+        system = make_token_ring_system(n)
+        topology = system.topology
+        assert isinstance(topology, OrientedRing)
+        configuration = single_token_configuration(system, 0)
+        holder = 0
+        for _ in range(2 * n):
+            (branch,) = system.subset_branches(configuration, (holder,))
+            configuration = branch.target
+            next_holders = token_holders(system, configuration)
+            assert next_holders == [topology.successor(holder)]
+            holder = next_holders[0]
+
+    def test_all_processes_hold_infinitely_often(self):
+        system = make_token_ring_system(5)
+        configuration = single_token_configuration(system, 2)
+        seen = set()
+        for _ in range(10):
+            holder = token_holders(system, configuration)[0]
+            seen.add(holder)
+            (branch,) = system.subset_branches(configuration, (holder,))
+            configuration = branch.target
+        assert seen == set(range(5))
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_weak_not_self(self, n):
+        system = make_token_ring_system(n)
+        verdict = classify(
+            system, TokenCirculationSpec(), DistributedRelation()
+        )
+        assert verdict.is_weak_stabilizing
+        assert not verdict.is_self_stabilizing
+        assert verdict.behavior_violations == ()
+
+    def test_legitimate_count_is_n_times_m(self):
+        for n in (3, 4, 5, 6):
+            system = make_token_ring_system(n)
+            spec = TokenCirculationSpec()
+            count = sum(
+                1
+                for configuration in system.all_configurations()
+                if spec.legitimate(system, configuration)
+            )
+            assert count == n * smallest_non_divisor(n)

@@ -1,0 +1,132 @@
+"""Tests for Algorithm 3 and the greedy-coloring baseline."""
+
+import pytest
+
+from repro.algorithms.coloring import (
+    GreedyColoringAlgorithm,
+    ProperColoringSpec,
+    make_coloring_system,
+    monochromatic_edges,
+)
+from repro.algorithms.two_process import (
+    BothTrueSpec,
+    TwoProcessAlgorithm,
+    make_two_process_system,
+)
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.errors import ModelError, TopologyError
+from repro.graphs.generators import complete, path, ring, star
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization.classify import classify
+from repro.stabilization.witnesses import synchronous_lasso
+
+
+class TestTwoProcess:
+    def test_requires_two_processes(self):
+        with pytest.raises(TopologyError):
+            System(TwoProcessAlgorithm(), Topology(path(3)))
+
+    def test_configuration_space(self, two_process_system):
+        assert two_process_system.num_configurations() == 4
+
+    def test_guards(self, two_process_system):
+        # (F,F): A1 at both; (T,F): A2 at p0 only; (F,T): A2 at p1;
+        # (T,T): terminal.
+        def names(config, p):
+            return [
+                a.name
+                for a in two_process_system.enabled_actions(config, p)
+            ]
+
+        assert names(((False,), (False,)), 0) == ["A1"]
+        assert names(((True,), (False,)), 0) == ["A2"]
+        assert names(((True,), (False,)), 1) == []
+        assert names(((False,), (True,)), 1) == ["A2"]
+        assert two_process_system.is_terminal(((True,), (True,)))
+
+    def test_simultaneous_move_converges(self, two_process_system):
+        (branch,) = two_process_system.subset_branches(
+            ((False,), (False,)), (0, 1)
+        )
+        assert branch.target == ((True,), (True,))
+
+    def test_solo_move_bounces(self, two_process_system):
+        (branch,) = two_process_system.subset_branches(
+            ((False,), (False,)), (0,)
+        )
+        assert branch.target == ((True,), (False,))
+        (branch2,) = two_process_system.subset_branches(
+            branch.target, (0,)
+        )
+        assert branch2.target == ((False,), (False,))
+
+    def test_classification_matrix(self, two_process_system):
+        spec = BothTrueSpec()
+        central = classify(two_process_system, spec, CentralRelation())
+        distributed = classify(
+            two_process_system, spec, DistributedRelation()
+        )
+        synchronous = classify(
+            two_process_system, spec, SynchronousRelation()
+        )
+        assert not central.possible_convergence
+        assert distributed.is_weak_stabilizing
+        assert not distributed.is_self_stabilizing
+        assert synchronous.is_self_stabilizing
+
+
+class TestColoring:
+    def test_palette_default(self):
+        system = make_coloring_system(star(3))
+        assert system.layouts[0].spec("c").size == 4  # Δ+1
+
+    def test_palette_too_small_rejected(self):
+        with pytest.raises(ModelError):
+            make_coloring_system(star(3), palette_size=2)
+
+    def test_monochromatic_edges(self):
+        system = make_coloring_system(path(3))
+        assert monochromatic_edges(system, ((0,), (0,), (1,))) == [(0, 1)]
+        assert monochromatic_edges(system, ((0,), (1,), (0,))) == []
+
+    def test_fix_picks_minimum_free_color(self):
+        system = make_coloring_system(star(3))
+        # hub conflicts with leaf colored 0; leaves colored 0,1,2
+        configuration = ((0,), (0,), (1,), (2,))
+        (branch,) = system.subset_branches(configuration, (0,))
+        assert branch.target[0] == (3,)
+
+    def test_proper_coloring_terminal(self):
+        system = make_coloring_system(path(3))
+        assert system.is_terminal(((0,), (1,), (0,)))
+
+    def test_self_stabilizing_under_central(self):
+        for graph in (complete(2), path(3), ring(3)):
+            verdict = classify(
+                make_coloring_system(graph),
+                ProperColoringSpec(),
+                CentralRelation(),
+            )
+            assert verdict.is_self_stabilizing
+
+    def test_synchronous_livelock_on_k2(self, k2_coloring_system):
+        _, lasso = synchronous_lasso(k2_coloring_system, ((0,), (0,)))
+        assert lasso is not None  # both jump to color 1, then back
+        verdict = classify(
+            k2_coloring_system,
+            ProperColoringSpec(),
+            SynchronousRelation(),
+        )
+        assert not verdict.certain_convergence
+
+    def test_ring4_synchronous_livelock(self):
+        system = make_coloring_system(ring(4))
+        _, lasso = synchronous_lasso(
+            system, ((0,), (0,), (0,), (0,))
+        )
+        assert lasso is not None

@@ -1,0 +1,192 @@
+"""Tests for the analysis helpers and the text renderers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import SummaryStats, quantile, summarize
+from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.tables import format_kv, format_table
+from repro.algorithms.token_ring import (
+    make_token_ring_system,
+    single_token_configuration,
+    token_holders,
+)
+from repro.algorithms.leader_tree import make_leader_tree_system
+from repro.core.simulate import run
+from repro.errors import ReproError
+from repro.graphs.generators import path
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import CentralRandomizedSampler
+from repro.stabilization.witnesses import synchronous_lasso
+from repro.viz.ring_art import render_ring_configuration, render_ring_execution
+from repro.viz.trace_render import render_lasso, render_trace
+from repro.viz.tree_art import render_enabled_actions, render_parent_pointers
+
+
+class TestStats:
+    def test_quantiles(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+        assert quantile(values, 0.5) == 3.0
+        assert quantile(values, 0.25) == 2.0
+
+    def test_quantile_interpolation(self):
+        assert quantile([0.0, 1.0], 0.75) == 0.75
+
+    def test_quantile_single(self):
+        assert quantile([7.0], 0.9) == 7.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ReproError):
+            quantile([], 0.5)
+        with pytest.raises(ReproError):
+            quantile([1.0], 1.5)
+
+    def test_summarize(self):
+        stats = summarize([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert math.isclose(stats.mean, 4.0)
+        assert math.isclose(stats.std, 2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.median == 4.0
+        low, high = stats.ci95
+        assert low < 4.0 < high
+
+    def test_summarize_single_value(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.ci95_half_width == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_row_is_table_friendly(self):
+        row = summarize([1.0, 2.0]).row()
+        assert row["count"] == 2
+
+
+class TestSweep:
+    def test_sweep_runs_measure(self):
+        points = sweep("n", [1, 2, 3], lambda n: {"square": n * n})
+        assert [p.row["square"] for p in points] == [1, 4, 9]
+
+    def test_merged(self):
+        point = SweepPoint({"n": 2}, {"v": 5})
+        assert point.merged() == {"n": 2, "v": 5}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xy"}, {"a": 22, "b": True}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "yes" in text  # booleans rendered yes/no
+
+    def test_format_table_missing_cells(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([])
+
+    def test_format_table_inf(self):
+        text = format_table([{"x": float("inf")}])
+        assert "inf" in text
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1, "b": False}, title="K")
+        assert "alpha : 1" in text
+        assert "b" in text and "no" in text
+
+    def test_format_kv_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_kv({})
+
+
+class TestRingArt:
+    def test_render_configuration_stars_holder(self):
+        system = make_token_ring_system(5)
+        configuration = single_token_configuration(system, 2)
+        art = render_ring_configuration(
+            system, configuration, marked=[2]
+        )
+        assert "p2:" in art
+        assert art.count("*") == 1
+
+    def test_render_execution_labels(self):
+        system = make_token_ring_system(5)
+        configuration = single_token_configuration(system, 0)
+        art = render_ring_execution(
+            system,
+            [configuration, configuration],
+            lambda s, c: token_holders(s, c),
+        )
+        assert "(i)" in art and "(ii)" in art
+
+    def test_render_execution_custom_labels(self):
+        system = make_token_ring_system(5)
+        configuration = single_token_configuration(system, 0)
+        art = render_ring_execution(
+            system, [configuration], lambda s, c: [], labels=["X"]
+        )
+        assert art.startswith("      X")
+
+
+class TestTreeArt:
+    def test_render_parent_pointers(self):
+        system = make_leader_tree_system(path(3))
+        text = render_parent_pointers(system, ((0,), (0,), (0,)))
+        assert "p0 -> p1" in text
+        assert "p2 -> p1" in text
+
+    def test_render_leader(self):
+        system = make_leader_tree_system(path(3))
+        text = render_parent_pointers(system, ((0,), (None,), (0,)))
+        assert "p1 -> LEADER" in text
+
+    def test_render_enabled_actions(self):
+        system = make_leader_tree_system(path(3))
+        text = render_enabled_actions(system, ((0,), (0,), (0,)))
+        assert text.count("p") >= 3
+
+
+class TestTraceRender:
+    def test_render_trace(self):
+        system = make_token_ring_system(5)
+        trace = run(
+            system,
+            CentralRandomizedSampler(),
+            single_token_configuration(system, 0),
+            max_steps=3,
+            rng=RandomSource(0),
+        )
+        text = render_trace(system, trace)
+        assert "(init)" in text
+        assert "p0:A" in text or "p1:A" in text
+
+    def test_render_trace_truncation(self):
+        system = make_token_ring_system(5)
+        trace = run(
+            system,
+            CentralRandomizedSampler(),
+            single_token_configuration(system, 0),
+            max_steps=10,
+            rng=RandomSource(0),
+        )
+        text = render_trace(system, trace, max_rows=3)
+        assert "more)" in text
+
+    def test_render_lasso(self):
+        system = make_leader_tree_system(path(4))
+        _, lasso = synchronous_lasso(system, ((0,), (0,), (0,), (0,)))
+        text = render_lasso(system, lasso)
+        assert "cycle (period" in text
+        assert "prefix:" in text

@@ -1,0 +1,163 @@
+"""Tests for k-bounded fairness and round counting."""
+
+import pytest
+
+from repro.algorithms.token_ring import (
+    make_token_ring_system,
+    single_token_configuration,
+    token_holders,
+    two_token_configuration,
+)
+from repro.algorithms.two_process import make_two_process_system
+from repro.analysis.rounds import count_rounds, round_boundaries
+from repro.core.simulate import run
+from repro.core.trace import Step, Trace, lasso_from_trace
+from repro.random_source import RandomSource
+from repro.schedulers.bounded_fairness import (
+    is_k_fair_lasso,
+    k_fairness_bound,
+    k_fairness_violations,
+)
+from repro.schedulers.samplers import (
+    CentralRandomizedSampler,
+    ScriptedSampler,
+    SynchronousSampler,
+)
+
+
+def _alternating_token_lasso(system):
+    configuration = two_token_configuration(system, 0, 3)
+    trace = Trace.starting_at(configuration)
+    seen = {configuration: 0}
+    last_moved = None
+    while True:
+        holders = token_holders(system, configuration)
+        mover = holders[0]
+        if last_moved is not None:
+            follower = system.topology.successor(last_moved)
+            if follower in holders:
+                mover = next(h for h in holders if h != follower)
+        (branch,) = system.subset_branches(configuration, (mover,))
+        trace.append(Step(branch.moves), branch.target)
+        configuration = branch.target
+        last_moved = mover
+        if configuration in seen:
+            return lasso_from_trace(trace, seen[configuration])
+        seen[configuration] = trace.length
+
+
+def _solo_p0_lasso():
+    system = make_two_process_system()
+    configuration = ((False,), (False,))
+    trace = Trace.starting_at(configuration)
+    seen = {configuration: 0}
+    while True:
+        (branch,) = system.subset_branches(configuration, (0,))
+        trace.append(Step(branch.moves), branch.target)
+        configuration = branch.target
+        if configuration in seen:
+            return system, lasso_from_trace(trace, seen[configuration])
+        seen[configuration] = trace.length
+
+
+class TestKFairness:
+    @pytest.fixture(scope="class")
+    def witness(self):
+        system = make_token_ring_system(6)
+        return system, _alternating_token_lasso(system)
+
+    def test_bound_is_finite(self, witness):
+        system, lasso = witness
+        bound = k_fairness_bound(system, lasso)
+        assert bound is not None
+
+    def test_alternating_tokens_are_n_minus_1_fair(self, witness):
+        """The Theorem 6 witness lives in [3]'s (N−1)-fair world."""
+        system, lasso = witness
+        assert is_k_fair_lasso(system, lasso, system.num_processes - 1)
+
+    def test_bound_tightness(self, witness):
+        system, lasso = witness
+        bound = k_fairness_bound(system, lasso)
+        assert is_k_fair_lasso(system, lasso, bound)
+        assert not is_k_fair_lasso(system, lasso, bound - 1)
+
+    def test_violations_empty_at_bound(self, witness):
+        system, lasso = witness
+        bound = k_fairness_bound(system, lasso)
+        assert k_fairness_violations(system, lasso, bound) == []
+        assert k_fairness_violations(system, lasso, bound - 1)
+
+    def test_starved_process_unbounded(self):
+        system, lasso = _solo_p0_lasso()
+        assert k_fairness_bound(system, lasso) is None
+        assert not is_k_fair_lasso(system, lasso, 10**6)
+        violations = k_fairness_violations(system, lasso, 5)
+        assert (1, -1, -1) in violations  # p1 starved marker
+
+
+class TestRounds:
+    def test_synchronous_steps_are_rounds(self):
+        system = make_token_ring_system(5)
+        initial = next(system.all_configurations())
+        trace = run(
+            system,
+            SynchronousSampler(),
+            initial,
+            max_steps=6,
+            rng=RandomSource(0),
+        )
+        assert count_rounds(system, trace) == trace.length
+
+    def test_empty_trace_zero_rounds(self):
+        system = make_two_process_system()
+        trace = Trace.starting_at(((True,), (True,)))
+        assert count_rounds(system, trace) == 0
+
+    def test_central_round_needs_all_enabled(self):
+        """With two enabled processes and a central scheduler, one round
+        takes two steps unless the first step disables the other."""
+        system = make_token_ring_system(6)
+        configuration = two_token_configuration(system, 0, 3)
+        sampler = ScriptedSampler([(0,), (3,)])
+        trace = run(
+            system, sampler, configuration, max_steps=2, rng=RandomSource(0)
+        )
+        boundaries = round_boundaries(system, trace)
+        assert boundaries == [2]
+
+    def test_round_ends_when_pending_disabled(self):
+        """Algorithm 3 from (F,F): p0 alone moves to (T,F), which
+        *disables* p1 — the round completes without p1 acting."""
+        system = make_two_process_system()
+        sampler = ScriptedSampler([(0,)])
+        trace = run(
+            system,
+            sampler,
+            ((False,), (False,)),
+            max_steps=1,
+            rng=RandomSource(0),
+        )
+        assert round_boundaries(system, trace) == [1]
+
+    def test_single_token_round_is_single_step(self):
+        system = make_token_ring_system(5)
+        initial = single_token_configuration(system, 0)
+        trace = run(
+            system,
+            CentralRandomizedSampler(),
+            initial,
+            max_steps=5,
+            rng=RandomSource(1),
+        )
+        assert count_rounds(system, trace) == 5
+
+    def test_partial_round_not_counted(self):
+        system = make_token_ring_system(6)
+        configuration = two_token_configuration(system, 0, 3)
+        sampler = ScriptedSampler([(0,)])
+        trace = run(
+            system, sampler, configuration, max_steps=1, rng=RandomSource(0)
+        )
+        # process 3 is still enabled and has not acted: round incomplete
+        assert round_boundaries(system, trace) == []

@@ -1,0 +1,158 @@
+"""Regression guard: the fast composition path equals subset_branches.
+
+StateSpace.explore and build_chain use ``System.resolved_actions`` +
+``compose_branches`` (one guard/statement evaluation per configuration)
+instead of ``System.subset_branches`` (one per subset).  These tests pin
+the equivalence of the two paths, including probabilistic outcomes and
+multi-action nondeterminism.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.herman_ring import make_herman_system
+from repro.algorithms.leader_tree import make_leader_tree_system
+from repro.algorithms.token_ring import make_token_ring_system
+from repro.core.system import compose_branches
+from repro.errors import ModelError, SchedulerError
+from repro.graphs.generators import path
+from repro.transformer.coin_toss import make_transformed_system
+
+
+def _random_configuration(system, data):
+    return tuple(
+        tuple(
+            data.draw(st.sampled_from(spec.domain))
+            for spec in layout.specs
+        )
+        for layout in system.layouts
+    )
+
+
+def _branch_multiset(branches):
+    return Counter(
+        (round(b.probability, 12), b.moves, b.target) for b in branches
+    )
+
+
+def _assert_equivalent(system, configuration, subset, action_mode="all"):
+    slow = list(
+        system.subset_branches(configuration, subset, action_mode)
+    )
+    resolved = system.resolved_actions(configuration)
+    fast = list(
+        compose_branches(configuration, subset, resolved, action_mode)
+    )
+    assert _branch_multiset(slow) == _branch_multiset(fast)
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_token_ring(self, data):
+        system = make_token_ring_system(
+            data.draw(st.integers(min_value=3, max_value=6))
+        )
+        configuration = _random_configuration(system, data)
+        enabled = sorted(system.enabled_processes(configuration))
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(enabled),
+                min_size=1,
+                max_size=len(enabled),
+                unique=True,
+            )
+        )
+        _assert_equivalent(system, configuration, sorted(subset))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_leader_tree_multi_action(self, data):
+        system = make_leader_tree_system(path(4))
+        configuration = _random_configuration(system, data)
+        enabled = sorted(system.enabled_processes(configuration))
+        if not enabled:
+            return
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(enabled),
+                min_size=1,
+                max_size=len(enabled),
+                unique=True,
+            )
+        )
+        _assert_equivalent(system, configuration, sorted(subset))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_probabilistic_herman(self, data):
+        system = make_herman_system(5)
+        configuration = _random_configuration(system, data)
+        enabled = sorted(system.enabled_processes(configuration))
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(enabled),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        _assert_equivalent(system, configuration, sorted(subset))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_transformed_composition(self, data):
+        base = make_token_ring_system(4)
+        system = make_transformed_system(base)
+        configuration = _random_configuration(system, data)
+        enabled = sorted(system.enabled_processes(configuration))
+        if not enabled:
+            return
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(enabled),
+                min_size=1,
+                max_size=len(enabled),
+                unique=True,
+            )
+        )
+        _assert_equivalent(system, configuration, sorted(subset))
+
+    def test_first_action_mode(self):
+        system = make_leader_tree_system(path(3))
+        configuration = ((0,), (0,), (0,))
+        enabled = sorted(system.enabled_processes(configuration))
+        _assert_equivalent(
+            system, configuration, enabled, action_mode="first"
+        )
+
+
+class TestFastPathErrors:
+    def test_disabled_process_rejected(self):
+        system = make_token_ring_system(4)
+        configuration = next(system.all_configurations())
+        resolved = system.resolved_actions(configuration)
+        disabled = next(
+            p for p in system.processes if p not in resolved
+        ) if len(resolved) < 4 else None
+        if disabled is None:
+            pytest.skip("all processes enabled in this configuration")
+        with pytest.raises(SchedulerError):
+            list(
+                compose_branches(configuration, (disabled,), resolved)
+            )
+
+    def test_unknown_action_mode(self):
+        system = make_token_ring_system(4)
+        configuration = next(system.all_configurations())
+        resolved = system.resolved_actions(configuration)
+        mover = next(iter(resolved))
+        with pytest.raises(ModelError):
+            list(
+                compose_branches(
+                    configuration, (mover,), resolved, action_mode="zzz"
+                )
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.configuration."""
+
+import pytest
+
+from repro.core.configuration import (
+    configuration_as_dicts,
+    configuration_from_dicts,
+    count_configurations,
+    enumerate_configurations,
+    make_configuration,
+    replace_local,
+)
+from repro.core.variables import VariableLayout, VarSpec
+from repro.errors import DomainError, ModelError
+
+
+@pytest.fixture
+def layouts():
+    return [
+        VariableLayout((VarSpec("a", (0, 1)), VarSpec("b", (False, True)))),
+        VariableLayout((VarSpec("a", (0, 1, 2)), VarSpec("b", (False, True)))),
+    ]
+
+
+class TestMakeReplace:
+    def test_make_freezes(self):
+        config = make_configuration([[0, False], [1, True]])
+        assert config == ((0, False), (1, True))
+        assert isinstance(config[0], tuple)
+
+    def test_replace_local(self):
+        config = ((0, False), (1, True))
+        updated = replace_local(config, 1, (2, False))
+        assert updated == ((0, False), (2, False))
+        assert config == ((0, False), (1, True))  # original untouched
+
+    def test_replace_first(self):
+        config = ((0,), (1,))
+        assert replace_local(config, 0, (9,)) == ((9,), (1,))
+
+
+class TestEnumeration:
+    def test_count(self, layouts):
+        assert count_configurations(layouts) == 4 * 6
+
+    def test_enumerate_matches_count(self, layouts):
+        configs = list(enumerate_configurations(layouts))
+        assert len(configs) == 24
+        assert len(set(configs)) == 24
+
+    def test_enumeration_order_deterministic(self, layouts):
+        first = list(enumerate_configurations(layouts))
+        second = list(enumerate_configurations(layouts))
+        assert first == second
+
+    def test_first_configuration_is_domain_heads(self, layouts):
+        first = next(enumerate_configurations(layouts))
+        assert first == ((0, False), (0, False))
+
+
+class TestDictConversion:
+    def test_roundtrip(self, layouts):
+        config = ((1, True), (2, False))
+        dicts = configuration_as_dicts(config, layouts)
+        assert dicts == [{"a": 1, "b": True}, {"a": 2, "b": False}]
+        assert configuration_from_dicts(dicts, layouts) == config
+
+    def test_as_dicts_length_mismatch(self, layouts):
+        with pytest.raises(ModelError):
+            configuration_as_dicts(((0, False),), layouts)
+
+    def test_from_dicts_length_mismatch(self, layouts):
+        with pytest.raises(ModelError):
+            configuration_from_dicts([{"a": 0, "b": False}], layouts)
+
+    def test_from_dicts_wrong_keys(self, layouts):
+        with pytest.raises(ModelError):
+            configuration_from_dicts(
+                [{"a": 0, "z": False}, {"a": 0, "b": False}], layouts
+            )
+
+    def test_from_dicts_domain_check(self, layouts):
+        with pytest.raises(DomainError):
+            configuration_from_dicts(
+                [{"a": 9, "b": False}, {"a": 0, "b": False}], layouts
+            )

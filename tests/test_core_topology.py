@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.topology."""
+
+import pytest
+
+from repro.core.topology import OrientedRing, Topology
+from repro.errors import TopologyError
+from repro.graphs.generators import path, ring, star
+
+
+class TestTopology:
+    def test_default_neighbor_order_sorted(self):
+        topology = Topology(star(3))
+        assert topology.neighbors(0) == (1, 2, 3)
+
+    def test_degree(self):
+        topology = Topology(star(3))
+        assert topology.degree(0) == 3
+        assert topology.degree(1) == 1
+
+    def test_neighbor_by_local_index(self):
+        topology = Topology(path(3))
+        assert topology.neighbor(1, 0) == 0
+        assert topology.neighbor(1, 1) == 2
+
+    def test_neighbor_index_out_of_range(self):
+        topology = Topology(path(3))
+        with pytest.raises(TopologyError):
+            topology.neighbor(0, 1)
+
+    def test_local_index(self):
+        topology = Topology(path(3))
+        assert topology.local_index(1, 2) == 1
+
+    def test_local_index_non_neighbor(self):
+        topology = Topology(path(3))
+        with pytest.raises(TopologyError):
+            topology.local_index(0, 2)
+
+    def test_mirror_index_roundtrip(self):
+        topology = Topology(star(4))
+        for p in topology.processes:
+            for k in range(topology.degree(p)):
+                q = topology.neighbor(p, k)
+                assert topology.neighbor(q, topology.mirror_index(p, k)) == p
+
+    def test_mirror_index_out_of_range(self):
+        topology = Topology(path(2))
+        with pytest.raises(TopologyError):
+            topology.mirror_index(0, 3)
+
+    def test_custom_neighbor_order(self):
+        topology = Topology(path(3), neighbor_order=[[1], [2, 0], [1]])
+        assert topology.neighbor(1, 0) == 2
+
+    def test_custom_order_must_be_permutation(self):
+        with pytest.raises(TopologyError):
+            Topology(path(3), neighbor_order=[[1], [0, 0], [1]])
+
+    def test_custom_order_wrong_length(self):
+        with pytest.raises(TopologyError):
+            Topology(path(3), neighbor_order=[[1], [0, 2]])
+
+    def test_num_processes(self):
+        assert Topology(ring(5)).num_processes == 5
+
+
+class TestOrientedRing:
+    def test_requires_ring(self):
+        with pytest.raises(TopologyError):
+            OrientedRing(path(4))
+
+    def test_pred_succ_inverse(self):
+        topology = OrientedRing(ring(6))
+        for p in topology.processes:
+            assert topology.successor(topology.predecessor(p)) == p
+            assert topology.predecessor(topology.successor(p)) == p
+
+    def test_orientation_consistency(self):
+        """q = Pred(p) iff p is not Pred(q) — the paper's condition."""
+        topology = OrientedRing(ring(5))
+        for p in topology.processes:
+            q = topology.predecessor(p)
+            assert topology.predecessor(q) != p
+
+    def test_reversed_orientation(self):
+        forward = OrientedRing(ring(6))
+        backward = OrientedRing(ring(6), reversed_orientation=True)
+        for p in forward.processes:
+            assert forward.predecessor(p) == backward.successor(p)
+
+    def test_pred_local_index(self):
+        topology = OrientedRing(ring(6))
+        for p in topology.processes:
+            local = topology.pred_local_index(p)
+            assert topology.neighbor(p, local) == topology.predecessor(p)
+
+    def test_succ_local_index(self):
+        topology = OrientedRing(ring(6))
+        for p in topology.processes:
+            local = topology.succ_local_index(p)
+            assert topology.neighbor(p, local) == topology.successor(p)
+
+    def test_full_cycle(self):
+        topology = OrientedRing(ring(7))
+        current = 0
+        seen = set()
+        for _ in range(7):
+            seen.add(current)
+            current = topology.successor(current)
+        assert current == 0
+        assert seen == set(range(7))

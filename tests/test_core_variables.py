@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.variables."""
+
+import pytest
+
+from repro.core.variables import BOTTOM, VariableLayout, VarSpec
+from repro.errors import DomainError, ModelError
+
+
+class TestVarSpec:
+    def test_basic(self):
+        spec = VarSpec("dt", (0, 1, 2, 3))
+        assert spec.size == 4
+        assert spec.contains(2)
+        assert not spec.contains(4)
+
+    def test_bottom_in_domain(self):
+        spec = VarSpec("Par", (0, 1, BOTTOM))
+        assert spec.contains(BOTTOM)
+
+    def test_bool_does_not_match_int_domain(self):
+        """True == 1 in Python; the domain check must distinguish them."""
+        spec = VarSpec("x", (0, 1))
+        assert not spec.contains(True)
+        assert not spec.contains(False)
+
+    def test_int_does_not_match_bool_domain(self):
+        spec = VarSpec("b", (False, True))
+        assert not spec.contains(1)
+        assert spec.contains(True)
+
+    def test_check_raises(self):
+        spec = VarSpec("x", (0, 1))
+        with pytest.raises(DomainError):
+            spec.check(5)
+
+    def test_check_accepts(self):
+        VarSpec("x", (0, 1)).check(0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ModelError):
+            VarSpec("x", ())
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ModelError):
+            VarSpec("x", (1, 1))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            VarSpec("", (0,))
+
+
+class TestVariableLayout:
+    def test_slots(self):
+        layout = VariableLayout(
+            (VarSpec("a", (0, 1)), VarSpec("b", (False, True)))
+        )
+        assert layout.slot("a") == 0
+        assert layout.slot("b") == 1
+        assert layout.names == ("a", "b")
+        assert len(layout) == 2
+
+    def test_unknown_variable(self):
+        layout = VariableLayout((VarSpec("a", (0,)),))
+        with pytest.raises(ModelError):
+            layout.slot("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            VariableLayout((VarSpec("a", (0,)), VarSpec("a", (1,))))
+
+    def test_num_states(self):
+        layout = VariableLayout(
+            (VarSpec("a", (0, 1, 2)), VarSpec("b", (False, True)))
+        )
+        assert layout.num_states == 6
+
+    def test_check_state(self):
+        layout = VariableLayout((VarSpec("a", (0, 1)),))
+        layout.check_state((1,))
+        with pytest.raises(ModelError):
+            layout.check_state((1, 2))
+        with pytest.raises(DomainError):
+            layout.check_state((9,))
+
+    def test_spec_lookup(self):
+        layout = VariableLayout((VarSpec("a", (0, 1)),))
+        assert layout.spec("a").domain == (0, 1)

@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.view and repro.core.actions."""
+
+import pytest
+
+from repro.core.actions import Action, Outcome, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.errors import DomainError, ModelError
+from repro.graphs.generators import path, star
+
+
+class _CopyMax(Algorithm):
+    """Toy algorithm: copy the max neighbor value when smaller."""
+
+    name = "copy-max"
+
+    def layout(self, topology, process):
+        return VariableLayout((VarSpec("v", (0, 1, 2)),))
+
+    def constants(self, topology, process):
+        return {"limit": 2}
+
+    def actions(self):
+        def guard(view):
+            return view.get("v") < max(view.neighbor_values("v"))
+
+        def statement(view):
+            view.set("v", max(view.neighbor_values("v")))
+
+        return (deterministic_action("UP", guard, statement),)
+
+
+@pytest.fixture
+def system():
+    return System(_CopyMax(), Topology(path(3)))
+
+
+class TestViewReads:
+    def test_get_own(self, system):
+        view = system.view(((0,), (1,), (2,)), 1, writable=False)
+        assert view.get("v") == 1
+
+    def test_nbr(self, system):
+        view = system.view(((0,), (1,), (2,)), 1, writable=False)
+        assert view.nbr(0, "v") == 0
+        assert view.nbr(1, "v") == 2
+
+    def test_degree_and_indexes(self, system):
+        view = system.view(((0,), (1,), (2,)), 1, writable=False)
+        assert view.degree == 2
+        assert list(view.neighbor_indexes) == [0, 1]
+
+    def test_const(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        assert view.const("limit") == 2
+
+    def test_unknown_const(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        with pytest.raises(ModelError):
+            view.const("nope")
+
+    def test_neighbor_values(self, system):
+        view = system.view(((0,), (1,), (2,)), 1, writable=False)
+        assert view.neighbor_values("v") == (0, 2)
+
+    def test_my_index_at(self):
+        system = System(_CopyMax(), Topology(star(3)))
+        view = system.view(((0,), (0,), (0,), (0,)), 0, writable=False)
+        # hub is the only neighbor of each leaf: index 0 everywhere
+        assert view.my_index_at(0) == 0
+        leaf_view = system.view(((0,), (0,), (0,), (0,)), 2, writable=False)
+        # leaf 2 is the hub's local index 1 (neighbors sorted: 1,2,3)
+        assert leaf_view.my_index_at(0) == 1
+
+    def test_nbr_degree(self):
+        system = System(_CopyMax(), Topology(star(3)))
+        leaf_view = system.view(((0,), (0,), (0,), (0,)), 1, writable=False)
+        assert leaf_view.nbr_degree(0) == 3
+
+
+class TestViewWrites:
+    def test_readonly_view_rejects_writes(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        with pytest.raises(ModelError):
+            view.set("v", 1)
+
+    def test_write_validates_domain(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=True)
+        with pytest.raises(DomainError):
+            view.set("v", 7)
+
+    def test_staged_state(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=True)
+        assert not view.has_writes
+        view.set("v", 2)
+        assert view.has_writes
+        assert view.staged_state() == (2,)
+        assert list(view.iter_writes()) == [("v", 2)]
+
+    def test_staged_state_without_writes(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=True)
+        assert view.staged_state() == (0,)
+
+    def test_reads_see_pre_step_values(self, system):
+        view = system.view(((0,), (1,), (2,)), 0, writable=True)
+        view.set("v", 2)
+        assert view.get("v") == 0  # atomic semantics: read the old value
+
+
+class TestActions:
+    def test_deterministic_action_single_outcome(self, system):
+        action = system.actions[0]
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        outcomes = action.outcome_list(view)
+        assert len(outcomes) == 1
+        assert outcomes[0].probability == 1.0
+
+    def test_outcome_probability_bounds(self):
+        with pytest.raises(ModelError):
+            Outcome(0.0, lambda v: None)
+        with pytest.raises(ModelError):
+            Outcome(1.5, lambda v: None)
+
+    def test_outcome_sum_checked(self, system):
+        bad = Action(
+            "bad",
+            lambda view: True,
+            lambda view: (Outcome(0.3, lambda v: None),),
+        )
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        with pytest.raises(ModelError):
+            bad.outcome_list(view)
+
+    def test_empty_outcomes_rejected(self, system):
+        bad = Action("bad", lambda view: True, lambda view: ())
+        view = system.view(((0,), (1,), (2,)), 0, writable=False)
+        with pytest.raises(ModelError):
+            bad.outcome_list(view)
+
+    def test_guard_evaluation(self, system):
+        action = system.actions[0]
+        low = system.view(((0,), (1,), (2,)), 0, writable=False)
+        high = system.view(((2,), (1,), (2,)), 0, writable=False)
+        assert action.enabled(low)
+        assert not action.enabled(high)

@@ -1,0 +1,80 @@
+"""Exercise the remaining experiment runners (Q2/Q3/THM7/THM9/ALG3 paths).
+
+The cheap parameterizations here complement ``test_experiments.py``; the
+full-size versions run in the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.abl1 import run_abl1
+from repro.experiments.q2 import run_q2
+from repro.experiments.q3 import run_q3
+from repro.experiments.q4 import run_q4
+from repro.experiments.thm7 import run_thm7
+from repro.experiments.thm9 import run_thm9
+
+
+class TestQuantitativeRunners:
+    def test_q2_exact_only(self):
+        result = run_q2(monte_carlo_sizes=(), trials=1)
+        assert result.passed
+        assert all(row["method"] == "exact" for row in result.rows)
+
+    def test_q2_diameter_column_monotone_on_paths(self):
+        result = run_q2(monte_carlo_sizes=(), trials=1)
+        paths = [row for row in result.rows if str(row["tree"]).startswith("path")]
+        means = [row["mean E[rounds]"] for row in paths]
+        assert means == sorted(means)
+
+    def test_q3_small_trials(self):
+        result = run_q3(trials=20, seed=11)
+        assert result.passed
+        protocols = {str(row["protocol"]) for row in result.rows}
+        assert any("Herman" in p for p in protocols)
+        assert any("Israeli" in p for p in protocols)
+        assert any("Dijkstra" in p for p in protocols)
+
+    def test_q3_ij_rows_match_gamblers_ruin(self):
+        result = run_q3(trials=20, seed=11)
+        ij_rows = [
+            row for row in result.rows if "Israeli" in str(row["protocol"])
+        ]
+        for row in ij_rows:
+            n = row["N"]
+            expected = (n // 2) * (n - n // 2)
+            assert row["mean E[steps or rounds]"] == pytest.approx(expected)
+
+    def test_q4_overheads_recorded(self):
+        result = run_q4()
+        assert result.passed
+        coloring_rows = [
+            row for row in result.rows if "coloring" in str(row["problem"])
+        ]
+        assert len(coloring_rows) == 4
+
+
+class TestTheoremRunners:
+    def test_thm7_full(self):
+        result = run_thm7()
+        assert result.passed
+        # 5 systems x 2 schedulers
+        assert len(result.rows) == 10
+        negative = [
+            row
+            for row in result.rows
+            if row["possible (=Gouda self-stab)"] is False
+        ]
+        assert len(negative) == 1  # Algorithm 3 under central only
+
+    def test_thm9_full(self):
+        result = run_thm9()
+        assert result.passed
+        for row in result.rows:
+            assert row["trans prob-1"] is True
+
+    def test_abl1_fair_coin_optimal_for_token_ring(self):
+        result = run_abl1(biases=(0.3, 0.5, 0.7))
+        row = next(
+            r for r in result.rows if "Algorithm 1" in str(r["system"])
+        )
+        assert row["best p"] == 0.5

@@ -1,0 +1,101 @@
+"""Golden tests: deterministic artifacts pinned byte-for-byte.
+
+These lock the parts of the reproduction whose exact output is
+meaningful: the regenerated Figure 1 execution (unique from a legitimate
+configuration) and the ring-orientation conventions it relies on.
+"""
+
+from repro.algorithms.token_ring import (
+    make_token_ring_system,
+    single_token_configuration,
+    token_holders,
+)
+from repro.core.simulate import run
+from repro.core.system import System
+from repro.core.topology import OrientedRing
+from repro.graphs.graph import Graph
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import CentralRandomizedSampler
+from repro.viz.ring_art import render_ring_execution
+
+
+class TestGoldenFigure1:
+    def test_first_three_configurations(self):
+        """The (i)-(iii) panels of the regenerated Figure 1 (N=6)."""
+        system = make_token_ring_system(6)
+        initial = single_token_configuration(system, holder=0)
+        trace = run(
+            system,
+            CentralRandomizedSampler(),
+            initial,
+            max_steps=2,
+            rng=RandomSource(0),
+        )
+        art = render_ring_execution(
+            system,
+            trace.configurations,
+            lambda s, c: token_holders(s, c),
+        )
+        assert art == (
+            "    (i)  p0:0* p1:1  p2:2  p3:3  p4:0  p5:1 \n"
+            "   (ii)  p0:2  p1:1* p2:2  p3:3  p4:0  p5:1 \n"
+            "  (iii)  p0:2  p1:3  p2:2* p3:3  p4:0  p5:1 "
+        )
+
+    def test_single_token_configuration_is_canonical(self):
+        system = make_token_ring_system(6)
+        assert single_token_configuration(system, 0) == (
+            (0,), (1,), (2,), (3,), (0,), (1,),
+        )
+
+    def test_legit_execution_period(self):
+        """One full circulation returns to the initial configuration
+        after N · m_N / gcd(...)... measured: lcm-driven period 12."""
+        system = make_token_ring_system(6)
+        initial = single_token_configuration(system, holder=0)
+        configuration = initial
+        for step in range(1, 25):
+            holder = token_holders(system, configuration)[0]
+            (branch,) = system.subset_branches(configuration, (holder,))
+            configuration = branch.target
+            if configuration == initial:
+                assert step == 12
+                return
+        raise AssertionError("legitimate orbit did not close")
+
+
+class TestScrambledRingOrientation:
+    def test_non_cyclic_labeling(self):
+        """OrientedRing must orient rings whose node ids are not in
+        cyclic order around the cycle."""
+        graph = Graph(4, [(0, 2), (2, 1), (1, 3), (3, 0)])
+        topology = OrientedRing(graph)
+        seen = []
+        current = 0
+        for _ in range(4):
+            seen.append(current)
+            current = topology.successor(current)
+        assert current == 0
+        assert sorted(seen) == [0, 1, 2, 3]
+        for p in topology.processes:
+            assert topology.successor(topology.predecessor(p)) == p
+
+    def test_algorithm1_runs_on_scrambled_ring(self):
+        from repro.algorithms.token_ring import (
+            TokenCirculationSpec,
+            TokenRingAlgorithm,
+            count_tokens,
+        )
+
+        graph = Graph(5, [(0, 2), (2, 4), (4, 1), (1, 3), (3, 0)])
+        system = System(TokenRingAlgorithm(5), OrientedRing(graph))
+        for configuration in system.all_configurations():
+            assert count_tokens(system, configuration) >= 1
+        from repro.schedulers.relations import DistributedRelation
+        from repro.stabilization.classify import classify
+
+        verdict = classify(
+            system, TokenCirculationSpec(), DistributedRelation()
+        )
+        assert verdict.is_weak_stabilizing
+        assert not verdict.is_self_stabilizing

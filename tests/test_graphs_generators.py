@@ -1,0 +1,175 @@
+"""Unit tests for repro.graphs.generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    balanced_binary_tree,
+    broom,
+    caterpillar,
+    complete,
+    double_broom,
+    figure2_tree,
+    figure3_chain,
+    path,
+    random_tree,
+    ring,
+    spider,
+    star,
+)
+from repro.graphs.properties import is_connected, is_ring, is_tree
+from repro.random_source import RandomSource
+
+
+class TestRing:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 10])
+    def test_ring_shape(self, n):
+        graph = ring(n)
+        assert graph.num_nodes == n
+        assert graph.num_edges == n
+        assert is_ring(graph)
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            ring(2)
+
+
+class TestPath:
+    def test_single_node(self):
+        assert path(1).num_edges == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 7])
+    def test_path_shape(self, n):
+        graph = path(n)
+        assert graph.num_edges == n - 1
+        assert is_tree(graph)
+        assert graph.degree(0) == 1
+        assert graph.degree(n - 1) == 1
+
+    def test_path_zero_rejected(self):
+        with pytest.raises(GraphError):
+            path(0)
+
+
+class TestStar:
+    def test_star_shape(self):
+        graph = star(4)
+        assert graph.num_nodes == 5
+        assert graph.degree(0) == 4
+        assert all(graph.degree(i) == 1 for i in range(1, 5))
+        assert is_tree(graph)
+
+    def test_star_needs_leaf(self):
+        with pytest.raises(GraphError):
+            star(0)
+
+
+class TestComplete:
+    def test_k4(self):
+        graph = complete(4)
+        assert graph.num_edges == 6
+        assert graph.max_degree == 3
+
+    def test_k1(self):
+        assert complete(1).num_edges == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(GraphError):
+            complete(0)
+
+
+class TestSpider:
+    def test_spider_3x2(self):
+        graph = spider(3, 2)
+        assert graph.num_nodes == 7
+        assert graph.degree(0) == 3
+        assert is_tree(graph)
+
+    def test_spider_validation(self):
+        with pytest.raises(GraphError):
+            spider(0, 2)
+        with pytest.raises(GraphError):
+            spider(2, 0)
+
+
+class TestBrooms:
+    def test_broom(self):
+        graph = broom(2, 3)
+        assert graph.num_nodes == 6
+        assert is_tree(graph)
+        assert graph.degree(2) == 4  # hub: one handle edge + 3 bristles
+
+    def test_broom_validation(self):
+        with pytest.raises(GraphError):
+            broom(0, 1)
+
+    def test_double_broom(self):
+        graph = double_broom(2, 2, 3)
+        assert graph.num_nodes == 8
+        assert is_tree(graph)
+        assert graph.degree(0) == 3
+        assert graph.degree(2) == 4
+
+    def test_double_broom_validation(self):
+        with pytest.raises(GraphError):
+            double_broom(1, 0, 1)
+
+
+class TestCaterpillar:
+    def test_caterpillar(self):
+        graph = caterpillar(3, [1, 0, 2])
+        assert graph.num_nodes == 6
+        assert is_tree(graph)
+
+    def test_caterpillar_leg_mismatch(self):
+        with pytest.raises(GraphError):
+            caterpillar(2, [1])
+
+    def test_caterpillar_negative_legs(self):
+        with pytest.raises(GraphError):
+            caterpillar(1, [-1])
+
+
+class TestBalancedBinaryTree:
+    @pytest.mark.parametrize("depth,size", [(0, 1), (1, 3), (2, 7), (3, 15)])
+    def test_sizes(self, depth, size):
+        graph = balanced_binary_tree(depth)
+        assert graph.num_nodes == size
+        assert is_tree(graph)
+
+    def test_negative_depth(self):
+        with pytest.raises(GraphError):
+            balanced_binary_tree(-1)
+
+
+class TestRandomTree:
+    def test_is_tree_for_many_seeds(self):
+        for seed in range(20):
+            graph = random_tree(9, RandomSource(seed))
+            assert is_tree(graph)
+
+    def test_small_sizes(self):
+        assert random_tree(1, RandomSource(0)).num_nodes == 1
+        assert random_tree(2, RandomSource(0)).num_edges == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(GraphError):
+            random_tree(0, RandomSource(0))
+
+    def test_deterministic_given_seed(self):
+        a = random_tree(8, RandomSource(7))
+        b = random_tree(8, RandomSource(7))
+        assert a == b
+
+
+class TestPaperGraphs:
+    def test_figure2_tree_is_8_node_tree(self):
+        graph = figure2_tree()
+        assert graph.num_nodes == 8
+        assert is_tree(graph)
+
+    def test_figure3_chain(self):
+        graph = figure3_chain()
+        assert graph.num_nodes == 4
+        assert graph.degree_sequence() == (2, 2, 1, 1)
+        assert is_connected(graph)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.graphs.graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+
+    def test_keeps_sorted_pair(self):
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(2, 2)
+
+
+class TestGraphConstruction:
+    def test_empty_graph_single_node(self):
+        graph = Graph(1, [])
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(-1, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_edges_are_canonical_and_sorted(self):
+        graph = Graph(4, [(3, 2), (1, 0), (2, 0)])
+        assert graph.edges == ((0, 1), (0, 2), (2, 3))
+
+
+class TestAccessors:
+    @pytest.fixture
+    def triangle(self):
+        return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+    def test_neighbors_sorted(self, triangle):
+        assert triangle.neighbors(1) == (0, 2)
+
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+
+    def test_max_min_degree(self):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert star.max_degree == 3
+        assert star.min_degree == 1
+
+    def test_has_edge_symmetric(self, triangle):
+        assert triangle.has_edge(2, 0)
+        assert triangle.has_edge(0, 2)
+
+    def test_has_edge_false(self):
+        chain = Graph(3, [(0, 1), (1, 2)])
+        assert not chain.has_edge(0, 2)
+
+    def test_has_edge_self_is_false(self, triangle):
+        assert not triangle.has_edge(1, 1)
+
+    def test_neighbors_out_of_range(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(5)
+
+    def test_degree_sequence(self):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert star.degree_sequence() == (3, 1, 1, 1)
+
+
+class TestDunder:
+    def test_len_iter_contains(self):
+        graph = Graph(3, [(0, 1)])
+        assert len(graph) == 3
+        assert list(graph) == [0, 1, 2]
+        assert 2 in graph
+        assert 3 not in graph
+        assert "x" not in graph
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        c = Graph(3, [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_against_other_type(self):
+        assert Graph(1, []) != "graph"
+
+    def test_repr(self):
+        assert "num_nodes=2" in repr(Graph(2, [(0, 1)]))
+
+
+class TestRelabeling:
+    def test_relabeled_is_isomorphic(self):
+        chain = Graph(3, [(0, 1), (1, 2)])
+        relabeled = chain.relabeled([2, 1, 0])
+        assert relabeled.edges == ((0, 1), (1, 2))
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)]).relabeled([0, 0, 1])
+
+    def test_is_automorphism_mirror_of_chain(self):
+        chain = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert chain.is_automorphism([3, 2, 1, 0])
+
+    def test_is_automorphism_rejects_bad_map(self):
+        chain = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert not chain.is_automorphism([1, 0, 2, 3])
+
+    def test_is_automorphism_rejects_non_permutation(self):
+        chain = Graph(3, [(0, 1), (1, 2)])
+        assert not chain.is_automorphism([0, 0, 1])
+
+    def test_subgraph_edges(self):
+        square = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert square.subgraph_edges([0, 1, 2]) == [(0, 1), (1, 2)]

@@ -1,0 +1,196 @@
+"""Unit + property tests for repro.graphs.properties (incl. Property 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete,
+    path,
+    random_tree,
+    ring,
+    spider,
+    star,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.prufer import prufer_decode
+from repro.graphs.properties import (
+    all_pairs_distances,
+    bfs_distances,
+    centers,
+    connected_components,
+    diameter,
+    distance,
+    eccentricities,
+    eccentricity,
+    internal_nodes,
+    is_bipartite,
+    is_connected,
+    is_path_graph,
+    is_ring,
+    is_tree,
+    leaves,
+    radius,
+    shortest_path,
+    tree_center_split,
+)
+from repro.random_source import RandomSource
+
+TREES = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.lists(
+        st.integers(min_value=0, max_value=n - 1),
+        min_size=max(n - 2, 0),
+        max_size=max(n - 2, 0),
+    ).map(lambda seq: prufer_decode(tuple(seq), n))
+)
+
+
+class TestDistances:
+    def test_bfs_on_path(self):
+        assert bfs_distances(path(4), 0) == [0, 1, 2, 3]
+
+    def test_bfs_unreachable(self):
+        graph = Graph(3, [(0, 1)])
+        assert bfs_distances(graph, 0)[2] == -1
+
+    def test_distance_symmetric_on_ring(self):
+        graph = ring(6)
+        assert distance(graph, 1, 4) == distance(graph, 4, 1) == 3
+
+    def test_distance_raises_when_disconnected(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            distance(graph, 0, 2)
+
+    def test_all_pairs_matches_single_source(self):
+        graph = spider(3, 2)
+        matrix = all_pairs_distances(graph)
+        for source in graph.nodes:
+            assert matrix[source] == bfs_distances(graph, source)
+
+
+class TestConnectivity:
+    def test_connected_ring(self):
+        assert is_connected(ring(5))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_components(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        assert connected_components(graph) == [[0, 1], [2, 3], [4]]
+
+    def test_single_node_connected(self):
+        assert is_connected(Graph(1, []))
+
+
+class TestEccentricityDiameter:
+    def test_path_eccentricities(self):
+        assert eccentricities(path(5)) == [4, 3, 2, 3, 4]
+
+    def test_eccentricity_raises_disconnected(self):
+        with pytest.raises(GraphError):
+            eccentricity(Graph(3, [(0, 1)]), 0)
+
+    def test_diameter_radius_ring(self):
+        assert diameter(ring(6)) == 3
+        assert radius(ring(6)) == 3
+
+    def test_diameter_star(self):
+        assert diameter(star(5)) == 2
+        assert radius(star(5)) == 1
+
+
+class TestCenters:
+    def test_path_even_two_centers(self):
+        assert centers(path(4)) == [1, 2]
+
+    def test_path_odd_one_center(self):
+        assert centers(path(5)) == [2]
+
+    def test_star_center(self):
+        assert centers(star(6)) == [0]
+
+    def test_ring_all_centers(self):
+        assert centers(ring(5)) == [0, 1, 2, 3, 4]
+
+    def test_tree_center_split_two(self):
+        cs, two = tree_center_split(path(4))
+        assert cs == [1, 2] and two
+
+    def test_tree_center_split_one(self):
+        cs, two = tree_center_split(path(5))
+        assert cs == [2] and not two
+
+    def test_tree_center_split_rejects_non_tree(self):
+        with pytest.raises(GraphError):
+            tree_center_split(ring(4))
+
+    @settings(max_examples=60, deadline=None)
+    @given(TREES)
+    def test_property_1_one_or_two_adjacent_centers(self, tree):
+        """Paper Property 1: a tree has one center or two neighboring."""
+        cs = centers(tree)
+        assert len(cs) in (1, 2)
+        if len(cs) == 2:
+            assert tree.has_edge(cs[0], cs[1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(TREES)
+    def test_tree_diameter_radius_relation(self, tree):
+        """For trees: D = 2R or 2R - 1 (center splits the diameter)."""
+        d, r = diameter(tree), radius(tree)
+        assert d in (2 * r, 2 * r - 1)
+
+
+class TestRecognizers:
+    def test_is_tree(self):
+        assert is_tree(path(6))
+        assert not is_tree(ring(6))
+        assert not is_tree(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_is_ring(self):
+        assert is_ring(ring(4))
+        assert not is_ring(path(4))
+        assert not is_ring(Graph(2, [(0, 1)]))
+        # two disjoint triangles: all degree 2 but disconnected
+        two_triangles = Graph(
+            6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        assert not is_ring(two_triangles)
+
+    def test_is_path_graph(self):
+        assert is_path_graph(path(5))
+        assert not is_path_graph(star(3))
+
+    def test_leaves_and_internal(self):
+        graph = star(4)
+        assert leaves(graph) == [1, 2, 3, 4]
+        assert internal_nodes(graph) == [0]
+
+    def test_bipartite(self):
+        assert is_bipartite(path(5))
+        assert is_bipartite(ring(6))
+        assert not is_bipartite(ring(5))
+        assert not is_bipartite(complete(3))
+
+
+class TestShortestPath:
+    def test_endpoints_included(self):
+        found = shortest_path(ring(6), 0, 3)
+        assert found[0] == 0 and found[-1] == 3
+        assert len(found) == 4
+
+    def test_trivial_path(self):
+        assert shortest_path(path(3), 1, 1) == [1]
+
+    def test_raises_disconnected(self):
+        with pytest.raises(GraphError):
+            shortest_path(Graph(3, [(0, 1)]), 0, 2)
+
+    def test_consecutive_nodes_adjacent(self):
+        graph = random_tree(10, RandomSource(3))
+        found = shortest_path(graph, 0, 9)
+        for u, v in zip(found, found[1:]):
+            assert graph.has_edge(u, v)

@@ -1,0 +1,102 @@
+"""Unit + property tests for the Prüfer codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import path, ring, star
+from repro.graphs.properties import is_tree
+from repro.graphs.prufer import (
+    all_labeled_trees,
+    num_labeled_trees,
+    prufer_decode,
+    prufer_encode,
+)
+
+
+class TestDecode:
+    def test_small_trees(self):
+        assert prufer_decode((), 1).num_nodes == 1
+        assert prufer_decode((), 2).edges == ((0, 1),)
+
+    def test_star_sequence(self):
+        # All entries equal to the hub decode to a star.
+        graph = prufer_decode((0, 0, 0), 5)
+        assert graph.degree(0) == 4
+
+    def test_decode_always_tree(self):
+        assert is_tree(prufer_decode((2, 2, 1), 5))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(GraphError):
+            prufer_decode((0,), 5)
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(GraphError):
+            prufer_decode((5,), 3)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(GraphError):
+            prufer_decode((), 0)
+
+
+class TestEncode:
+    def test_star(self):
+        assert prufer_encode(star(4)) == (0, 0, 0)
+
+    def test_path(self):
+        assert prufer_encode(path(4)) == (1, 2)
+
+    def test_small(self):
+        assert prufer_encode(path(2)) == ()
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(GraphError):
+            prufer_encode(ring(4))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=9).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=n - 2,
+                    max_size=n - 2,
+                ),
+            )
+        )
+    )
+    def test_roundtrip(self, case):
+        n, sequence = case
+        tree = prufer_decode(tuple(sequence), n)
+        assert prufer_encode(tree) == tuple(sequence)
+
+
+class TestEnumeration:
+    def test_counts_match_cayley(self):
+        for n in range(1, 6):
+            trees = list(all_labeled_trees(n))
+            assert len(trees) == num_labeled_trees(n)
+
+    def test_all_distinct_n4(self):
+        trees = list(all_labeled_trees(4))
+        assert len(set(trees)) == 16
+
+    def test_all_are_trees_n5(self):
+        assert all(is_tree(t) for t in all_labeled_trees(5))
+
+    def test_enumeration_cap(self):
+        with pytest.raises(GraphError):
+            list(all_labeled_trees(8))
+
+    def test_num_labeled_trees_values(self):
+        assert num_labeled_trees(1) == 1
+        assert num_labeled_trees(2) == 1
+        assert num_labeled_trees(3) == 3
+        assert num_labeled_trees(7) == 16807
+
+    def test_num_labeled_trees_rejects_zero(self):
+        with pytest.raises(GraphError):
+            num_labeled_trees(0)

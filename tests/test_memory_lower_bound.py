@@ -1,0 +1,116 @@
+"""The m_N memory bound of [3], demonstrated by breaking it.
+
+The paper notes Algorithm 1's ``log m_N`` bits match the lower bound of
+Beauquier–Gradinariu–Johnen for (probabilistic) token circulation under a
+distributed scheduler.  These tests show the bound is *tight in this
+construction*: running the same protocol with a counter modulus that
+divides N admits token-free configurations — illegitimate deadlocks — so
+neither weak nor probabilistic stabilization survives, while any
+non-divisor modulus (not just the smallest) preserves Lemma 4.
+"""
+
+import pytest
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    TokenRingAlgorithm,
+    count_tokens,
+    make_token_ring_system,
+)
+from repro.core.system import System
+from repro.core.topology import OrientedRing
+from repro.errors import ModelError
+from repro.graphs.generators import ring
+from repro.markov.builder import build_chain
+from repro.schedulers.distributions import CentralRandomizedDistribution
+from repro.schedulers.relations import DistributedRelation
+from repro.stabilization.classify import classify
+from repro.stabilization.probabilistic import classify_probabilistic
+
+
+def _system(n: int, modulus: int) -> System:
+    return System(
+        TokenRingAlgorithm(n, modulus=modulus), OrientedRing(ring(n))
+    )
+
+
+class TestDividingModulusBreaksEverything:
+    @pytest.mark.parametrize(
+        "n,modulus", [(6, 3), (6, 2), (4, 2), (8, 4)],
+        ids=["N6-m3", "N6-m2", "N4-m2", "N8-m4"],
+    )
+    def test_token_free_configurations_exist(self, n, modulus):
+        system = _system(n, modulus)
+        token_free = [
+            configuration
+            for configuration in system.all_configurations()
+            if count_tokens(system, configuration) == 0
+        ]
+        assert token_free  # Lemma 4 fails when modulus | N
+        for configuration in token_free:
+            assert system.is_terminal(configuration)
+
+    def test_not_weak_stabilizing(self):
+        verdict = classify(
+            _system(6, 3), TokenCirculationSpec(), DistributedRelation()
+        )
+        assert not verdict.is_weak_stabilizing
+        assert verdict.num_terminal_outside > 0
+
+    def test_not_probabilistically_stabilizing(self):
+        verdict = classify_probabilistic(
+            _system(6, 3),
+            TokenCirculationSpec(),
+            CentralRandomizedDistribution(),
+        )
+        assert not verdict.is_probabilistically_self_stabilizing
+        assert verdict.min_absorption < 1.0
+
+
+class TestNonDivisorModuliWork:
+    @pytest.mark.parametrize(
+        "n,modulus", [(6, 4), (6, 5), (4, 3), (5, 2), (5, 3)],
+        ids=["N6-m4", "N6-m5", "N4-m3", "N5-m2", "N5-m3"],
+    )
+    def test_lemma4_holds(self, n, modulus):
+        assert n % modulus != 0
+        system = _system(n, modulus)
+        assert all(
+            count_tokens(system, configuration) >= 1
+            for configuration in system.all_configurations()
+        )
+
+    def test_larger_non_divisor_still_weak_stabilizing(self):
+        """m = 5 on N = 6 works too — m_N is about *minimality*, not
+        uniqueness."""
+        verdict = classify(
+            _system(6, 5), TokenCirculationSpec(), DistributedRelation()
+        )
+        assert verdict.is_weak_stabilizing
+        assert not verdict.is_self_stabilizing
+
+    def test_default_is_smallest_non_divisor(self):
+        assert TokenRingAlgorithm(6).modulus == 4
+        assert TokenRingAlgorithm(6, modulus=5).modulus == 5
+
+    def test_modulus_validation(self):
+        with pytest.raises(ModelError):
+            TokenRingAlgorithm(6, modulus=1)
+
+
+class TestMemoryCost:
+    def test_probabilistic_convergence_speed_vs_modulus(self):
+        """Both m=4 (minimal) and m=5 stabilize on N=6; the larger
+        counter is slower on average — minimality is also efficiency."""
+        from repro.markov.hitting import hitting_summary
+
+        means = {}
+        for modulus in (4, 5):
+            system = _system(6, modulus)
+            chain = build_chain(system, CentralRandomizedDistribution())
+            summary = hitting_summary(
+                chain, chain.mark(TokenCirculationSpec().legitimate)
+            )
+            assert summary.converges_with_probability_one
+            means[modulus] = summary.mean_expected_steps
+        assert means[4] < means[5]

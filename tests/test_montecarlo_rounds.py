@@ -1,0 +1,76 @@
+"""Tests for the rounds-aware Monte-Carlo extension."""
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.markov.montecarlo import estimate_stabilization_time
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import (
+    CentralRandomizedSampler,
+    SynchronousSampler,
+)
+from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
+
+
+class TestRoundsMeasurement:
+    def test_rounds_never_exceed_steps(self):
+        system = make_token_ring_system(5)
+        spec = TokenCirculationSpec()
+        result = estimate_stabilization_time(
+            system,
+            CentralRandomizedSampler(),
+            lambda c: spec.legitimate(system, c),
+            trials=100,
+            max_steps=10_000,
+            rng=RandomSource(3),
+            measure_rounds=True,
+        )
+        assert result.round_stats is not None
+        assert result.round_stats.mean <= result.stats.mean + 1e-9
+
+    def test_synchronous_rounds_equal_steps(self):
+        base = make_two_process_system()
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(BothTrueSpec(), base)
+        result = estimate_stabilization_time(
+            transformed,
+            SynchronousSampler(),
+            lambda c: tspec.legitimate(transformed, c),
+            trials=200,
+            max_steps=10_000,
+            rng=RandomSource(4),
+            measure_rounds=True,
+        )
+        # under the synchronous scheduler every step is one round
+        assert result.round_stats.mean == result.stats.mean
+
+    def test_rounds_omitted_by_default(self):
+        system = make_token_ring_system(4)
+        spec = TokenCirculationSpec()
+        result = estimate_stabilization_time(
+            system,
+            CentralRandomizedSampler(),
+            lambda c: spec.legitimate(system, c),
+            trials=10,
+            max_steps=10_000,
+            rng=RandomSource(5),
+        )
+        assert result.round_stats is None
+
+    def test_round_gap_visible_under_central(self):
+        """On a many-token start, central scheduling pays ≈|Enabled|
+        steps per round, so steps must exceed rounds noticeably."""
+        system = make_token_ring_system(6)
+        spec = TokenCirculationSpec()
+        result = estimate_stabilization_time(
+            system,
+            CentralRandomizedSampler(),
+            lambda c: spec.legitimate(system, c),
+            trials=200,
+            max_steps=10_000,
+            rng=RandomSource(6),
+            measure_rounds=True,
+        )
+        assert result.round_stats.mean < result.stats.mean

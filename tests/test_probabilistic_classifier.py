@@ -1,0 +1,167 @@
+"""Tests for classify_probabilistic and randomized coloring (Q4 pieces)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.coloring import ProperColoringSpec, make_coloring_system
+from repro.algorithms.herman_ring import (
+    HermanSingleTokenSpec,
+    make_herman_system,
+)
+from repro.algorithms.randomized_coloring import (
+    RandomizedColoringAlgorithm,
+    make_randomized_coloring_system,
+)
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.errors import ModelError
+from repro.experiments.q4 import run_q4
+from repro.graphs.generators import complete, path, ring, star
+from repro.markov.builder import build_chain
+from repro.schedulers.distributions import (
+    CentralRandomizedDistribution,
+    SynchronousDistribution,
+)
+from repro.stabilization.probabilistic import classify_probabilistic
+from repro.stabilization.specification import PredicateSpecification
+from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
+
+
+class TestClassifyProbabilistic:
+    def test_token_ring_positive(self):
+        system = make_token_ring_system(5)
+        verdict = classify_probabilistic(
+            system, TokenCirculationSpec(), CentralRandomizedDistribution()
+        )
+        assert verdict.is_probabilistically_self_stabilizing
+        assert verdict.support_closure
+        assert verdict.min_absorption == pytest.approx(1.0)
+        assert verdict.worst_expected_steps >= verdict.mean_expected_steps
+        assert "probabilistically self-stabilizing" in verdict.summary()
+
+    def test_two_process_central_negative(self):
+        system = make_two_process_system()
+        verdict = classify_probabilistic(
+            system, BothTrueSpec(), CentralRandomizedDistribution()
+        )
+        assert not verdict.is_probabilistically_self_stabilizing
+        assert verdict.min_absorption == 0.0
+        assert math.isinf(verdict.worst_expected_steps)
+        assert "NOT" in verdict.summary()
+
+    def test_transformed_synchronous_positive(self):
+        base = make_two_process_system()
+        transformed = make_transformed_system(base)
+        verdict = classify_probabilistic(
+            transformed,
+            TransformedSpec(BothTrueSpec(), base),
+            SynchronousDistribution(),
+        )
+        assert verdict.is_probabilistically_self_stabilizing
+        assert verdict.worst_expected_steps == pytest.approx(10.0)
+
+    def test_closure_violation_detected(self):
+        """A non-closed 'legitimate' predicate must fail Definition 2(i)."""
+        system = make_token_ring_system(4)
+        from repro.algorithms.token_ring import count_tokens
+
+        at_least_two = PredicateSpecification(
+            "at-least-two-tokens",
+            lambda s, c: count_tokens(s, c) >= 2,
+        )
+        verdict = classify_probabilistic(
+            system, at_least_two, CentralRandomizedDistribution()
+        )
+        assert not verdict.support_closure
+        assert verdict.num_closure_violations > 0
+        assert not verdict.is_probabilistically_self_stabilizing
+
+    def test_empty_legitimate_set(self):
+        system = make_two_process_system()
+        never = PredicateSpecification("never", lambda s, c: False)
+        verdict = classify_probabilistic(
+            system, never, CentralRandomizedDistribution()
+        )
+        assert verdict.num_legitimate == 0
+        assert not verdict.is_probabilistically_self_stabilizing
+
+    def test_chain_reuse(self):
+        system = make_token_ring_system(4)
+        chain = build_chain(system, CentralRandomizedDistribution())
+        verdict = classify_probabilistic(
+            system,
+            TokenCirculationSpec(),
+            CentralRandomizedDistribution(),
+            chain=chain,
+        )
+        assert verdict.num_states == chain.num_states
+
+    def test_herman_verdict(self):
+        verdict = classify_probabilistic(
+            make_herman_system(5),
+            HermanSingleTokenSpec(),
+            SynchronousDistribution(),
+        )
+        assert verdict.is_probabilistically_self_stabilizing
+
+
+class TestRandomizedColoring:
+    def test_default_palette_is_delta_plus_two(self):
+        system = make_randomized_coloring_system(star(3))
+        assert system.layouts[0].spec("c").size == 5
+
+    def test_palette_validation(self):
+        with pytest.raises(ModelError):
+            make_randomized_coloring_system(star(3), palette_size=2)
+
+    def test_is_probabilistic(self):
+        assert RandomizedColoringAlgorithm().is_probabilistic
+
+    def test_outcomes_uniform(self):
+        system = make_randomized_coloring_system(complete(2))
+        branches = list(
+            system.subset_branches(((0,), (0,)), (0,))
+        )
+        assert len(branches) == 3  # palette Δ+2 = 3
+        assert all(
+            math.isclose(b.probability, 1 / 3) for b in branches
+        )
+
+    @pytest.mark.parametrize(
+        "graph", [complete(2), path(3), ring(4), complete(3)],
+        ids=["K2", "P3", "C4", "K3"],
+    )
+    def test_probabilistically_self_stabilizing_synchronously(self, graph):
+        verdict = classify_probabilistic(
+            make_randomized_coloring_system(graph),
+            ProperColoringSpec(),
+            SynchronousDistribution(),
+        )
+        assert verdict.is_probabilistically_self_stabilizing
+
+    def test_terminal_iff_proper(self):
+        system = make_randomized_coloring_system(path(3))
+        spec = ProperColoringSpec()
+        for configuration in system.all_configurations():
+            assert system.is_terminal(configuration) == spec.legitimate(
+                system, configuration
+            )
+
+
+class TestQ4Experiment:
+    def test_q4_passes(self):
+        result = run_q4()
+        assert result.passed
+
+    def test_herman_rows_identical_dynamics(self):
+        result = run_q4()
+        herman_rows = [
+            row for row in result.rows if "Herman" in str(row["direct design"])
+        ]
+        assert len(herman_rows) == 2
+        for row in herman_rows:
+            assert row["direct mean E[rounds]"] == row["trans mean E[rounds]"]

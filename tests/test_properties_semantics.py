@@ -1,0 +1,256 @@
+"""Property-based tests of the step semantics and checker invariants.
+
+These are the load-bearing invariants of the reproduction: atomicity of
+simultaneous steps, scheduler-relation refinement, transformer projection
+commutation, and witness validity.  All are quantified over random
+configurations/subsets via hypothesis.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.leader_tree import make_leader_tree_system
+from repro.algorithms.token_ring import make_token_ring_system
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.core.configuration import replace_local
+from repro.graphs.prufer import prufer_decode
+from repro.markov.builder import build_chain
+from repro.schedulers.distributions import (
+    BernoulliDistribution,
+    CentralRandomizedDistribution,
+    DistributedRandomizedDistribution,
+)
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization.statespace import StateSpace
+from repro.transformer.coin_toss import (
+    COIN_VARIABLE,
+    make_transformed_system,
+    project_configuration,
+)
+
+
+def _random_configuration(system, data):
+    states = []
+    for layout in system.layouts:
+        states.append(
+            tuple(
+                data.draw(st.sampled_from(spec.domain))
+                for spec in layout.specs
+            )
+        )
+    return tuple(states)
+
+
+class TestAtomicity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=3, max_value=7), st.data())
+    def test_simultaneous_step_is_composition_of_solo_writes(self, n, data):
+        """Every mover's new state in a joint step equals the state it
+        would compute moving alone from the same configuration —
+        simultaneity never changes what anyone writes (all reads are
+        pre-step)."""
+        system = make_token_ring_system(n)
+        configuration = _random_configuration(system, data)
+        enabled = system.enabled_processes(configuration)
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(sorted(enabled)),
+                min_size=1,
+                max_size=len(enabled),
+                unique=True,
+            )
+        )
+        (joint,) = system.subset_branches(configuration, subset)
+        expected = configuration
+        for process in subset:
+            (solo,) = system.subset_branches(configuration, (process,))
+            expected = replace_local(
+                expected, process, solo.target[process]
+            )
+        assert joint.target == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_non_movers_unchanged(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=6))
+        system = make_token_ring_system(n)
+        configuration = _random_configuration(system, data)
+        enabled = system.enabled_processes(configuration)
+        mover = data.draw(st.sampled_from(sorted(enabled)))
+        (branch,) = system.subset_branches(configuration, (mover,))
+        for process in system.processes:
+            if process != mover:
+                assert branch.target[process] == configuration[process]
+
+
+class TestRelationRefinement:
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_central_and_synchronous_subsets_of_distributed(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=6))
+        system = make_token_ring_system(n)
+        configuration = _random_configuration(system, data)
+        enabled = system.enabled_processes(configuration)
+        distributed = set(DistributedRelation().subsets(enabled))
+        assert set(CentralRelation().subsets(enabled)) <= distributed
+        assert set(SynchronousRelation().subsets(enabled)) <= distributed
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=5))
+    def test_central_spaces_embed_in_distributed(self, n):
+        """Every central edge appears in the distributed exploration."""
+        system = make_token_ring_system(n)
+        central = StateSpace.explore(system, CentralRelation())
+        distributed = StateSpace.explore(system, DistributedRelation())
+        for source, edges in enumerate(central.edges):
+            configuration = central.configurations[source]
+            distributed_source = distributed.id_of(configuration)
+            distributed_targets = {
+                distributed.configurations[t]
+                for t in distributed.successors(distributed_source)
+            }
+            for _, target in edges:
+                assert central.configurations[target] in (
+                    distributed_targets
+                )
+
+
+class TestTransformerProjection:
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_projection_determined_by_coin_winners(self, data):
+        """For any transformed branch, the projected target equals the
+        base step taken by exactly the movers whose coin landed true —
+        the computational heart of Lemmas 1-2."""
+        base = make_token_ring_system(
+            data.draw(st.integers(min_value=3, max_value=5))
+        )
+        transformed = make_transformed_system(base)
+        configuration = _random_configuration(transformed, data)
+        enabled = transformed.enabled_processes(configuration)
+        if not enabled:
+            return
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(sorted(enabled)),
+                min_size=1,
+                max_size=len(enabled),
+                unique=True,
+            )
+        )
+        coin_slot = transformed.layouts[0].slot(COIN_VARIABLE)
+        base_configuration = project_configuration(
+            transformed, configuration
+        )
+        for branch in transformed.subset_branches(configuration, subset):
+            winners = tuple(
+                p for p in subset if branch.target[p][coin_slot] is True
+            )
+            projected = project_configuration(transformed, branch.target)
+            if winners:
+                (base_branch,) = base.subset_branches(
+                    base_configuration, winners
+                )
+                assert projected == base_branch.target
+            else:
+                assert projected == base_configuration
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_guards_never_read_the_coin(self, data):
+        base = make_two_process_system()
+        transformed = make_transformed_system(base)
+        configuration = _random_configuration(transformed, data)
+        coin_slot = transformed.layouts[0].slot(COIN_VARIABLE)
+        flipped = tuple(
+            state[:coin_slot]
+            + (not state[coin_slot],)
+            + state[coin_slot + 1:]
+            for state in configuration
+        )
+        assert transformed.enabled_processes(
+            configuration
+        ) == transformed.enabled_processes(flipped)
+
+
+class TestWitnessValidity:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=3, max_value=5))
+    def test_converging_executions_are_legal(self, n):
+        """Every consecutive pair of a witness trace is a real step."""
+        from repro.algorithms.token_ring import TokenCirculationSpec
+        from repro.stabilization.witnesses import converging_execution
+
+        system = make_token_ring_system(n)
+        space = StateSpace.explore(system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        start = next(i for i, ok in enumerate(legitimate) if not ok)
+        trace = converging_execution(space, legitimate, start)
+        for index, step in enumerate(trace.steps):
+            source = trace.configurations[index]
+            target = trace.configurations[index + 1]
+            subset = sorted(step.acting_processes)
+            targets = {
+                branch.target
+                for branch in system.subset_branches(source, subset)
+            }
+            assert target in targets
+
+
+class TestChainInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=5),
+        st.sampled_from(["central", "distributed", "bernoulli"]),
+    )
+    def test_rows_always_stochastic(self, n, which):
+        system = make_token_ring_system(n)
+        distribution = {
+            "central": CentralRandomizedDistribution(),
+            "distributed": DistributedRandomizedDistribution(),
+            "bernoulli": BernoulliDistribution(0.5, include_empty=True),
+        }[which]
+        chain = build_chain(system, distribution)
+        for row in chain.rows:
+            assert math.isclose(sum(row.values()), 1.0, abs_tol=1e-9)
+            assert all(p > 0 for p in row.values())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_absorption_bounded(self, data):
+        import numpy as np
+
+        from repro.markov.hitting import absorption_probabilities
+
+        system = make_two_process_system()
+        chain = build_chain(system, CentralRandomizedDistribution())
+        target = chain.mark(BothTrueSpec().legitimate)
+        absorption = absorption_probabilities(chain, target)
+        assert np.all((absorption >= 0) & (absorption <= 1))
+
+
+class TestTreeAlgorithmsOnRandomTrees:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_terminal_configs_have_one_leader(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=7))
+        sequence = tuple(
+            data.draw(st.integers(min_value=0, max_value=n - 1))
+            for _ in range(max(n - 2, 0))
+        )
+        tree = prufer_decode(sequence, n)
+        system = make_leader_tree_system(tree)
+        configuration = _random_configuration(system, data)
+        if system.is_terminal(configuration):
+            from repro.algorithms.leader_tree import leaders, satisfies_lc
+
+            assert len(leaders(system, configuration)) == 1
+            assert satisfies_lc(system, configuration)

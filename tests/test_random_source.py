@@ -1,0 +1,109 @@
+"""Unit tests for repro.random_source."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.random_source import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert RandomSource(1).random() != RandomSource(2).random()
+
+    def test_spawn_is_deterministic(self):
+        assert (
+            RandomSource(3).spawn(9).random()
+            == RandomSource(3).spawn(9).random()
+        )
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomSource(3)
+        child = parent.spawn(1)
+        assert parent.seed != child.seed
+
+    def test_spawn_handles_none_seed(self):
+        assert RandomSource(None).spawn(5).seed is not None
+
+
+class TestPrimitives:
+    def test_randrange_bounds(self, rng):
+        values = {rng.randrange(4) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_randrange_rejects_nonpositive(self, rng):
+        with pytest.raises(ReproError):
+            rng.randrange(0)
+
+    def test_coin_both_sides(self, rng):
+        flips = {rng.coin() for _ in range(100)}
+        assert flips == {True, False}
+
+    def test_bernoulli_extremes(self, rng):
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_rejects_bad_probability(self, rng):
+        with pytest.raises(ReproError):
+            rng.bernoulli(1.5)
+
+    def test_choice(self, rng):
+        assert rng.choice([42]) == 42
+        seen = {rng.choice("abc") for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choice_empty(self, rng):
+        with pytest.raises(ReproError):
+            rng.choice([])
+
+    def test_shuffle_permutes(self, rng):
+        items = list(range(10))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestSubsets:
+    def test_subset_nonempty_and_within(self, rng):
+        items = [10, 20, 30]
+        for _ in range(100):
+            subset = rng.sample_nonempty_subset(items)
+            assert subset
+            assert set(subset) <= set(items)
+
+    def test_subset_covers_all_seven(self, rng):
+        items = [0, 1, 2]
+        seen = set()
+        for _ in range(500):
+            seen.add(tuple(sorted(rng.sample_nonempty_subset(items))))
+        assert len(seen) == 7  # all non-empty subsets of a 3-set
+
+    def test_subset_empty_input(self, rng):
+        with pytest.raises(ReproError):
+            rng.sample_nonempty_subset([])
+
+
+class TestWeightedIndex:
+    def test_degenerate(self, rng):
+        assert rng.weighted_index([1.0]) == 0
+
+    def test_proportions(self):
+        rng = RandomSource(11)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[rng.weighted_index([0.25, 0.75])] += 1
+        assert 0.18 < counts[0] / 2000 < 0.32
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ReproError):
+            rng.weighted_index([])
+
+    def test_rejects_zero_total(self, rng):
+        with pytest.raises(ReproError):
+            rng.weighted_index([0.0, 0.0])

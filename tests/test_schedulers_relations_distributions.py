@@ -1,0 +1,184 @@
+"""Unit + property tests for scheduler relations and distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerError
+from repro.schedulers.distributions import (
+    BernoulliDistribution,
+    CentralRandomizedDistribution,
+    DistributedRandomizedDistribution,
+    SynchronousDistribution,
+    distribution_by_name,
+)
+from repro.schedulers.relations import (
+    BoundedRelation,
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+    relation_by_name,
+)
+
+ENABLED_SETS = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=1, max_size=6, unique=True
+)
+
+
+class TestCentralRelation:
+    def test_singletons(self):
+        assert list(CentralRelation().subsets((3, 5))) == [(3,), (5,)]
+
+    def test_allows(self):
+        relation = CentralRelation()
+        assert relation.allows((1, 2), (2,))
+        assert not relation.allows((1, 2), (1, 2))
+
+    def test_max_subsets(self):
+        assert CentralRelation().max_subsets(4) == 4
+
+
+class TestDistributedRelation:
+    def test_all_nonempty_subsets(self):
+        subsets = set(DistributedRelation().subsets((0, 1)))
+        assert subsets == {(0,), (1,), (0, 1)}
+
+    def test_count(self):
+        assert DistributedRelation().max_subsets(4) == 15
+
+    def test_budget_guard(self):
+        with pytest.raises(SchedulerError):
+            list(DistributedRelation(max_enabled=3).subsets(range(4)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(ENABLED_SETS)
+    def test_every_subset_valid(self, enabled):
+        for subset in DistributedRelation().subsets(enabled):
+            assert subset
+            assert set(subset) <= set(enabled)
+            assert list(subset) == sorted(subset)
+
+
+class TestSynchronousRelation:
+    def test_single_choice(self):
+        assert list(SynchronousRelation().subsets((2, 0, 1))) == [(0, 1, 2)]
+
+    def test_nothing_for_empty(self):
+        assert list(SynchronousRelation().subsets(())) == []
+
+
+class TestBoundedRelation:
+    def test_bound_two(self):
+        subsets = set(BoundedRelation(2).subsets((0, 1, 2)))
+        assert (0, 1) in subsets
+        assert (0, 1, 2) not in subsets
+        assert len(subsets) == 6
+
+    def test_bound_validation(self):
+        with pytest.raises(SchedulerError):
+            BoundedRelation(0)
+
+    def test_bound_one_equals_central(self):
+        enabled = (0, 3, 4)
+        assert set(BoundedRelation(1).subsets(enabled)) == set(
+            CentralRelation().subsets(enabled)
+        )
+
+
+class TestRelationRegistry:
+    @pytest.mark.parametrize(
+        "name", ["central", "distributed", "synchronous"]
+    )
+    def test_known(self, name):
+        assert relation_by_name(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(SchedulerError):
+            relation_by_name("quantum")
+
+
+class TestDistributions:
+    @settings(max_examples=30, deadline=None)
+    @given(ENABLED_SETS)
+    def test_synchronous_sums_to_one(self, enabled):
+        SynchronousDistribution().check(enabled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ENABLED_SETS)
+    def test_central_uniform(self, enabled):
+        weighted = CentralRandomizedDistribution().weighted_subsets(enabled)
+        assert len(weighted) == len(enabled)
+        for weight, subset in weighted:
+            assert math.isclose(weight, 1.0 / len(enabled))
+            assert len(subset) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(ENABLED_SETS)
+    def test_distributed_uniform_nonempty(self, enabled):
+        weighted = DistributedRandomizedDistribution().weighted_subsets(
+            enabled
+        )
+        assert len(weighted) == 2 ** len(enabled) - 1
+        expected = 1.0 / (2 ** len(enabled) - 1)
+        for weight, subset in weighted:
+            assert math.isclose(weight, expected)
+            assert subset
+
+    def test_empty_enabled_rejected(self):
+        for distribution in (
+            SynchronousDistribution(),
+            CentralRandomizedDistribution(),
+            DistributedRandomizedDistribution(),
+            BernoulliDistribution(),
+        ):
+            with pytest.raises(SchedulerError):
+                distribution.weighted_subsets(())
+
+    def test_bernoulli_lazy_includes_empty(self):
+        weighted = BernoulliDistribution(0.5, include_empty=True)
+        subsets = dict(
+            (subset, weight)
+            for weight, subset in weighted.weighted_subsets((0, 1))
+        )
+        assert math.isclose(subsets[()], 0.25)
+        assert math.isclose(subsets[(0, 1)], 0.25)
+        assert math.isclose(sum(subsets.values()), 1.0)
+
+    def test_bernoulli_strict_renormalizes(self):
+        weighted = BernoulliDistribution(0.5, include_empty=False)
+        entries = weighted.weighted_subsets((0, 1))
+        assert all(subset for _, subset in entries)
+        assert math.isclose(sum(w for w, _ in entries), 1.0)
+
+    def test_bernoulli_biased_weights(self):
+        weighted = BernoulliDistribution(0.25, include_empty=True)
+        subsets = dict(
+            (subset, weight)
+            for weight, subset in weighted.weighted_subsets((0,))
+        )
+        assert math.isclose(subsets[(0,)], 0.25)
+        assert math.isclose(subsets[()], 0.75)
+
+    def test_bernoulli_probability_validation(self):
+        with pytest.raises(SchedulerError):
+            BernoulliDistribution(0.0)
+        with pytest.raises(SchedulerError):
+            BernoulliDistribution(1.0)
+
+    def test_distribution_registry(self):
+        assert (
+            distribution_by_name("central-randomized").name
+            == "central-randomized"
+        )
+        with pytest.raises(SchedulerError):
+            distribution_by_name("nope")
+
+    def test_budget_guards(self):
+        with pytest.raises(SchedulerError):
+            DistributedRandomizedDistribution(max_enabled=2).weighted_subsets(
+                (0, 1, 2)
+            )
+        with pytest.raises(SchedulerError):
+            BernoulliDistribution(max_enabled=2).weighted_subsets((0, 1, 2))

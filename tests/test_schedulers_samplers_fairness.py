@@ -1,0 +1,227 @@
+"""Unit tests for scheduler samplers and the lasso fairness predicates."""
+
+import pytest
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+    two_token_configuration,
+)
+from repro.core.trace import Lasso, Step, Trace, lasso_from_trace
+from repro.core.system import Move
+from repro.errors import SchedulerError
+from repro.random_source import RandomSource
+from repro.schedulers.fairness import (
+    cycle_acting_processes,
+    fairness_report,
+    is_gouda_fair_lasso,
+    is_strongly_fair_lasso,
+    is_weakly_fair_lasso,
+)
+from repro.schedulers.relations import CentralRelation
+from repro.schedulers.samplers import (
+    BernoulliSampler,
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    GreedySingletonSampler,
+    RoundRobinSampler,
+    ScriptedSampler,
+    SynchronousSampler,
+    sampler_by_name,
+)
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(9)
+
+
+class TestSamplers:
+    def test_synchronous_returns_all(self, two_process_system, rng):
+        chosen = SynchronousSampler().choose(
+            two_process_system, ((False,), (False,)), (0, 1), rng
+        )
+        assert list(chosen) == [0, 1]
+
+    def test_central_singleton(self, two_process_system, rng):
+        chosen = CentralRandomizedSampler().choose(
+            two_process_system, ((False,), (False,)), (0, 1), rng
+        )
+        assert len(chosen) == 1
+
+    def test_distributed_nonempty_subset(self, two_process_system, rng):
+        for _ in range(50):
+            chosen = DistributedRandomizedSampler().choose(
+                two_process_system, ((False,), (False,)), (0, 1), rng
+            )
+            assert chosen
+            assert set(chosen) <= {0, 1}
+
+    def test_bernoulli_never_empty(self, two_process_system, rng):
+        sampler = BernoulliSampler(0.1)
+        for _ in range(50):
+            assert sampler.choose(
+                two_process_system, ((False,), (False,)), (0, 1), rng
+            )
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(SchedulerError):
+            BernoulliSampler(0.0)
+
+    def test_round_robin_cycles(self, ring5_system, rng):
+        sampler = RoundRobinSampler()
+        config = next(
+            c
+            for c in ring5_system.all_configurations()
+            if len(ring5_system.enabled_processes(c)) >= 3
+        )
+        enabled = ring5_system.enabled_processes(config)
+        first = sampler.choose(ring5_system, config, enabled, rng)
+        second = sampler.choose(ring5_system, config, enabled, rng)
+        assert first != second or len(enabled) == 1
+
+    def test_scripted_replay(self, two_process_system, rng):
+        sampler = ScriptedSampler([(0,), (1,)])
+        assert sampler.remaining == 2
+        assert list(
+            sampler.choose(
+                two_process_system, ((False,), (False,)), (0, 1), rng
+            )
+        ) == [0]
+        assert sampler.remaining == 1
+
+    def test_scripted_exhaustion(self, two_process_system, rng):
+        sampler = ScriptedSampler([])
+        with pytest.raises(SchedulerError):
+            sampler.choose(
+                two_process_system, ((False,), (False,)), (0, 1), rng
+            )
+
+    def test_scripted_disabled_process(self, two_process_system, rng):
+        sampler = ScriptedSampler([(1,)])
+        with pytest.raises(SchedulerError):
+            sampler.choose(
+                two_process_system, ((True,), (False,)), (0,), rng
+            )
+
+    def test_greedy_singleton(self, two_process_system, rng):
+        sampler = GreedySingletonSampler(
+            lambda system, config, p: float(p)
+        )
+        chosen = sampler.choose(
+            two_process_system, ((False,), (False,)), (0, 1), rng
+        )
+        assert list(chosen) == [1]
+
+    def test_registry(self):
+        assert sampler_by_name("round-robin").name == "round-robin"
+        with pytest.raises(SchedulerError):
+            sampler_by_name("fancy")
+
+
+def _alternating_lasso(system):
+    """Two tokens moved alternately until the configuration repeats."""
+    configuration = two_token_configuration(system, 0, 3)
+    trace = Trace.starting_at(configuration)
+    seen = {configuration: 0}
+    mover_is_first = True
+    from repro.algorithms.token_ring import token_holders
+
+    while True:
+        holders = token_holders(system, configuration)
+        mover = min(holders) if mover_is_first else max(holders)
+        mover_is_first = not mover_is_first
+        branch = next(
+            iter(system.subset_branches(configuration, (mover,)))
+        )
+        trace.append(Step(branch.moves), branch.target)
+        configuration = branch.target
+        if configuration in seen:
+            return lasso_from_trace(trace, seen[configuration])
+        seen[configuration] = trace.length
+
+
+class TestFairnessOnTheoremSixWitness:
+    @pytest.fixture(scope="class")
+    def witness(self):
+        system = make_token_ring_system(6)
+        return system, _alternating_lasso(system)
+
+    def test_strongly_fair(self, witness):
+        system, lasso = witness
+        assert is_strongly_fair_lasso(system, lasso)
+
+    def test_weakly_fair(self, witness):
+        system, lasso = witness
+        assert is_weakly_fair_lasso(system, lasso)
+
+    def test_not_gouda_fair(self, witness):
+        system, lasso = witness
+        assert not is_gouda_fair_lasso(system, lasso, CentralRelation())
+
+    def test_never_legitimate(self, witness):
+        system, lasso = witness
+        spec = TokenCirculationSpec()
+        assert all(
+            not spec.legitimate(system, configuration)
+            for configuration in lasso.cycle_configurations
+        )
+
+    def test_report_consistency(self, witness):
+        system, lasso = witness
+        report = fairness_report(system, lasso, CentralRelation())
+        assert report.strongly_fair and not report.gouda_fair
+        assert report.starved == frozenset()
+        assert "strong=True" in report.summary()
+
+
+class TestFairnessOnStarvingLasso:
+    """Algorithm 3 driven by a central scheduler that only ever picks p0.
+
+    The cycle (F,F) → (T,F) → (F,F) starves p1: it is enabled at (F,F)
+    (so enabled infinitely often → strong fairness violated) but disabled
+    at (T,F) (not *continuously* enabled → weak fairness still holds).
+    This separates the two classical fairness notions on one example.
+    """
+
+    @pytest.fixture(scope="class")
+    def starving(self, ):
+        from repro.algorithms.two_process import make_two_process_system
+
+        system = make_two_process_system()
+        configuration = ((False,), (False,))
+        trace = Trace.starting_at(configuration)
+        seen = {configuration: 0}
+        while True:
+            branch = next(
+                iter(system.subset_branches(configuration, (0,)))
+            )
+            trace.append(Step(branch.moves), branch.target)
+            configuration = branch.target
+            if configuration in seen:
+                return system, lasso_from_trace(trace, seen[configuration])
+            seen[configuration] = trace.length
+
+    def test_cycle_shape(self, starving):
+        _, lasso = starving
+        assert lasso.cycle_length == 2
+
+    def test_not_strongly_fair(self, starving):
+        system, lasso = starving
+        assert not is_strongly_fair_lasso(system, lasso)
+        report = fairness_report(system, lasso, CentralRelation())
+        assert 1 in report.starved
+
+    def test_weakly_fair_nevertheless(self, starving):
+        # p1 is not continuously enabled (disabled at (T,F)), so weak
+        # fairness is satisfied even though p1 never acts.
+        system, lasso = starving
+        assert is_weakly_fair_lasso(system, lasso)
+
+    def test_not_gouda_fair(self, starving):
+        system, lasso = starving
+        assert not is_gouda_fair_lasso(system, lasso, CentralRelation())
+
+    def test_acting_processes_exclude_starved(self, starving):
+        system, lasso = starving
+        assert 1 not in cycle_acting_processes(lasso)

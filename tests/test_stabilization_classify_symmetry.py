@@ -1,0 +1,182 @@
+"""Unit tests for classification verdicts and the symmetry engine."""
+
+import pytest
+
+from repro.algorithms.leader_tree import (
+    LeaderTreeAlgorithm,
+    TreeLeaderSpec,
+)
+from repro.algorithms.token_ring import TokenCirculationSpec
+from repro.algorithms.two_process import BothTrueSpec
+from repro.core.system import System
+from repro.core.topology import Topology
+from repro.errors import ModelError, StateSpaceError
+from repro.graphs.generators import figure3_chain, path, ring
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization.classify import classify
+from repro.stabilization.specification import PredicateSpecification
+from repro.stabilization.statespace import StateSpace
+from repro.stabilization.symmetry import (
+    check_symmetric_class_closed,
+    is_equivariant_synchronous_step,
+    mirror_of_path,
+    symmetric_configurations,
+    transport_configuration,
+)
+
+SYMMETRIC_PORTS = ((1,), (0, 2), (3, 1), (2,))
+
+
+class TestClassify:
+    def test_token_ring_weak_not_self(self, ring5_system):
+        verdict = classify(
+            ring5_system, TokenCirculationSpec(), DistributedRelation()
+        )
+        assert verdict.is_weak_stabilizing
+        assert not verdict.is_self_stabilizing
+        assert "weak-stabilizing" in verdict.stabilization_class
+        assert "weak-stabilizing" in verdict.summary()
+
+    def test_two_process_synchronous_self(self, two_process_system):
+        verdict = classify(
+            two_process_system, BothTrueSpec(), SynchronousRelation()
+        )
+        assert verdict.is_self_stabilizing
+        assert verdict.stabilization_class == "self-stabilizing"
+
+    def test_two_process_central_not_stabilizing(self, two_process_system):
+        verdict = classify(
+            two_process_system, BothTrueSpec(), CentralRelation()
+        )
+        assert not verdict.is_weak_stabilizing
+        assert verdict.stabilization_class == "not stabilizing"
+
+    def test_reuse_explored_space(self, two_process_system):
+        space = StateSpace.explore(two_process_system, CentralRelation())
+        verdict = classify(
+            two_process_system,
+            BothTrueSpec(),
+            CentralRelation(),
+            space=space,
+        )
+        assert verdict.num_configurations == 4
+
+    def test_space_system_mismatch_rejected(
+        self, two_process_system, ring5_system
+    ):
+        space = StateSpace.explore(ring5_system, CentralRelation())
+        with pytest.raises(StateSpaceError):
+            classify(
+                two_process_system,
+                BothTrueSpec(),
+                CentralRelation(),
+                space=space,
+            )
+
+    def test_empty_legitimate_set_not_stabilizing(self, two_process_system):
+        spec = PredicateSpecification(
+            "impossible", lambda system, config: False
+        )
+        verdict = classify(two_process_system, spec, CentralRelation())
+        assert verdict.num_legitimate == 0
+        assert not verdict.is_weak_stabilizing
+        assert not verdict.is_self_stabilizing
+
+    def test_behavior_violations_block_verdict(self, ring5_system):
+        class PickySpec(TokenCirculationSpec):
+            def validate_behavior(self, system, space, legitimate_ids):
+                return ["always unhappy"]
+
+        verdict = classify(ring5_system, PickySpec(), DistributedRelation())
+        assert verdict.behavior_violations == ("always unhappy",)
+        assert not verdict.is_weak_stabilizing
+
+
+@pytest.fixture
+def symmetric_system():
+    return System(
+        LeaderTreeAlgorithm(),
+        Topology(figure3_chain(), neighbor_order=SYMMETRIC_PORTS),
+    )
+
+
+class TestSymmetry:
+    def test_transport_involution(self, symmetric_system):
+        sigma = mirror_of_path(4)
+        for configuration in symmetric_system.all_configurations():
+            double = transport_configuration(
+                symmetric_system,
+                transport_configuration(
+                    symmetric_system, configuration, sigma
+                ),
+                sigma,
+            )
+            assert double == configuration
+
+    def test_transport_rejects_non_automorphism(self, symmetric_system):
+        with pytest.raises(ModelError):
+            transport_configuration(
+                symmetric_system,
+                next(symmetric_system.all_configurations()),
+                [1, 0, 2, 3],
+            )
+
+    def test_symmetric_configurations_are_fixed_points(
+        self, symmetric_system
+    ):
+        sigma = mirror_of_path(4)
+        fixed = list(symmetric_configurations(symmetric_system, sigma))
+        assert fixed
+        for configuration in fixed:
+            assert (
+                transport_configuration(
+                    symmetric_system, configuration, sigma
+                )
+                == configuration
+            )
+
+    def test_equivariance_everywhere(self, symmetric_system):
+        sigma = mirror_of_path(4)
+        assert all(
+            is_equivariant_synchronous_step(
+                symmetric_system, configuration, sigma
+            )
+            for configuration in symmetric_system.all_configurations()
+        )
+
+    def test_symmetric_class_closed(self, symmetric_system):
+        sigma = mirror_of_path(4)
+        count, violations = check_symmetric_class_closed(
+            symmetric_system, sigma
+        )
+        assert count > 0
+        assert violations == []
+
+    def test_no_leader_in_symmetric_class(self, symmetric_system):
+        sigma = mirror_of_path(4)
+        spec = TreeLeaderSpec()
+        assert not any(
+            spec.legitimate(symmetric_system, configuration)
+            for configuration in symmetric_configurations(
+                symmetric_system, sigma
+            )
+        )
+
+    def test_default_port_numbering_breaks_symmetry(self):
+        """With ascending-id ports, A3's min() is not σ-equivariant —
+        demonstrating why the impossibility quantifies over port
+        numberings."""
+        system = System(LeaderTreeAlgorithm(), Topology(figure3_chain()))
+        sigma = mirror_of_path(4)
+        assert not all(
+            is_equivariant_synchronous_step(system, configuration, sigma)
+            for configuration in system.all_configurations()
+        )
+
+    def test_mirror_of_path(self):
+        assert mirror_of_path(4) == [3, 2, 1, 0]
+        assert mirror_of_path(5) == [4, 3, 2, 1, 0]

@@ -1,0 +1,68 @@
+"""Tests for convergence profiles."""
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.schedulers.relations import CentralRelation, DistributedRelation
+from repro.stabilization.profile import convergence_profile
+from repro.stabilization.statespace import StateSpace
+
+
+class TestConvergenceProfile:
+    def test_token_ring_profile(self):
+        system = make_token_ring_system(5)
+        space = StateSpace.explore(system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        profile = convergence_profile(space, legitimate)
+        assert profile.num_configurations == 32
+        assert profile.num_legitimate == 10
+        assert profile.num_stranded == 0
+        assert profile.all_can_converge
+        assert profile.max_distance >= 1
+        assert 0 < profile.mean_distance < profile.max_distance + 1
+
+    def test_histogram_accounts_for_everything(self):
+        system = make_token_ring_system(4)
+        space = StateSpace.explore(system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        profile = convergence_profile(space, legitimate)
+        total = sum(count for _, count in profile.histogram)
+        assert total + profile.num_stranded == profile.num_configurations
+        assert dict(profile.histogram)[0] == profile.num_legitimate
+
+    def test_stranded_counted(self):
+        system = make_two_process_system()
+        space = StateSpace.explore(system, CentralRelation())
+        legitimate = space.legitimate_mask(BothTrueSpec().legitimate)
+        profile = convergence_profile(space, legitimate)
+        assert profile.num_stranded == 3
+        assert not profile.all_can_converge
+
+    def test_row_shape(self):
+        system = make_token_ring_system(4)
+        space = StateSpace.explore(system, CentralRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        row = convergence_profile(space, legitimate).row()
+        assert set(row) == {
+            "|C|",
+            "|L|",
+            "stranded",
+            "max dist to L",
+            "mean dist to L",
+        }
+
+    def test_all_legitimate_profile(self):
+        system = make_two_process_system()
+        space = StateSpace.explore(system, CentralRelation())
+        profile = convergence_profile(space, [True] * 4)
+        assert profile.max_distance == 0
+        assert profile.mean_distance == 0.0
+        assert profile.num_legitimate == 4

@@ -1,0 +1,206 @@
+"""Unit tests for witness construction (converging runs, lassos, SCCs)."""
+
+import pytest
+
+from repro.algorithms.leader_tree import (
+    TreeLeaderSpec,
+    make_leader_tree_system,
+    satisfies_lc,
+)
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.errors import StateSpaceError
+from repro.graphs.generators import figure3_chain
+from repro.schedulers.fairness import fairness_report
+from repro.schedulers.relations import CentralRelation, DistributedRelation
+from repro.stabilization.statespace import StateSpace
+from repro.stabilization.witnesses import (
+    converging_execution,
+    find_gouda_witnesses,
+    find_strongly_fair_lasso,
+    recover_step,
+    synchronous_lasso,
+    synchronous_successor,
+)
+
+
+class TestRecoverStep:
+    def test_recovers_moves(self, two_process_system):
+        space = StateSpace.explore(two_process_system, CentralRelation())
+        source = ((False,), (False,))
+        config_id = space.id_of(source)
+        mask, target_id = space.edges[config_id][0]
+        step = recover_step(
+            two_process_system, source, mask, space.configurations[target_id]
+        )
+        assert step.acting_processes == {0} or step.acting_processes == {1}
+
+    def test_raises_on_impossible_edge(self, two_process_system):
+        with pytest.raises(StateSpaceError):
+            recover_step(
+                two_process_system,
+                ((False,), (False,)),
+                0b01,
+                ((False,), (True,)),  # p0 moving cannot change p1
+            )
+
+
+class TestConvergingExecution:
+    def test_reaches_legitimate(self, ring5_system):
+        space = StateSpace.explore(ring5_system, DistributedRelation())
+        spec = TokenCirculationSpec()
+        legitimate = space.legitimate_mask(spec.legitimate)
+        start = next(
+            i for i, ok in enumerate(legitimate) if not ok
+        )
+        trace = converging_execution(space, legitimate, start)
+        assert spec.legitimate(ring5_system, trace.final)
+        assert not spec.legitimate(ring5_system, trace.initial)
+
+    def test_shortest_path_length(self, ring5_system):
+        from repro.stabilization.convergence import (
+            shortest_distances_to_legitimate,
+        )
+
+        space = StateSpace.explore(ring5_system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        distances = shortest_distances_to_legitimate(space, legitimate)
+        start = max(
+            range(space.num_configurations), key=lambda i: distances[i]
+        )
+        trace = converging_execution(space, legitimate, start)
+        assert trace.length == distances[start]
+
+    def test_zero_length_from_legitimate(self, ring5_system):
+        space = StateSpace.explore(ring5_system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        start = next(i for i, ok in enumerate(legitimate) if ok)
+        assert converging_execution(space, legitimate, start).length == 0
+
+    def test_stranded_start_raises(self, two_process_system):
+        space = StateSpace.explore(two_process_system, CentralRelation())
+        legitimate = space.legitimate_mask(BothTrueSpec().legitimate)
+        with pytest.raises(StateSpaceError):
+            converging_execution(
+                space, legitimate, space.id_of(((False,), (False,)))
+            )
+
+
+class TestSynchronous:
+    def test_successor_none_at_terminal(self, two_process_system):
+        assert (
+            synchronous_successor(two_process_system, ((True,), (True,)))
+            is None
+        )
+
+    def test_successor_unique(self, two_process_system):
+        target, step = synchronous_successor(
+            two_process_system, ((False,), (False,))
+        )
+        assert target == ((True,), (True,))
+        assert step.acting_processes == {0, 1}
+
+    def test_lasso_converging_case(self, two_process_system):
+        trace, lasso = synchronous_lasso(
+            two_process_system, ((False,), (False,))
+        )
+        assert lasso is None
+        assert trace.final == ((True,), (True,))
+
+    def test_lasso_oscillating_case(self, chain4_system):
+        initial = ((0,), (0,), (0,), (0,))
+        trace, lasso = synchronous_lasso(chain4_system, initial)
+        assert lasso is not None
+        assert lasso.cycle_length >= 2
+        assert all(
+            not satisfies_lc(chain4_system, c)
+            for c in lasso.cycle_configurations
+        )
+
+    def test_probabilistic_step_rejected(self):
+        from repro.transformer.coin_toss import make_transformed_system
+
+        transformed = make_transformed_system(make_two_process_system())
+        base = ((False, False), (False, False))
+        with pytest.raises(StateSpaceError):
+            synchronous_successor(transformed, base)
+
+
+class TestStronglyFairLasso:
+    def test_found_for_token_ring(self, ring6_system):
+        space = StateSpace.explore(ring6_system, CentralRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        lasso = find_strongly_fair_lasso(space, legitimate)
+        assert lasso is not None
+        report = fairness_report(ring6_system, lasso, CentralRelation())
+        assert report.strongly_fair
+        assert all(not legitimate[space.id_of(c)]
+                   for c in lasso.cycle_configurations)
+
+    def test_none_for_odd_ring_under_central(self):
+        """On a 5-ring (m=2, token parity odd) central transient SCCs
+        always starve someone... the detector must simply find nothing or
+        a genuinely strongly fair cycle; for N=5 token count >= 3 in the
+        transient region and merging is always possible, but parked
+        tokens make strong fairness fail.  Verify the detector's output
+        is self-consistent instead of asserting emptiness."""
+        system = make_token_ring_system(5)
+        space = StateSpace.explore(system, CentralRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        lasso = find_strongly_fair_lasso(space, legitimate)
+        if lasso is not None:
+            report = fairness_report(system, lasso, CentralRelation())
+            assert report.strongly_fair
+            assert all(
+                not legitimate[space.id_of(c)]
+                for c in lasso.cycle_configurations
+            )
+
+    def test_none_when_no_transient_cycle(self, two_process_system):
+        space = StateSpace.explore(two_process_system, CentralRelation())
+        # L = {(F,F)}: transitions (T,F)->(F,F) leave the transient set...
+        # build L = everything except the two mixed states; the mixed
+        # states have no transient cycle between them.
+        legitimate = [
+            config in {((False,), (False,)), ((True,), (True,))}
+            for config in space.configurations
+        ]
+        assert find_strongly_fair_lasso(space, legitimate) is None
+
+
+class TestGoudaWitnesses:
+    def test_weak_stabilizing_has_none(self, ring5_system):
+        space = StateSpace.explore(ring5_system, DistributedRelation())
+        legitimate = space.legitimate_mask(
+            TokenCirculationSpec().legitimate
+        )
+        assert find_gouda_witnesses(space, legitimate) == []
+
+    def test_central_two_process_has_trap(self, two_process_system):
+        space = StateSpace.explore(two_process_system, CentralRelation())
+        legitimate = space.legitimate_mask(BothTrueSpec().legitimate)
+        witnesses = find_gouda_witnesses(space, legitimate)
+        assert len(witnesses) == 1
+        trap = {space.configurations[i] for i in witnesses[0]}
+        assert ((False,), (False,)) in trap
+
+    def test_terminal_outside_l_is_witness(self, two_process_system):
+        space = StateSpace.explore(two_process_system, DistributedRelation())
+        legitimate = [
+            config == ((False,), (False,))
+            for config in space.configurations
+        ]
+        witnesses = find_gouda_witnesses(space, legitimate)
+        flat = {i for component in witnesses for i in component}
+        assert space.id_of(((True,), (True,))) in flat

@@ -1,0 +1,229 @@
+"""Tests for the Section 4 coin-toss transformer (Lemmas 1-2, Thms 8-9)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.herman_ring import HermanAlgorithm, make_herman_system
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.core.algorithm import Algorithm
+from repro.core.system import System
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.actions import deterministic_action
+from repro.errors import ModelError
+from repro.graphs.generators import path
+from repro.core.topology import Topology
+from repro.markov.builder import build_chain
+from repro.markov.hitting import absorption_probabilities, hitting_summary
+from repro.schedulers.distributions import (
+    DistributedRandomizedDistribution,
+    SynchronousDistribution,
+)
+from repro.schedulers.relations import SynchronousRelation
+from repro.stabilization.closure import check_strong_closure
+from repro.stabilization.statespace import StateSpace
+from repro.transformer.coin_toss import (
+    COIN_VARIABLE,
+    CoinTossTransform,
+    TransformedSpec,
+    lift_configuration,
+    make_transformed_system,
+    project_configuration,
+)
+
+
+class TestShape:
+    def test_adds_coin_variable(self, two_process_system):
+        transformed = make_transformed_system(two_process_system)
+        assert COIN_VARIABLE in transformed.variable_names()
+        assert transformed.num_configurations() == 4 * 4  # B doubles each
+
+    def test_action_names_wrapped(self, two_process_system):
+        transformed = make_transformed_system(two_process_system)
+        assert [a.name for a in transformed.actions] == [
+            "Trans(A1)",
+            "Trans(A2)",
+        ]
+
+    def test_is_probabilistic(self, two_process_system):
+        transformed = make_transformed_system(two_process_system)
+        assert transformed.algorithm.is_probabilistic
+
+    def test_guards_unchanged(self, two_process_system):
+        """Trans(A)'s guard is the original guard (reads no coin)."""
+        transformed = make_transformed_system(two_process_system)
+        for base_config in two_process_system.all_configurations():
+            lifted = lift_configuration(transformed, base_config, True)
+            assert two_process_system.enabled_processes(
+                base_config
+            ) == transformed.enabled_processes(lifted)
+
+    def test_rejects_coin_name_clash(self):
+        class Clashing(Algorithm):
+            name = "clash"
+
+            def layout(self, topology, process):
+                return VariableLayout((VarSpec(COIN_VARIABLE, (0, 1)),))
+
+            def actions(self):
+                return (
+                    deterministic_action(
+                        "A", lambda v: False, lambda v: None
+                    ),
+                )
+
+        transformed = CoinTossTransform(Clashing())
+        with pytest.raises(ModelError):
+            System(transformed, Topology(path(2)))
+
+    def test_constants_forwarded(self):
+        base = make_token_ring_system(4)
+        transformed = make_transformed_system(base)
+        view = transformed.view(
+            lift_configuration(
+                transformed, next(base.all_configurations())
+            ),
+            0,
+            writable=False,
+        )
+        assert view.const("modulus") == 3
+
+
+class TestProjection:
+    def test_project_lift_roundtrip(self, two_process_system):
+        transformed = make_transformed_system(two_process_system)
+        for base_config in two_process_system.all_configurations():
+            for coin in (False, True):
+                lifted = lift_configuration(transformed, base_config, coin)
+                assert (
+                    project_configuration(transformed, lifted)
+                    == base_config
+                )
+
+    def test_outcomes_coin_semantics(self, two_process_system):
+        """Winning branch: coin True + statement; losing: coin False."""
+        transformed = make_transformed_system(two_process_system)
+        base = ((False,), (False,))
+        lifted = lift_configuration(transformed, base, False)
+        branches = list(transformed.subset_branches(lifted, (0,)))
+        assert len(branches) == 2
+        outcomes = {b.target: b.probability for b in branches}
+        # winner: p0 sets B=true and its coin records True
+        win = (
+            (True, True),
+            (False, False),
+        )
+        lose = ((False, False), (False, False))
+        assert math.isclose(outcomes[win], 0.5)
+        assert math.isclose(outcomes[lose], 0.5)
+
+    def test_transformed_spec_is_preimage(self, two_process_system):
+        transformed = make_transformed_system(two_process_system)
+        spec = TransformedSpec(BothTrueSpec(), two_process_system)
+        for configuration in transformed.all_configurations():
+            expected = BothTrueSpec().legitimate(
+                two_process_system,
+                project_configuration(transformed, configuration),
+            )
+            assert spec.legitimate(transformed, configuration) == expected
+
+
+class TestLemma1Closure:
+    @pytest.mark.parametrize(
+        "maker,spec",
+        [
+            (make_two_process_system, BothTrueSpec()),
+            (lambda: make_token_ring_system(4), TokenCirculationSpec()),
+        ],
+        ids=["alg3", "alg1-n4"],
+    )
+    def test_l_prob_closed_synchronously(self, maker, spec):
+        base = maker()
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(spec, base)
+        space = StateSpace.explore(transformed, SynchronousRelation())
+        legitimate = space.legitimate_mask(tspec.legitimate)
+        assert check_strong_closure(space, legitimate) == []
+
+
+class TestLemma2Correspondence:
+    def test_transformed_mimics_base_step(self):
+        """For any base step (subset S fires) there is a transformed
+        branch where exactly S wins the toss and the projection matches."""
+        base = make_token_ring_system(4)
+        transformed = make_transformed_system(base)
+        base_config = next(
+            c
+            for c in base.all_configurations()
+            if len(base.enabled_processes(c)) >= 2
+        )
+        enabled = base.enabled_processes(base_config)
+        subset = enabled[:2]
+        (base_branch,) = base.subset_branches(base_config, subset)
+        lifted = lift_configuration(transformed, base_config, False)
+        projections = {
+            project_configuration(transformed, branch.target)
+            for branch in transformed.subset_branches(lifted, enabled)
+        }
+        assert base_branch.target in projections
+
+
+class TestTheorems8And9:
+    def test_synchronous_absorption_probability_one(self):
+        base = make_leader_tree_system(path(3))
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(TreeLeaderSpec(), base)
+        chain = build_chain(transformed, SynchronousDistribution())
+        absorption = absorption_probabilities(
+            chain, chain.mark(tspec.legitimate)
+        )
+        assert np.all(absorption > 1 - 1e-9)
+
+    def test_distributed_randomized_absorption(self):
+        base = make_two_process_system()
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(BothTrueSpec(), base)
+        chain = build_chain(transformed, DistributedRandomizedDistribution())
+        summary = hitting_summary(chain, chain.mark(tspec.legitimate))
+        assert summary.converges_with_probability_one
+
+    def test_transform_of_probabilistic_base(self):
+        """The transformer composes with probabilistic bases (Herman)."""
+        base = make_herman_system(3)
+        transformed = make_transformed_system(base)
+        lifted = lift_configuration(
+            transformed, next(base.all_configurations()), False
+        )
+        branches = list(transformed.subset_branches(lifted, (0,)))
+        # token action: 2 outcomes x 1/2 coin + 1 losing branch
+        probabilities = sorted(b.probability for b in branches)
+        assert probabilities == [0.25, 0.25, 0.5]
+
+    def test_expected_rounds_match_hand_computation(self):
+        """Hand-solved chain for trans(Algorithm 3) under the synchronous
+        scheduler: t(F,F) = 8 and t(F,T) = t(T,F) = 10 rounds.
+
+        Derivation: from (F,F) both processes toss (win prob ¼ each
+        combination), so t(F,F) = 1 + ½·(2 + t(F,F)) + ¼·t(F,F) ⇒ 8;
+        a mixed state first needs its lone enabled process to win a solo
+        toss (2 expected rounds) to come back to (F,F).
+        """
+        base = make_two_process_system()
+        transformed = make_transformed_system(base)
+        tspec = TransformedSpec(BothTrueSpec(), base)
+        chain = build_chain(transformed, SynchronousDistribution())
+        from repro.markov.hitting import expected_hitting_times
+
+        times = expected_hitting_times(chain, chain.mark(tspec.legitimate))
+        tt = lift_configuration(transformed, ((True,), (True,)), False)
+        assert times[chain.id_of(tt)] == 0.0
+        ff = lift_configuration(transformed, ((False,), (False,)), False)
+        assert math.isclose(times[chain.id_of(ff)], 8.0)
+        ft = lift_configuration(transformed, ((False,), (True,)), False)
+        assert math.isclose(times[chain.id_of(ft)], 10.0)

@@ -1,0 +1,134 @@
+"""Tests for the biased-coin transformer generalization and ABL1."""
+
+import math
+
+import pytest
+
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.errors import ModelError
+from repro.experiments.abl1 import run_abl1
+from repro.markov.builder import build_chain
+from repro.markov.hitting import hitting_summary
+from repro.markov.lumping import lumped_synchronous_transformed_chain
+from repro.schedulers.distributions import SynchronousDistribution
+from repro.transformer.coin_toss import (
+    CoinTossTransform,
+    TransformedSpec,
+    lift_configuration,
+    make_transformed_system,
+)
+
+
+class TestBiasedTransform:
+    def test_bias_validation(self):
+        base = make_two_process_system()
+        with pytest.raises(ModelError):
+            make_transformed_system(base, win_probability=0.0)
+        with pytest.raises(ModelError):
+            make_transformed_system(base, win_probability=1.0)
+
+    def test_name_records_bias(self):
+        base = make_two_process_system()
+        transform = CoinTossTransform(base.algorithm, 0.7)
+        assert "p=0.7" in transform.name
+        assert transform.win_probability == 0.7
+        fair = CoinTossTransform(base.algorithm)
+        assert "p=" not in fair.name
+
+    def test_outcome_probabilities_follow_bias(self):
+        base = make_two_process_system()
+        transformed = make_transformed_system(base, win_probability=0.25)
+        lifted = lift_configuration(
+            transformed, ((False,), (False,)), False
+        )
+        branches = sorted(
+            b.probability
+            for b in transformed.subset_branches(lifted, (0,))
+        )
+        assert branches == [0.25, 0.75]
+
+    def test_biased_lumping_agreement(self):
+        """Full biased transformed chain == biased Bernoulli lumping."""
+        base = make_token_ring_system(4)
+        spec = TokenCirculationSpec()
+        for bias in (0.3, 0.7):
+            transformed = make_transformed_system(base, bias)
+            tspec = TransformedSpec(spec, base)
+            full = build_chain(transformed, SynchronousDistribution())
+            full_summary = hitting_summary(
+                full, full.mark(tspec.legitimate)
+            )
+            lumped = lumped_synchronous_transformed_chain(
+                base, win_probability=bias
+            )
+            lumped_summary = hitting_summary(
+                lumped, lumped.mark(spec.legitimate)
+            )
+            assert math.isclose(
+                full_summary.mean_expected_steps,
+                lumped_summary.mean_expected_steps,
+                rel_tol=1e-9,
+            )
+
+    def test_any_bias_converges(self):
+        base = make_two_process_system()
+        spec = BothTrueSpec()
+        for bias in (0.05, 0.5, 0.95):
+            lumped = lumped_synchronous_transformed_chain(
+                base, win_probability=bias
+            )
+            summary = hitting_summary(lumped, lumped.mark(spec.legitimate))
+            assert summary.converges_with_probability_one
+
+    def test_alg3_faster_with_aggressive_coin(self):
+        """Algorithm 3 needs joint wins: larger bias is strictly better."""
+        base = make_two_process_system()
+        spec = BothTrueSpec()
+        means = {}
+        for bias in (0.3, 0.6, 0.9):
+            lumped = lumped_synchronous_transformed_chain(
+                base, win_probability=bias
+            )
+            means[bias] = hitting_summary(
+                lumped, lumped.mark(spec.legitimate)
+            ).mean_expected_steps
+        assert means[0.9] < means[0.6] < means[0.3]
+
+    def test_symmetric_system_prefers_fair_coin(self):
+        """K2 coloring's curve is symmetric in p ↔ 1-p with minimum ½."""
+        from repro.algorithms.coloring import (
+            ProperColoringSpec,
+            make_coloring_system,
+        )
+        from repro.graphs.generators import complete
+
+        base = make_coloring_system(complete(2))
+        spec = ProperColoringSpec()
+
+        def mean(bias):
+            lumped = lumped_synchronous_transformed_chain(
+                base, win_probability=bias
+            )
+            return hitting_summary(
+                lumped, lumped.mark(spec.legitimate)
+            ).mean_expected_steps
+
+        assert math.isclose(mean(0.3), mean(0.7), rel_tol=1e-9)
+        assert mean(0.5) < mean(0.3)
+
+
+class TestAbl1Experiment:
+    def test_runs_and_passes(self):
+        result = run_abl1(biases=(0.25, 0.5, 0.75))
+        assert result.passed
+        assert len(result.rows) == 4
+
+    def test_best_bias_reported(self):
+        result = run_abl1(biases=(0.3, 0.5, 0.9))
+        by_system = {row["system"]: row for row in result.rows}
+        assert by_system["trans(Algorithm 3)"]["best p"] == 0.9
+        assert by_system["trans(coloring, K2)"]["best p"] == 0.5
