@@ -1,0 +1,101 @@
+"""Entry point: run the infrastructure micro-benchmarks, persist results.
+
+Runs ``bench_infrastructure.py`` through pytest-benchmark and appends a
+condensed, machine-readable record to ``benchmarks/BENCH_kernel.json`` so
+the performance trajectory of the execution engine (state-space
+exploration, chain building, simulation throughput) is tracked across
+PRs.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
+
+The JSON file holds a list of runs, newest last; each run records the
+per-benchmark min/mean/stddev seconds and round counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SUITE = BENCH_DIR / "bench_infrastructure.py"
+OUTPUT = BENCH_DIR / "BENCH_kernel.json"
+
+
+def run_suite(raw_json_path: pathlib.Path) -> None:
+    """Execute the suite under pytest-benchmark, writing its raw JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(SUITE),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={raw_json_path}",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(completed.returncode)
+
+
+def condense(raw: dict, label: str | None) -> dict:
+    """Reduce pytest-benchmark's verbose JSON to the trajectory record."""
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "label": label,
+        "machine": raw.get("machine_info", {}).get("node"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "min_seconds": bench["stats"]["min"],
+                "mean_seconds": bench["stats"]["mean"],
+                "stddev_seconds": bench["stats"]["stddev"],
+                "rounds": bench["stats"]["rounds"],
+            }
+            for bench in raw.get("benchmarks", [])
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="free-form note stored with this run (e.g. a PR id)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "raw.json"
+        run_suite(raw_path)
+        raw = json.loads(raw_path.read_text(encoding="utf-8"))
+
+    record = condense(raw, args.label)
+    history = (
+        json.loads(OUTPUT.read_text(encoding="utf-8"))
+        if OUTPUT.exists()
+        else []
+    )
+    history.append(record)
+    OUTPUT.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(f"recorded {len(record['benchmarks'])} benchmarks -> {OUTPUT}")
+    for bench in record["benchmarks"]:
+        print(f"  {bench['name']}: {bench['mean_seconds'] * 1000:.2f} ms mean")
+
+
+if __name__ == "__main__":
+    main()

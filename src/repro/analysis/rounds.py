@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.system import System
 from repro.core.trace import Trace
+from repro.errors import ModelError
 
 __all__ = ["round_boundaries", "count_rounds"]
 
@@ -27,6 +28,11 @@ def round_boundaries(system: System, trace: Trace) -> list[int]:
     boundaries: list[int] = []
     if not trace.configurations:
         return boundaries
+    if not trace.has_full_history:
+        raise ModelError(
+            "round counting needs a fully recorded trace; rerun with"
+            " record=True / measure_rounds=True"
+        )
     pending = set(system.enabled_processes(trace.configurations[0]))
     if not pending:
         return boundaries

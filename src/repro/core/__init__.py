@@ -1,4 +1,25 @@
-"""Core guarded-command framework: the paper's Section 2 model."""
+"""Core guarded-command framework: the paper's Section 2 model.
+
+Execution-engine architecture — **System = semantics, Kernel = speed**:
+
+* :class:`~repro.core.system.System` is the readable, validating
+  reference implementation of the step semantics: every guard and outcome
+  statement runs against a freshly built
+  :class:`~repro.core.view.View` of the pre-step configuration.  It is
+  the single source of truth for what a step *means*.
+* :class:`~repro.core.kernel.TransitionKernel` is the hot-path engine:
+  because the locally-shared-memory model guarantees a process's enabled
+  actions and post-states depend only on its own and its neighbors'
+  local states, the kernel memoizes resolved transitions per distinct
+  local neighborhood (with an optional fully-precomputed table mode) and
+  transparently proxies everything else to the system.  Exploration
+  (:meth:`repro.stabilization.statespace.StateSpace.explore`), chain
+  building (:func:`repro.markov.builder.build_chain`) and simulation
+  (:func:`repro.core.simulate.run` / :func:`~repro.core.simulate.run_until`)
+  all drive a kernel by default and accept ``use_kernel=False`` to fall
+  back to the reference path; both paths produce identical results and
+  consume identical random streams.
+"""
 
 from repro.core.actions import (
     Action,
@@ -18,6 +39,7 @@ from repro.core.configuration import (
     make_configuration,
     replace_local,
 )
+from repro.core.kernel import NeighborhoodEntry, TransitionKernel
 from repro.core.simulate import (
     SchedulerSampler,
     SimulationResult,
@@ -45,6 +67,8 @@ __all__ = [
     "count_configurations",
     "configuration_as_dicts",
     "configuration_from_dicts",
+    "NeighborhoodEntry",
+    "TransitionKernel",
     "SchedulerSampler",
     "SimulationResult",
     "run",

@@ -5,6 +5,16 @@ The simulator repeatedly asks a *sampler* (see
 processes, performs the atomic step (sampling action outcomes through the
 given :class:`~repro.random_source.RandomSource`), and records a
 :class:`~repro.core.trace.Trace`.
+
+By default each run drives a :class:`~repro.core.kernel.TransitionKernel`
+wrapped around the system, so guards and outcome statements execute once
+per distinct local neighborhood instead of once per step; pass an existing
+``kernel`` to share its memo tables across many runs (Monte-Carlo sweeps),
+or ``use_kernel=False`` to execute through the reference
+:class:`~repro.core.system.System` semantics directly.  Both paths consume
+identical random streams, so traces are bit-for-bit reproducible across
+them.  ``record=False`` switches the trace to compact mode (O(1) memory;
+only the initial/final configurations and the step count survive).
 """
 
 from __future__ import annotations
@@ -12,6 +22,12 @@ from __future__ import annotations
 from typing import Callable, Protocol, Sequence
 
 from repro.core.configuration import Configuration
+from repro.core.kernel import (
+    Engine,
+    KernelCursor,
+    TransitionKernel,
+    resolve_engine,
+)
 from repro.core.system import System
 from repro.core.trace import Step, Trace
 from repro.errors import SchedulerError
@@ -21,11 +37,16 @@ __all__ = ["SchedulerSampler", "run", "run_until", "SimulationResult"]
 
 
 class SchedulerSampler(Protocol):
-    """Strategy choosing which enabled processes move in each step."""
+    """Strategy choosing which enabled processes move in each step.
+
+    ``system`` may be the :class:`System` itself or a
+    :class:`~repro.core.kernel.TransitionKernel` proxying it — samplers
+    that query enabledness get the memoized fast path automatically.
+    """
 
     def choose(
         self,
-        system: System,
+        system: Engine,
         configuration: Configuration,
         enabled: Sequence[int],
         rng: RandomSource,
@@ -57,24 +78,54 @@ class SimulationResult:
         )
 
 
+class _SystemCursor:
+    """Reference-semantics twin of :class:`KernelCursor` (full rescans)."""
+
+    __slots__ = ("_system", "configuration", "enabled")
+
+    def __init__(self, system: System, configuration: Configuration) -> None:
+        self._system = system
+        self.configuration = configuration
+        self.enabled = system.enabled_processes(configuration)
+
+    def advance(self, subset: Sequence[int], rng: RandomSource):
+        self.configuration, moves = self._system.sample_step(
+            self.configuration, subset, rng
+        )
+        self.enabled = self._system.enabled_processes(self.configuration)
+        return moves
+
+
+def _cursor(engine: Engine, initial: Configuration):
+    if isinstance(engine, TransitionKernel):
+        return KernelCursor(engine, initial)
+    return _SystemCursor(engine, initial)
+
+
 def run(
     system: System,
     sampler: SchedulerSampler,
     initial: Configuration,
     max_steps: int,
     rng: RandomSource,
+    kernel: TransitionKernel | None = None,
+    use_kernel: bool = True,
+    record: bool = True,
 ) -> Trace:
     """Execute up to ``max_steps`` steps (stops early at terminal configs)."""
-    trace = Trace.starting_at(initial)
-    configuration = initial
+    engine = resolve_engine(system, kernel, use_kernel)
+    trace = Trace.starting_at(initial, keep_configurations=record)
+    cursor = _cursor(engine, initial)
     for _ in range(max_steps):
-        enabled = system.enabled_processes(configuration)
+        enabled = cursor.enabled
         if not enabled:
             break
-        subset = list(sampler.choose(system, configuration, enabled, rng))
+        subset = list(
+            sampler.choose(engine, cursor.configuration, enabled, rng)
+        )
         _validate_subset(subset, enabled)
-        configuration, moves = system.sample_step(configuration, subset, rng)
-        trace.append(Step(moves), configuration)
+        moves = cursor.advance(subset, rng)
+        trace.append(Step(moves) if record else None, cursor.configuration)
     return trace
 
 
@@ -85,6 +136,9 @@ def run_until(
     stop: Callable[[Configuration], bool],
     max_steps: int,
     rng: RandomSource,
+    kernel: TransitionKernel | None = None,
+    use_kernel: bool = True,
+    record: bool = True,
 ) -> SimulationResult:
     """Execute until ``stop(configuration)`` holds or budgets run out.
 
@@ -92,21 +146,26 @@ def run_until(
     the convention that stabilization time from a legitimate configuration
     is zero.
     """
-    trace = Trace.starting_at(initial)
-    configuration = initial
-    if stop(configuration):
+    engine = resolve_engine(system, kernel, use_kernel)
+    trace = Trace.starting_at(initial, keep_configurations=record)
+    if stop(initial):
         return SimulationResult(trace, converged=True, hit_terminal=False)
+    cursor = _cursor(engine, initial)
     for _ in range(max_steps):
-        enabled = system.enabled_processes(configuration)
+        enabled = cursor.enabled
         if not enabled:
             return SimulationResult(
-                trace, converged=stop(configuration), hit_terminal=True
+                trace,
+                converged=stop(cursor.configuration),
+                hit_terminal=True,
             )
-        subset = list(sampler.choose(system, configuration, enabled, rng))
+        subset = list(
+            sampler.choose(engine, cursor.configuration, enabled, rng)
+        )
         _validate_subset(subset, enabled)
-        configuration, moves = system.sample_step(configuration, subset, rng)
-        trace.append(Step(moves), configuration)
-        if stop(configuration):
+        moves = cursor.advance(subset, rng)
+        trace.append(Step(moves) if record else None, cursor.configuration)
+        if stop(cursor.configuration):
             return SimulationResult(trace, converged=True, hit_terminal=False)
     return SimulationResult(trace, converged=False, hit_terminal=False)
 

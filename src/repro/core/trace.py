@@ -36,13 +36,23 @@ class Trace:
     """A finite execution: ``configurations[i] ↦ configurations[i+1]``.
 
     Invariant: ``len(configurations) == len(steps) + 1``.
+
+    With ``keep_configurations=False`` the trace runs in *compact* mode:
+    it retains only the initial and the most recent configuration plus a
+    step counter — O(1) memory for arbitrarily long executions.  ``length``,
+    ``initial`` and ``final`` keep working; the full history (``steps``,
+    intermediate configurations, ``acting_sets``) is discarded.  Long
+    Monte-Carlo trials use this so a 200k-step run does not retain 200k
+    configurations.
     """
 
     configurations: list[Configuration] = field(default_factory=list)
     steps: list[Step] = field(default_factory=list)
+    keep_configurations: bool = True
+    _compact_steps: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.configurations and (
+        if self.keep_configurations and self.configurations and (
             len(self.configurations) != len(self.steps) + 1
         ):
             raise ModelError(
@@ -50,16 +60,36 @@ class Trace:
             )
 
     @classmethod
-    def starting_at(cls, configuration: Configuration) -> "Trace":
+    def starting_at(
+        cls, configuration: Configuration, keep_configurations: bool = True
+    ) -> "Trace":
         """Empty trace anchored at an initial configuration."""
-        return cls(configurations=[configuration], steps=[])
+        return cls(
+            configurations=[configuration],
+            steps=[],
+            keep_configurations=keep_configurations,
+        )
 
-    def append(self, step: Step, target: Configuration) -> None:
-        """Record one step and its resulting configuration."""
+    def append(self, step: Step | None, target: Configuration) -> None:
+        """Record one step and its resulting configuration.
+
+        Compact traces ignore ``step`` entirely, so hot loops may pass
+        ``None`` to skip building the :class:`Step` at all; a full trace
+        requires it.
+        """
         if not self.configurations:
             raise ModelError("trace has no initial configuration")
-        self.steps.append(step)
-        self.configurations.append(target)
+        if self.keep_configurations:
+            if step is None:
+                raise ModelError("a full trace needs the step record")
+            self.steps.append(step)
+            self.configurations.append(target)
+            return
+        self._compact_steps += 1
+        if len(self.configurations) == 1:
+            self.configurations.append(target)
+        else:
+            self.configurations[-1] = target
 
     @property
     def initial(self) -> Configuration:
@@ -77,19 +107,39 @@ class Trace:
 
     @property
     def length(self) -> int:
-        """Number of steps."""
-        return len(self.steps)
+        """Number of steps (counted, not stored, in compact mode)."""
+        return len(self.steps) + self._compact_steps
+
+    @property
+    def has_full_history(self) -> bool:
+        """Whether every step and intermediate configuration is retained.
+
+        False once a compact trace has dropped a step; history-derived
+        queries (``acting_sets``, ``visits``, round counting, ...) raise
+        instead of silently answering from the truncated record.
+        """
+        return self._compact_steps == 0
+
+    def _require_history(self, what: str) -> None:
+        if not self.has_full_history:
+            raise ModelError(
+                f"{what} needs the full history, but this trace was"
+                " recorded compactly (keep_configurations=False)"
+            )
 
     def acting_sets(self) -> list[frozenset[int]]:
         """Chosen subset of every step, in order."""
+        self._require_history("acting_sets()")
         return [step.acting_processes for step in self.steps]
 
     def visits(self, configuration: Configuration) -> bool:
         """Whether the trace passes through ``configuration``."""
+        self._require_history("visits()")
         return configuration in self.configurations
 
     def first_index_where(self, predicate) -> int | None:
         """Index of the first configuration satisfying ``predicate``."""
+        self._require_history("first_index_where()")
         for index, configuration in enumerate(self.configurations):
             if predicate(configuration):
                 return index

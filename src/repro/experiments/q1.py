@@ -25,7 +25,7 @@ from repro.experiments.base import ExperimentResult
 from repro.markov.builder import build_chain
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import estimate_stabilization_time
+from repro.markov.montecarlo import MonteCarloRunner
 from repro.random_source import RandomSource
 from repro.schedulers.distributions import CentralRandomizedDistribution
 from repro.schedulers.samplers import SynchronousSampler
@@ -82,8 +82,10 @@ def run_q1(
         system = make_token_ring_system(n)
         transformed = make_transformed_system(system)
         tspec = TransformedSpec(spec, system)
-        result = estimate_stabilization_time(
-            transformed,
+        # One kernel serves every trial of this sweep point: guards and
+        # outcome statements run once per local neighborhood, not per step.
+        runner = MonteCarloRunner(transformed)
+        result = runner.estimate(
             SynchronousSampler(),
             lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
             trials=trials,

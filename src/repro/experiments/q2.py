@@ -16,7 +16,7 @@ from repro.graphs.generators import path, random_tree, star
 from repro.graphs.properties import diameter
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import estimate_stabilization_time
+from repro.markov.montecarlo import MonteCarloRunner
 from repro.random_source import RandomSource
 from repro.schedulers.samplers import SynchronousSampler
 from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
@@ -67,8 +67,10 @@ def run_q2(
         system = make_leader_tree_system(graph)
         transformed = make_transformed_system(system)
         tspec = TransformedSpec(spec, system)
-        result = estimate_stabilization_time(
-            transformed,
+        # One kernel serves every trial of this sweep point: guards and
+        # outcome statements run once per local neighborhood, not per step.
+        runner = MonteCarloRunner(transformed)
+        result = runner.estimate(
             SynchronousSampler(),
             lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
             trials=trials,

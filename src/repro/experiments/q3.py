@@ -35,7 +35,7 @@ from repro.experiments.base import ExperimentResult
 from repro.markov.builder import build_chain
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import estimate_stabilization_time
+from repro.markov.montecarlo import MonteCarloRunner
 from repro.random_source import RandomSource
 from repro.schedulers.distributions import SynchronousDistribution
 from repro.schedulers.relations import CentralRelation
@@ -121,8 +121,7 @@ def run_q3(seed: int = 2008, trials: int = 200) -> ExperimentResult:
         system = make_dijkstra_system(n)
         verdict = classify(system, SinglePrivilegeSpec(), CentralRelation())
         dijkstra_ok = dijkstra_ok and verdict.is_self_stabilizing
-        result = estimate_stabilization_time(
-            system,
+        result = MonteCarloRunner(system).estimate(
             CentralRandomizedSampler(),
             lambda cfg, s=system: SinglePrivilegeSpec().legitimate(s, cfg),
             trials=trials,

@@ -18,7 +18,8 @@ from collections import deque
 from typing import Iterable
 
 from repro.core.configuration import Configuration
-from repro.core.system import System, compose_branches
+from repro.core.kernel import TransitionKernel, resolve_engine
+from repro.core.system import System, compose_weighted_targets
 from repro.errors import MarkovError
 from repro.markov.chain import MarkovChain
 from repro.schedulers.distributions import SchedulerDistribution
@@ -34,12 +35,20 @@ def build_chain(
     distribution: SchedulerDistribution,
     initial: Iterable[Configuration] | None = None,
     max_states: int = DEFAULT_MAX_STATES,
+    kernel: TransitionKernel | None = None,
+    use_kernel: bool = True,
 ) -> MarkovChain:
     """Build the Markov chain of ``system`` under ``distribution``.
 
     ``initial=None`` takes the full configuration space as the state set
     (the paper's ``I = C``); otherwise the chain is the forward closure of
     the given configurations.
+
+    Rows resolve guards/outcomes through a memoized
+    :class:`~repro.core.kernel.TransitionKernel` by default (once per
+    distinct local neighborhood); pass ``kernel`` to share tables across
+    several chains of the same system, or ``use_kernel=False`` for the
+    reference :class:`System` path.
     """
     if initial is None:
         total = system.num_configurations()
@@ -71,26 +80,28 @@ def build_chain(
     for seed in seeds:
         intern(seed)
 
+    engine = resolve_engine(system, kernel, use_kernel)
     rows: list[dict[int, float]] = []
     processed = 0
     while queue:
         state_id = queue.popleft()
         assert state_id == processed
         processed += 1
-        rows.append(_row(system, distribution, states[state_id], intern))
+        rows.append(_row(engine, distribution, states[state_id], intern))
 
     return MarkovChain(system, states, rows, distribution.name)
 
 
 def _row(
-    system: System,
+    engine: System | TransitionKernel,
     distribution: SchedulerDistribution,
     configuration: Configuration,
     intern,
 ) -> dict[int, float]:
-    # Resolve guards/outcomes once; every weighted subset composes from
-    # the same per-process solo resolutions (pre-step reads).
-    resolved = system.resolved_actions(configuration)
+    # Resolve guards/outcomes once per local neighborhood; every weighted
+    # subset composes from the same per-process solo resolutions
+    # (pre-step reads).
+    resolved = engine.resolved_actions(configuration)
     enabled = tuple(sorted(resolved))
     row: dict[int, float] = {}
     if not enabled:
@@ -108,8 +119,10 @@ def _row(
         action_choices = 1
         for process in subset:
             action_choices *= len(resolved[process])
-        for branch in compose_branches(configuration, subset, resolved):
-            probability = weight * branch.probability / action_choices
-            target_id = intern(branch.target)
+        for branch_probability, target in compose_weighted_targets(
+            configuration, subset, resolved
+        ):
+            probability = weight * branch_probability / action_choices
+            target_id = intern(target)
             row[target_id] = row.get(target_id, 0.0) + probability
     return row

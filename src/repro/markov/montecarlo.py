@@ -14,13 +14,14 @@ from typing import Callable, Sequence
 
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.configuration import Configuration
+from repro.core.kernel import TransitionKernel
 from repro.core.simulate import SchedulerSampler, run_until
 from repro.core.system import System
 from repro.errors import MarkovError
 from repro.random_source import RandomSource
 
-__all__ = ["MonteCarloResult", "estimate_stabilization_time",
-           "random_configuration"]
+__all__ = ["MonteCarloResult", "MonteCarloRunner",
+           "estimate_stabilization_time", "random_configuration"]
 
 
 def random_configuration(system: System, rng: RandomSource) -> Configuration:
@@ -70,6 +71,93 @@ class MonteCarloResult:
         return base
 
 
+class MonteCarloRunner:
+    """Batched multi-replica Monte-Carlo driver for one sweep point.
+
+    All trials — and all repeated :meth:`estimate` calls on the same
+    system — share one :class:`~repro.core.kernel.TransitionKernel`, so
+    guard/outcome statements execute once per distinct local neighborhood
+    across the *entire* batch rather than once per simulated step.  Trials
+    also run with compact traces (no per-step configuration retention)
+    unless round counting requires the full history.
+    """
+
+    def __init__(
+        self, system: System, kernel: TransitionKernel | None = None
+    ) -> None:
+        self.system = system
+        self.kernel = kernel if kernel is not None else TransitionKernel(system)
+
+    def estimate(
+        self,
+        sampler: SchedulerSampler,
+        legitimate: Callable[[Configuration], bool],
+        trials: int,
+        max_steps: int,
+        rng: RandomSource,
+        initial_configurations: Sequence[Configuration] | None = None,
+        measure_rounds: bool = False,
+    ) -> MonteCarloResult:
+        """Sample stabilization times over random starts/scheduler draws.
+
+        With ``measure_rounds=True`` each converged trial additionally
+        reports its completed-round count (see
+        :mod:`repro.analysis.rounds`), which makes measurements comparable
+        across scheduler families — and forces full trace retention.
+        """
+        if trials < 1:
+            raise MarkovError("need at least one trial")
+        if initial_configurations is not None and not initial_configurations:
+            raise MarkovError("need at least one initial configuration")
+        system = self.system
+        times: list[float] = []
+        rounds: list[float] = []
+        censored = 0
+        for trial in range(trials):
+            if initial_configurations is not None:
+                initial = initial_configurations[
+                    trial % len(initial_configurations)
+                ]
+            else:
+                initial = random_configuration(system, rng)
+            result = run_until(
+                system,
+                sampler,
+                initial,
+                stop=legitimate,
+                max_steps=max_steps,
+                rng=rng,
+                kernel=self.kernel,
+                record=measure_rounds,
+            )
+            if result.converged:
+                times.append(float(result.steps_taken))
+                if measure_rounds:
+                    from repro.analysis.rounds import count_rounds
+
+                    rounds.append(float(count_rounds(system, result.trace)))
+            elif result.hit_terminal:
+                # Terminal but illegitimate: the run can never converge.
+                # Count it as censored so the caller sees the failure.
+                censored += 1
+            else:
+                censored += 1
+        stats = summarize(times) if times else None
+        round_stats = summarize(rounds) if rounds else None
+        return MonteCarloResult(
+            trials=trials,
+            converged=len(times),
+            censored=censored,
+            stats=stats,
+            round_stats=round_stats,
+        )
+
+    def batch(self, cases: Sequence[dict]) -> list[MonteCarloResult]:
+        """Run several estimates (kwargs of :meth:`estimate`) on the shared
+        kernel — e.g. all sampler/trial variants of one sweep point."""
+        return [self.estimate(**case) for case in cases]
+
+
 def estimate_stabilization_time(
     system: System,
     sampler: SchedulerSampler,
@@ -79,51 +167,19 @@ def estimate_stabilization_time(
     rng: RandomSource,
     initial_configurations: Sequence[Configuration] | None = None,
     measure_rounds: bool = False,
+    kernel: TransitionKernel | None = None,
 ) -> MonteCarloResult:
     """Sample stabilization times over random starts and scheduler draws.
 
-    With ``measure_rounds=True`` each converged trial additionally
-    reports its completed-round count (see :mod:`repro.analysis.rounds`),
-    which makes measurements comparable across scheduler families.
+    Thin wrapper over :class:`MonteCarloRunner`: one kernel is shared by
+    all trials (pass ``kernel`` to also share it with other callers).
     """
-    if trials < 1:
-        raise MarkovError("need at least one trial")
-    times: list[float] = []
-    rounds: list[float] = []
-    censored = 0
-    for trial in range(trials):
-        if initial_configurations is not None:
-            initial = initial_configurations[
-                trial % len(initial_configurations)
-            ]
-        else:
-            initial = random_configuration(system, rng)
-        result = run_until(
-            system,
-            sampler,
-            initial,
-            stop=legitimate,
-            max_steps=max_steps,
-            rng=rng,
-        )
-        if result.converged:
-            times.append(float(result.steps_taken))
-            if measure_rounds:
-                from repro.analysis.rounds import count_rounds
-
-                rounds.append(float(count_rounds(system, result.trace)))
-        elif result.hit_terminal:
-            # Terminal but illegitimate: the run can never converge.  Count
-            # it as censored so the caller sees the failure.
-            censored += 1
-        else:
-            censored += 1
-    stats = summarize(times) if times else None
-    round_stats = summarize(rounds) if rounds else None
-    return MonteCarloResult(
+    return MonteCarloRunner(system, kernel).estimate(
+        sampler,
+        legitimate,
         trials=trials,
-        converged=len(times),
-        censored=censored,
-        stats=stats,
-        round_stats=round_stats,
+        max_steps=max_steps,
+        rng=rng,
+        initial_configurations=initial_configurations,
+        measure_rounds=measure_rounds,
     )

@@ -17,7 +17,8 @@ from collections import deque
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.configuration import Configuration
-from repro.core.system import System, compose_branches
+from repro.core.kernel import TransitionKernel, resolve_engine
+from repro.core.system import System, compose_weighted_targets
 from repro.errors import StateSpaceError
 from repro.schedulers.relations import SchedulerRelation
 
@@ -39,14 +40,12 @@ def subset_to_mask(subset: Iterable[int]) -> int:
 
 
 def mask_to_subset(mask: int) -> tuple[int, ...]:
-    """Sorted process ids of a bitmask."""
+    """Sorted process ids of a bitmask (O(popcount), not O(bit length))."""
     subset = []
-    position = 0
     while mask:
-        if mask & 1:
-            subset.append(position)
-        mask >>= 1
-        position += 1
+        low = mask & -mask
+        subset.append(low.bit_length() - 1)
+        mask ^= low
     return tuple(subset)
 
 
@@ -81,6 +80,8 @@ class StateSpace:
         initial: Iterable[Configuration] | None = None,
         max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
         action_mode: str = "all",
+        kernel: TransitionKernel | None = None,
+        use_kernel: bool = True,
     ) -> "StateSpace":
         """Breadth-first exploration from ``initial`` (default: all of C).
 
@@ -88,6 +89,12 @@ class StateSpace:
         transition system; with a restricted initial set it is the
         reachable fragment (used e.g. for transformed systems whose full
         space is large).
+
+        Guards and outcome statements resolve through a
+        :class:`~repro.core.kernel.TransitionKernel` by default, so they
+        run once per distinct local neighborhood rather than once per
+        configuration; pass ``kernel`` to reuse existing memo tables or
+        ``use_kernel=False`` for the reference :class:`System` path.
         """
         if initial is None:
             space_size = system.num_configurations()
@@ -124,8 +131,12 @@ class StateSpace:
         for seed in seeds:
             intern(seed)
 
+        engine = resolve_engine(system, kernel, use_kernel)
         edges: list[list[LabeledEdge]] = []
         enabled_lists: list[tuple[int, ...]] = []
+        # Subset tuples repeat across configurations sharing an enabled
+        # set; cache their bitmasks instead of re-walking the bits.
+        mask_cache: dict[tuple[int, ...], int] = {}
         processed = 0
         while queue:
             source_id = queue.popleft()
@@ -133,20 +144,24 @@ class StateSpace:
             assert source_id == processed
             processed += 1
             source = configurations[source_id]
-            # Resolve guards/outcomes once per configuration; all subset
-            # steps compose from these solo resolutions (atomic reads).
-            resolved = system.resolved_actions(source)
+            # Resolve guards/outcomes once per local neighborhood; all
+            # subset steps compose from these solo resolutions (atomic
+            # reads).
+            resolved = engine.resolved_actions(source)
             enabled = tuple(sorted(resolved))
             enabled_lists.append(enabled)
             outgoing: list[LabeledEdge] = []
             seen: set[LabeledEdge] = set()
             if enabled:
                 for subset in relation.subsets(enabled):
-                    mask = subset_to_mask(subset)
-                    for branch in compose_branches(
+                    mask = mask_cache.get(subset)
+                    if mask is None:
+                        mask = subset_to_mask(subset)
+                        mask_cache[subset] = mask
+                    for _, target in compose_weighted_targets(
                         source, subset, resolved, action_mode
                     ):
-                        target_id = intern(branch.target)
+                        target_id = intern(target)
                         edge = (mask, target_id)
                         if edge not in seen:
                             seen.add(edge)

@@ -1,0 +1,357 @@
+"""Seeded property tests: the kernel is bit-for-bit the System semantics.
+
+The :class:`~repro.core.kernel.TransitionKernel` memoizes guard/outcome
+resolution per local neighborhood; these tests assert that every fast
+path — ``enabled_processes``, ``enabled_actions``, ``resolved_actions``,
+``sample_step``, whole sampled traces, state-space exploration, and chain
+building — produces results identical to the reference :class:`System`
+path across deterministic and probabilistic algorithms on assorted
+topologies and seeds.
+
+Israeli–Jalfon is deliberately absent from the system zoo: it is modeled
+directly as a Markov process on token-position sets (see the substitution
+note in :mod:`repro.algorithms.israeli_jalfon`), not as a guarded-command
+``System``, so there is no kernel path to compare.  The probabilistic
+slots are covered by Herman's ring, randomized coloring, and the
+coin-toss-transformed token ring instead.
+"""
+
+import pytest
+
+from repro.algorithms.herman_ring import make_herman_system
+from repro.algorithms.leader_tree import make_leader_tree_system
+from repro.algorithms.randomized_coloring import (
+    make_randomized_coloring_system,
+)
+from repro.algorithms.token_ring import make_token_ring_system
+from repro.core.kernel import KernelCursor, TransitionKernel
+from repro.core.simulate import run, run_until
+from repro.errors import MarkovError, ModelError, SchedulerError
+from repro.graphs.generators import path, random_tree, ring, star
+from repro.markov.builder import build_chain
+from repro.markov.montecarlo import (
+    MonteCarloRunner,
+    estimate_stabilization_time,
+    random_configuration,
+)
+from repro.random_source import RandomSource
+from repro.schedulers.distributions import (
+    BernoulliDistribution,
+    CentralRandomizedDistribution,
+    SynchronousDistribution,
+)
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.schedulers.samplers import (
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    RoundRobinSampler,
+    SynchronousSampler,
+)
+from repro.stabilization.statespace import StateSpace
+from repro.transformer.coin_toss import make_transformed_system
+
+
+def _system_zoo():
+    return [
+        ("token-ring-5", make_token_ring_system(5)),
+        ("token-ring-6", make_token_ring_system(6)),
+        ("leader-path-5", make_leader_tree_system(path(5))),
+        ("leader-star-4", make_leader_tree_system(star(4))),
+        (
+            "leader-random-tree-8",
+            make_leader_tree_system(random_tree(8, RandomSource(42))),
+        ),
+        ("herman-5", make_herman_system(5)),
+        ("herman-7", make_herman_system(7)),
+        ("coloring-ring-5", make_randomized_coloring_system(ring(5))),
+        (
+            "coloring-random-tree-7",
+            make_randomized_coloring_system(random_tree(7, RandomSource(7))),
+        ),
+        ("trans-token-ring-4", make_transformed_system(make_token_ring_system(4))),
+    ]
+
+
+ZOO = _system_zoo()
+ZOO_IDS = [name for name, _ in ZOO]
+
+
+def _sample_configurations(system, count=40, seed=11):
+    rng = RandomSource(seed)
+    return [random_configuration(system, rng) for _ in range(count)]
+
+
+def _normalize(resolved):
+    """Comparable form of System/kernel resolved_actions output."""
+    return {
+        process: [
+            (action.name, list(outcomes)) for action, outcomes in choices
+        ]
+        for process, choices in resolved.items()
+    }
+
+
+@pytest.mark.parametrize("name,system", ZOO, ids=ZOO_IDS)
+class TestReadPathEquivalence:
+    def test_enabled_and_resolved_match(self, name, system):
+        kernel = TransitionKernel(system)
+        for configuration in _sample_configurations(system):
+            assert kernel.enabled_processes(
+                configuration
+            ) == system.enabled_processes(configuration)
+            assert _normalize(
+                kernel.resolved_actions(configuration)
+            ) == _normalize(system.resolved_actions(configuration))
+            for process in system.processes:
+                assert kernel.is_enabled(
+                    configuration, process
+                ) == system.is_enabled(configuration, process)
+                assert kernel.enabled_actions(
+                    configuration, process
+                ) == system.enabled_actions(configuration, process)
+
+    def test_statements_run_once_per_neighborhood(self, name, system):
+        kernel = TransitionKernel(system)
+        configurations = _sample_configurations(system)
+        for configuration in configurations:
+            kernel.enabled_processes(configuration)
+        resolutions = kernel.resolutions
+        assert resolutions == kernel.table_size
+        # Revisiting the same configurations resolves nothing new.
+        for configuration in configurations:
+            kernel.enabled_processes(configuration)
+        assert kernel.resolutions == resolutions
+
+    def test_precomputed_table_matches_lazy(self, name, system):
+        lazy = TransitionKernel(system)
+        table = TransitionKernel(system, precompute=True)
+        assert table.table_size == table.num_neighborhoods()
+        for configuration in _sample_configurations(system, count=15):
+            assert table.enabled_processes(
+                configuration
+            ) == lazy.enabled_processes(configuration)
+            assert _normalize(
+                table.resolved_actions(configuration)
+            ) == _normalize(lazy.resolved_actions(configuration))
+
+
+@pytest.mark.parametrize("name,system", ZOO, ids=ZOO_IDS)
+def test_sample_step_consumes_identical_random_stream(name, system):
+    kernel = TransitionKernel(system)
+    rng_legacy = RandomSource(97)
+    rng_kernel = RandomSource(97)
+    picker = RandomSource(3)
+    for configuration in _sample_configurations(system, count=20, seed=5):
+        enabled = system.enabled_processes(configuration)
+        if not enabled:
+            continue
+        subset = [p for p in enabled if picker.coin()] or [enabled[0]]
+        legacy = system.sample_step(configuration, subset, rng_legacy)
+        fast = kernel.sample_step(configuration, subset, rng_kernel)
+        assert legacy == fast
+    # Both sources must be in the same state afterwards.
+    assert rng_legacy.random() == rng_kernel.random()
+
+
+@pytest.mark.parametrize(
+    "sampler_factory",
+    [
+        SynchronousSampler,
+        CentralRandomizedSampler,
+        DistributedRandomizedSampler,
+        RoundRobinSampler,
+    ],
+    ids=lambda f: f.name,
+)
+@pytest.mark.parametrize("seed", [0, 1, 2008])
+def test_sampled_traces_identical_across_paths(sampler_factory, seed):
+    for _, system in ZOO:
+        initial = random_configuration(system, RandomSource(seed + 1))
+        legacy = run(
+            system,
+            sampler_factory(),
+            initial,
+            max_steps=300,
+            rng=RandomSource(seed),
+            use_kernel=False,
+        )
+        fast = run(
+            system,
+            sampler_factory(),
+            initial,
+            max_steps=300,
+            rng=RandomSource(seed),
+        )
+        assert legacy.configurations == fast.configurations
+        assert legacy.steps == fast.steps
+
+
+def test_cursor_tracks_enabled_incrementally():
+    system = make_token_ring_system(8)
+    kernel = TransitionKernel(system)
+    cursor = KernelCursor(kernel, next(system.all_configurations()))
+    rng = RandomSource(13)
+    picker = RandomSource(14)
+    for _ in range(200):
+        enabled = cursor.enabled
+        assert enabled == system.enabled_processes(cursor.configuration)
+        if not enabled:
+            break
+        subset = [p for p in enabled if picker.coin()] or [enabled[-1]]
+        cursor.advance(subset, rng)
+
+
+@pytest.mark.parametrize(
+    "relation_factory",
+    [CentralRelation, SynchronousRelation, DistributedRelation],
+    ids=lambda f: f.name,
+)
+def test_statespace_exploration_identical(relation_factory):
+    for name, system in (
+        ("token-ring-5", make_token_ring_system(5)),
+        ("herman-5", make_herman_system(5)),
+    ):
+        legacy = StateSpace.explore(
+            system, relation_factory(), use_kernel=False
+        )
+        fast = StateSpace.explore(system, relation_factory())
+        assert legacy.configurations == fast.configurations
+        assert legacy.index == fast.index
+        assert legacy.edges == fast.edges
+        assert legacy.enabled == fast.enabled
+
+
+@pytest.mark.parametrize(
+    "distribution_factory",
+    [
+        CentralRandomizedDistribution,
+        SynchronousDistribution,
+        lambda: BernoulliDistribution(0.3),
+    ],
+    ids=["central-randomized", "synchronous", "bernoulli-0.3"],
+)
+def test_chain_rows_identical(distribution_factory):
+    for system in (make_token_ring_system(5), make_herman_system(5)):
+        legacy = build_chain(system, distribution_factory(), use_kernel=False)
+        fast = build_chain(system, distribution_factory())
+        assert legacy.states == fast.states
+        assert legacy.rows == fast.rows
+
+
+def test_run_until_and_montecarlo_identical_across_paths():
+    system = make_leader_tree_system(random_tree(9, RandomSource(3)))
+    initial = random_configuration(system, RandomSource(8))
+    legacy = run_until(
+        system,
+        DistributedRandomizedSampler(),
+        initial,
+        stop=system.is_terminal,
+        max_steps=20_000,
+        rng=RandomSource(6),
+        use_kernel=False,
+    )
+    kernel = TransitionKernel(system)
+    fast = run_until(
+        system,
+        DistributedRandomizedSampler(),
+        initial,
+        stop=kernel.is_terminal,
+        max_steps=20_000,
+        rng=RandomSource(6),
+        kernel=kernel,
+        record=False,
+    )
+    assert legacy.converged == fast.converged
+    assert legacy.steps_taken == fast.steps_taken
+    assert legacy.trace.final == fast.trace.final
+    # Compact traces retain only the endpoints and refuse
+    # history-derived queries instead of answering from thin air.
+    assert len(fast.trace.configurations) <= 2
+    assert fast.trace.initial == initial
+    assert not fast.trace.has_full_history
+    with pytest.raises(ModelError):
+        fast.trace.acting_sets()
+    with pytest.raises(ModelError):
+        fast.trace.visits(initial)
+
+    result = estimate_stabilization_time(
+        system,
+        DistributedRandomizedSampler(),
+        system.is_terminal,
+        trials=25,
+        max_steps=20_000,
+        rng=RandomSource(21),
+    )
+    assert result.converged == result.trials
+    assert result.stats is not None and result.stats.mean > 0
+
+
+def test_montecarlo_runner_batch_matches_separate_estimates():
+    system = make_leader_tree_system(path(6))
+    cases = [
+        dict(
+            sampler=DistributedRandomizedSampler(),
+            legitimate=system.is_terminal,
+            trials=10,
+            max_steps=10_000,
+            rng=RandomSource(31),
+        ),
+        dict(
+            sampler=SynchronousSampler(),
+            legitimate=system.is_terminal,
+            trials=10,
+            max_steps=10_000,
+            rng=RandomSource(32),
+        ),
+    ]
+    runner = MonteCarloRunner(system)
+    batched = runner.batch([dict(case, rng=RandomSource(case["rng"].seed))
+                            for case in cases])
+    separate = [
+        estimate_stabilization_time(system, **case) for case in cases
+    ]
+    assert len(batched) == len(separate)
+    for fast, reference in zip(batched, separate):
+        assert fast == reference
+    # The batch shared one kernel: its tables saturated, not re-resolved.
+    assert runner.kernel.resolutions == runner.kernel.table_size
+
+
+def test_kernel_rejects_disabled_and_empty_subsets():
+    system = make_token_ring_system(4)
+    kernel = TransitionKernel(system)
+    configuration = next(system.all_configurations())
+    disabled = [
+        p
+        for p in system.processes
+        if not system.is_enabled(configuration, p)
+    ]
+    rng = RandomSource(0)
+    with pytest.raises(SchedulerError):
+        kernel.sample_step(configuration, [], rng)
+    if disabled:
+        with pytest.raises(SchedulerError):
+            kernel.sample_step(configuration, [disabled[0]], rng)
+    with pytest.raises(MarkovError):
+        MonteCarloRunner(system).estimate(
+            CentralRandomizedSampler(),
+            system.is_terminal,
+            trials=1,
+            max_steps=10,
+            rng=rng,
+            initial_configurations=[],
+        )
+
+
+def test_kernel_proxies_system_attributes():
+    system = make_token_ring_system(4)
+    kernel = TransitionKernel(system)
+    assert kernel.system is system
+    assert kernel.num_processes == system.num_processes
+    assert kernel.topology is system.topology
+    assert kernel.algorithm is system.algorithm
+    assert kernel.num_configurations() == system.num_configurations()
