@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the vectorized Monte-Carlo batch engine.
+
+The trajectory pair to watch is ``montecarlo_ring30_1000trials_scalar``
+vs ``..._batch``: the same 1000-trial sweep point (Algorithm 1 on a
+30-ring, distributed randomized scheduler) through the per-trial scalar
+kernel path and through the lockstep code-matrix engine.  The acceptance
+bar for PR 2 is a ≥ 5× mean speedup.  ``q1_preset_n40_batch`` proves a
+previously out-of-budget large-N experiment preset completes under the
+harness.
+"""
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.experiments.q1 import run_q1
+from repro.markov.batch import EnabledCountLegitimacy
+from repro.markov.montecarlo import MonteCarloRunner
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import DistributedRandomizedSampler
+
+TRIALS = 1000
+MAX_STEPS = 50_000
+
+
+def _ring30_estimate(engine: str):
+    system = make_token_ring_system(30)
+    spec = TokenCirculationSpec()
+    runner = MonteCarloRunner(system, engine=engine)
+    return runner.estimate(
+        DistributedRandomizedSampler(),
+        lambda c: spec.legitimate(system, c),
+        trials=TRIALS,
+        max_steps=MAX_STEPS,
+        rng=RandomSource(2026),
+        batch_legitimate=EnabledCountLegitimacy(1),
+    )
+
+
+def test_montecarlo_ring30_1000trials_scalar(benchmark):
+    """PR 1 baseline: per-trial loop on the shared kernel."""
+    result = benchmark.pedantic(
+        lambda: _ring30_estimate("scalar"), rounds=2, iterations=1
+    )
+    assert result.censored == 0
+
+
+def test_montecarlo_ring30_1000trials_batch(benchmark):
+    """Same sweep point through the lockstep code-matrix engine."""
+    result = benchmark.pedantic(
+        lambda: _ring30_estimate("batch"), rounds=3, iterations=1
+    )
+    assert result.censored == 0
+
+
+def test_q1_preset_n40_batch(benchmark):
+    """A Q1 Monte-Carlo point at N = 40 — out of budget before PR 2."""
+
+    def run():
+        return run_q1(
+            exact_sizes=(),
+            monte_carlo_sizes=(40,),
+            trials=200,
+            engine="batch",
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.passed, result.render()

@@ -1,10 +1,11 @@
 """Entry point: run the infrastructure micro-benchmarks, persist results.
 
-Runs ``bench_infrastructure.py`` through pytest-benchmark and appends a
-condensed, machine-readable record to ``benchmarks/BENCH_kernel.json`` so
-the performance trajectory of the execution engine (state-space
-exploration, chain building, simulation throughput) is tracked across
-PRs.  Usage::
+Runs ``bench_infrastructure.py`` and ``bench_batch_engine.py`` through
+pytest-benchmark and appends a condensed, machine-readable record to
+``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
+execution engine (state-space exploration, chain building, simulation
+throughput, batch Monte-Carlo throughput) is tracked across PRs.
+Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
 
@@ -25,7 +26,10 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-SUITE = BENCH_DIR / "bench_infrastructure.py"
+SUITE = (
+    BENCH_DIR / "bench_infrastructure.py",
+    BENCH_DIR / "bench_batch_engine.py",
+)
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 
 
@@ -40,7 +44,7 @@ def run_suite(raw_json_path: pathlib.Path) -> None:
         sys.executable,
         "-m",
         "pytest",
-        str(SUITE),
+        *(str(suite) for suite in SUITE),
         "-q",
         "--benchmark-only",
         f"--benchmark-json={raw_json_path}",

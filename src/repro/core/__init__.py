@@ -1,6 +1,7 @@
 """Core guarded-command framework: the paper's Section 2 model.
 
-Execution-engine architecture — **System = semantics, Kernel = speed**:
+Execution-engine architecture — **System = semantics, Kernel = speed,
+Encoding/Batch = scale**:
 
 * :class:`~repro.core.system.System` is the readable, validating
   reference implementation of the step semantics: every guard and outcome
@@ -19,6 +20,17 @@ Execution-engine architecture — **System = semantics, Kernel = speed**:
   all drive a kernel by default and accept ``use_kernel=False`` to fall
   back to the reference path; both paths produce identical results and
   consume identical random streams.
+* :class:`~repro.core.encoding.StateEncoding` and
+  :func:`~repro.core.encoding.compile_tables` are the scale tier: local
+  states intern to dense integer codes, configurations become NumPy
+  ``uint32`` vectors, and the kernel's neighborhood tables compile into
+  flat gather arrays, so whole Monte-Carlo batches advance in lockstep
+  as ``(trials × processes)`` code matrices
+  (:class:`repro.markov.batch.BatchEngine`, driven through
+  ``MonteCarloRunner(engine="auto"|"batch")``).  The batch tier
+  reproduces the scalar engines' sampling *distributions* — not their
+  random streams — and ``engine="scalar"`` remains the per-trial
+  equivalence oracle.
 """
 
 from repro.core.actions import (
@@ -38,6 +50,11 @@ from repro.core.configuration import (
     enumerate_configurations,
     make_configuration,
     replace_local,
+)
+from repro.core.encoding import (
+    CompiledKernelTables,
+    StateEncoding,
+    compile_tables,
 )
 from repro.core.kernel import NeighborhoodEntry, TransitionKernel
 from repro.core.simulate import (
@@ -69,6 +86,9 @@ __all__ = [
     "configuration_from_dicts",
     "NeighborhoodEntry",
     "TransitionKernel",
+    "StateEncoding",
+    "CompiledKernelTables",
+    "compile_tables",
     "SchedulerSampler",
     "SimulationResult",
     "run",

@@ -1,0 +1,356 @@
+"""Dense integer state encoding — the scale tier of the execution stack.
+
+The kernel (:mod:`repro.core.kernel`) already reduces guard/outcome
+evaluation to one dict probe per local neighborhood; this module removes
+the remaining per-process Python work by interning every local state to a
+small integer *code* and compiling the kernel's per-neighborhood tables
+into flat NumPy arrays.  A configuration becomes a ``uint32`` vector, a
+Monte-Carlo batch a ``(trials × processes)`` code matrix, and a simulation
+step a handful of integer gathers:
+
+* :class:`StateEncoding` — the bijection ``local state ⟷ code`` per
+  process (codes follow the deterministic domain-product order that
+  :func:`repro.core.configuration.enumerate_configurations` and
+  :meth:`repro.core.kernel.TransitionKernel.precompute` already use);
+* :class:`CompiledKernelTables` / :func:`compile_tables` — every
+  neighborhood of every process resolved once through the kernel and
+  packed into mixed-radix-indexed arrays: enabled bit, action count,
+  and per-action outcome rows (cumulative probability + post-state code).
+
+Division of labor (see :mod:`repro.core`): ``System`` = semantics,
+``TransitionKernel`` = speed, encoding/batch = scale.  The batch engine
+built on these tables lives in :mod:`repro.markov.batch`; the arrays are
+read-only after compilation, so they are also the natural unit to ship to
+worker processes once exploration is sharded.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration, LocalState
+from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
+from repro.core.system import System
+from repro.errors import ModelError
+
+__all__ = ["StateEncoding", "CompiledKernelTables", "compile_tables"]
+
+#: Code dtype: local state spaces are tiny, 32 bits is generous.
+CODE_DTYPE = np.uint32
+
+
+class StateEncoding:
+    """Interning of per-process local states to dense integer codes.
+
+    Codes enumerate each process's local-state space in domain-product
+    order (first variable varies slowest), matching the order used by
+    configuration enumeration and kernel precomputation, so code ``c`` of
+    process ``p`` *is* the mixed-radix rank of its local state.
+    """
+
+    __slots__ = ("_states", "_codes", "_sizes", "num_processes")
+
+    def __init__(self, system: System | TransitionKernel) -> None:
+        layouts = system.layouts
+        self.num_processes = len(layouts)
+        self._states: list[list[LocalState]] = [
+            [
+                tuple(values)
+                for values in product(*(s.domain for s in layout.specs))
+            ]
+            for layout in layouts
+        ]
+        self._codes: list[dict[LocalState, int]] = [
+            {state: code for code, state in enumerate(states)}
+            for states in self._states
+        ]
+        self._sizes = np.array(
+            [len(states) for states in self._states], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    def num_local_states(self, process: int) -> int:
+        """Cardinality of one process's local-state space."""
+        return int(self._sizes[process])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-process local-state-space sizes, shape ``(N,)``."""
+        return self._sizes
+
+    # ------------------------------------------------------------------
+    # single states
+    # ------------------------------------------------------------------
+    def encode_local(self, process: int, state: LocalState) -> int:
+        """Code of one local state (validates membership)."""
+        try:
+            return self._codes[process][tuple(state)]
+        except KeyError:
+            raise ModelError(
+                f"local state {state!r} is not in the domain product of"
+                f" process {process}"
+            ) from None
+
+    def decode_local(self, process: int, code: int) -> LocalState:
+        """Local state of one code."""
+        states = self._states[process]
+        if not 0 <= code < len(states):
+            raise ModelError(
+                f"code {code} out of range for process {process}"
+                f" (has {len(states)} local states)"
+            )
+        return states[code]
+
+    # ------------------------------------------------------------------
+    # configurations
+    # ------------------------------------------------------------------
+    def encode(self, configuration: Configuration) -> np.ndarray:
+        """Configuration → ``uint32`` code vector of shape ``(N,)``."""
+        if len(configuration) != self.num_processes:
+            raise ModelError(
+                f"configuration has {len(configuration)} local states,"
+                f" expected {self.num_processes}"
+            )
+        return np.fromiter(
+            (
+                self.encode_local(process, state)
+                for process, state in enumerate(configuration)
+            ),
+            dtype=CODE_DTYPE,
+            count=self.num_processes,
+        )
+
+    def decode(self, codes: Sequence[int] | np.ndarray) -> Configuration:
+        """Code vector → configuration."""
+        if len(codes) != self.num_processes:
+            raise ModelError(
+                f"code vector has {len(codes)} entries,"
+                f" expected {self.num_processes}"
+            )
+        return tuple(
+            self.decode_local(process, int(code))
+            for process, code in enumerate(codes)
+        )
+
+    def encode_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> np.ndarray:
+        """Configurations → ``(T, N)`` code matrix."""
+        matrix = np.empty(
+            (len(configurations), self.num_processes), dtype=CODE_DTYPE
+        )
+        for row, configuration in enumerate(configurations):
+            matrix[row] = self.encode(configuration)
+        return matrix
+
+    def decode_batch(self, matrix: np.ndarray) -> list[Configuration]:
+        """``(T, N)`` code matrix → configurations."""
+        return [self.decode(row) for row in matrix]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateEncoding(processes={self.num_processes},"
+            f" local_states={self._sizes.tolist()})"
+        )
+
+
+class CompiledKernelTables:
+    """The kernel's neighborhood tables as flat NumPy gather targets.
+
+    Per process ``p`` with neighbors ``(q_0, ..., q_{d-1})`` the packed
+    neighborhood key is the mixed-radix integer
+    ``((code_p · |S_{q_0}| + code_{q_0}) · |S_{q_1}| + ...)`` offset into
+    one global flat index space.  Lookups over a ``(T, N)`` code matrix
+    are then three gathers:
+
+    * ``pack(codes)`` — neighbor gather + weighted sum → keys ``(T, N)``;
+    * ``enabled_flat[keys]`` — enabled bit per (trial, process);
+    * ``sample(...)`` — action count / outcome rows per mover, inverse-CDF
+      outcome draw, post-state codes.
+
+    All arrays are immutable after :func:`compile_tables`; the only state
+    is precomputed structure, so one compiled table serves any number of
+    concurrent batches.
+    """
+
+    __slots__ = (
+        "encoding",
+        "neighbor_index",
+        "neighbor_weight",
+        "key_offset",
+        "enabled_flat",
+        "action_count",
+        "action_base",
+        "outcome_cum",
+        "outcome_code",
+        "num_entries",
+    )
+
+    def __init__(
+        self,
+        encoding: StateEncoding,
+        neighbor_index: np.ndarray,
+        neighbor_weight: np.ndarray,
+        key_offset: np.ndarray,
+        enabled_flat: np.ndarray,
+        action_count: np.ndarray,
+        action_base: np.ndarray,
+        outcome_cum: np.ndarray,
+        outcome_code: np.ndarray,
+    ) -> None:
+        self.encoding = encoding
+        self.neighbor_index = neighbor_index
+        self.neighbor_weight = neighbor_weight
+        self.key_offset = key_offset
+        self.enabled_flat = enabled_flat
+        self.action_count = action_count
+        self.action_base = action_base
+        self.outcome_cum = outcome_cum
+        self.outcome_code = outcome_code
+        self.num_entries = int(enabled_flat.shape[0])
+
+    # ------------------------------------------------------------------
+    # gathers over code matrices
+    # ------------------------------------------------------------------
+    def pack(self, codes: np.ndarray) -> np.ndarray:
+        """Packed neighborhood keys of a ``(T, N)`` code matrix."""
+        gathered = codes[:, self.neighbor_index].astype(np.int64)
+        return (gathered * self.neighbor_weight).sum(axis=2) + self.key_offset
+
+    def enabled(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean enabled matrix for packed keys."""
+        return self.enabled_flat[keys]
+
+    def sample(
+        self,
+        codes: np.ndarray,
+        keys: np.ndarray,
+        movers: np.ndarray,
+        generator: np.random.Generator,
+    ) -> np.ndarray:
+        """One lockstep step: sample movers' actions/outcomes, commit.
+
+        Matches the scalar sampling semantics of
+        :meth:`repro.core.kernel.TransitionKernel.sample_step` in
+        distribution: a uniform choice among the neighborhood's enabled
+        actions, then an inverse-CDF draw from that action's outcome
+        distribution.  Non-movers keep their codes; random draws are made
+        for the full matrix (independent uniforms, so masking is sound).
+        """
+        counts = self.action_count[keys]
+        choice = (generator.random(keys.shape) * counts).astype(np.int64)
+        # Guard the half-open-interval edge and disabled (count 0) cells;
+        # the latter are masked out by ``movers`` below.
+        choice = np.clip(choice, 0, np.maximum(counts - 1, 0))
+        rows = self.action_base[keys] + choice
+        cum = self.outcome_cum[rows]
+        draws = generator.random(keys.shape)
+        outcome = (draws[..., None] >= cum).sum(axis=-1)
+        return np.where(movers, self.outcome_code[rows, outcome], codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledKernelTables(entries={self.num_entries},"
+            f" action_rows={self.outcome_cum.shape[0]})"
+        )
+
+
+def compile_tables(
+    kernel: TransitionKernel,
+    encoding: StateEncoding | None = None,
+    max_entries: int = DEFAULT_TABLE_BUDGET,
+) -> CompiledKernelTables:
+    """Resolve every neighborhood through the kernel, pack into arrays.
+
+    Equivalent in coverage to :meth:`TransitionKernel.precompute` (and
+    subject to the same ``max_entries`` budget) but the result is flat
+    NumPy storage instead of per-process dicts, so lookups vectorize over
+    whole trial batches.  Raises :class:`ModelError` when the neighborhood
+    product space exceeds the budget.
+    """
+    if encoding is None:
+        encoding = StateEncoding(kernel)
+    total = kernel.num_neighborhoods()
+    if total > max_entries:
+        raise ModelError(
+            f"neighborhood space has {total} entries, budget is"
+            f" {max_entries}; use the scalar kernel instead"
+        )
+    system = kernel.system
+    topology = system.topology
+    num_processes = system.num_processes
+    neighbors = [tuple(topology.neighbors(p)) for p in system.processes]
+    width = 1 + max(len(nbrs) for nbrs in neighbors)
+
+    neighbor_index = np.zeros((num_processes, width), dtype=np.int64)
+    neighbor_weight = np.zeros((num_processes, width), dtype=np.int64)
+    key_offset = np.zeros(num_processes, dtype=np.int64)
+
+    enabled_flat = np.zeros(total, dtype=bool)
+    action_count = np.zeros(total, dtype=np.int64)
+    action_base = np.zeros(total, dtype=np.int64)
+    row_cums: list[tuple[float, ...]] = []
+    row_codes: list[tuple[int, ...]] = []
+
+    offset = 0
+    for process in range(num_processes):
+        members = (process, *neighbors[process])
+        sizes = [encoding.num_local_states(q) for q in members]
+        # Mixed-radix weights: the member listed first varies slowest.
+        weight = 1
+        for position in range(len(members) - 1, -1, -1):
+            neighbor_index[process, position] = members[position]
+            neighbor_weight[process, position] = weight
+            weight *= sizes[position]
+        key_offset[process] = offset
+
+        for flat, member_codes in enumerate(
+            product(*(range(size) for size in sizes))
+        ):
+            key = tuple(
+                encoding.decode_local(member, code)
+                for member, code in zip(members, member_codes)
+            )
+            entry = kernel.neighborhood_entry(process, key)
+            index = offset + flat
+            enabled_flat[index] = bool(entry.actions)
+            action_count[index] = len(entry.actions)
+            action_base[index] = len(row_cums) if entry.actions else 0
+            for _, outcomes in entry.actions:
+                probabilities = np.array(
+                    [probability for probability, _ in outcomes], dtype=float
+                )
+                cum = np.cumsum(probabilities / probabilities.sum())
+                cum[-1] = 1.0  # make the inverse-CDF draw exhaustive
+                row_cums.append(tuple(cum))
+                row_codes.append(
+                    tuple(
+                        encoding.encode_local(process, state)
+                        for _, state in outcomes
+                    )
+                )
+        offset += int(np.prod([np.int64(s) for s in sizes]))
+
+    width_out = max((len(row) for row in row_cums), default=1)
+    outcome_cum = np.full((max(len(row_cums), 1), width_out), 2.0)
+    outcome_code = np.zeros((max(len(row_codes), 1), width_out), dtype=CODE_DTYPE)
+    for row, (cums, codes) in enumerate(zip(row_cums, row_codes)):
+        outcome_cum[row, : len(cums)] = cums
+        outcome_code[row, : len(codes)] = codes
+
+    return CompiledKernelTables(
+        encoding=encoding,
+        neighbor_index=neighbor_index,
+        neighbor_weight=neighbor_weight,
+        key_offset=key_offset,
+        enabled_flat=enabled_flat,
+        action_count=action_count,
+        action_base=action_base,
+        outcome_cum=outcome_cum,
+        outcome_code=outcome_code,
+    )

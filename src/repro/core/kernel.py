@@ -183,7 +183,17 @@ class TransitionKernel:
         self, configuration: Configuration, process: int
     ) -> NeighborhoodEntry:
         """Cached transitions of ``process`` in ``configuration``."""
-        key = self._keys[process](configuration)
+        return self.neighborhood_entry(
+            process, self._keys[process](configuration)
+        )
+
+    def neighborhood_entry(
+        self, process: int, key: tuple[LocalState, ...]
+    ) -> NeighborhoodEntry:
+        """Resolved entry for ``(own state, neighbor states...)`` — the
+        public face of the memo tables, used by the table compiler
+        (:func:`repro.core.encoding.compile_tables`) to enumerate
+        neighborhoods without materializing full configurations."""
         table = self._tables[process]
         entry = table.get(key)
         if entry is None:

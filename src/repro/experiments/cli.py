@@ -3,8 +3,10 @@ repro.experiments``.
 
 Subcommands::
 
-    list                 show registered experiments
-    run ID [ID ...]      run selected experiments
+    list                 show registered experiments and presets
+    run ID [ID ...]      run selected experiments or presets (e.g.
+                         ``run Q1-large`` for the batch-engine N=20-50
+                         sweep)
     run-all [--fast]     run everything (--fast shrinks parameters)
     report [--fast] -o EXPERIMENTS.generated.md
                          run everything and write the markdown report
@@ -18,7 +20,15 @@ import time
 from typing import Sequence
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import all_ids, get_experiment, run_all
+from repro.experiments.registry import (
+    PRESETS,
+    all_ids,
+    find_preset,
+    get_experiment,
+    preset_ids,
+    run_all,
+    run_preset,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -71,12 +81,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in all_ids():
             experiment = get_experiment(experiment_id)
             print(f"{experiment_id:5s}  {experiment.title}")
+        for name in preset_ids():
+            experiment_id, overrides = PRESETS[name]
+            print(f"{name}  preset of {experiment_id}: {overrides}")
         return 0
     if args.command == "run":
         results = []
         for experiment_id in args.ids:
             started = time.perf_counter()
-            result = get_experiment(experiment_id).run()
+            if find_preset(experiment_id) is not None:
+                result = run_preset(experiment_id)
+            else:
+                result = get_experiment(experiment_id).run()
             elapsed = time.perf_counter() - started
             print(f"({experiment_id} took {elapsed:.1f}s)")
             results.append(result)

@@ -22,6 +22,7 @@ from repro.algorithms.token_ring import (
     make_token_ring_system,
 )
 from repro.experiments.base import ExperimentResult
+from repro.markov.batch import EnabledCountLegitimacy
 from repro.markov.builder import build_chain
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
@@ -33,14 +34,26 @@ from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 
 EXPERIMENT_ID = "Q1"
 
+#: ``L_Prob`` compiled for the batch engine: a process holds a token iff
+#: its (guard-preserving) transformed action is enabled, so "exactly one
+#: token in the projection" is "exactly one enabled process".
+TOKEN_LEGITIMACY = EnabledCountLegitimacy(1)
+
 
 def run_q1(
     exact_sizes: tuple[int, ...] = (3, 4, 5, 6),
     monte_carlo_sizes: tuple[int, ...] = (8, 10),
     trials: int = 300,
     seed: int = 2008,
+    max_steps: int = 200_000,
+    engine: str = "auto",
 ) -> ExperimentResult:
-    """Sweep ring sizes; exact hitting times then Monte-Carlo estimates."""
+    """Sweep ring sizes; exact hitting times then Monte-Carlo estimates.
+
+    ``monte_carlo_sizes`` up to N = 50 are affordable through the
+    vectorized batch engine (see the ``Q1-large`` preset); ``engine``
+    forwards to :meth:`MonteCarloRunner.estimate`.
+    """
     spec = TokenCirculationSpec()
     rows = []
     all_converge = True
@@ -84,13 +97,14 @@ def run_q1(
         tspec = TransformedSpec(spec, system)
         # One kernel serves every trial of this sweep point: guards and
         # outcome statements run once per local neighborhood, not per step.
-        runner = MonteCarloRunner(transformed)
+        runner = MonteCarloRunner(transformed, engine=engine)
         result = runner.estimate(
             SynchronousSampler(),
             lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
             trials=trials,
-            max_steps=200_000,
+            max_steps=max_steps,
             rng=rng.spawn(n),
+            batch_legitimate=TOKEN_LEGITIMACY,
         )
         all_converge = all_converge and result.censored == 0
         if result.stats is not None:

@@ -14,6 +14,7 @@ from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
 from repro.experiments.base import ExperimentResult
 from repro.graphs.generators import path, random_tree, star
 from repro.graphs.properties import diameter
+from repro.markov.batch import EnabledCountLegitimacy
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
 from repro.markov.montecarlo import MonteCarloRunner
@@ -23,13 +24,23 @@ from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 
 EXPERIMENT_ID = "Q2"
 
+#: ``L_Prob`` compiled for the batch engine: Lemma 10 says ``LC`` holds
+#: iff the (projected) configuration is terminal, and the transformer
+#: preserves guards, so legitimacy is "zero enabled processes".
+LC_LEGITIMACY = EnabledCountLegitimacy(0)
+
 
 def run_q2(
     monte_carlo_sizes: tuple[int, ...] = (8, 10),
     trials: int = 300,
     seed: int = 2008,
+    max_steps: int = 200_000,
+    engine: str = "auto",
 ) -> ExperimentResult:
-    """Exact sweeps on named small trees; Monte-Carlo on random trees."""
+    """Exact sweeps on named small trees; Monte-Carlo on random trees.
+
+    ``monte_carlo_sizes`` up to N = 50 are affordable through the
+    vectorized batch engine (see the ``Q2-large`` preset)."""
     spec = TreeLeaderSpec()
     rows = []
     all_converge = True
@@ -69,13 +80,14 @@ def run_q2(
         tspec = TransformedSpec(spec, system)
         # One kernel serves every trial of this sweep point: guards and
         # outcome statements run once per local neighborhood, not per step.
-        runner = MonteCarloRunner(transformed)
+        runner = MonteCarloRunner(transformed, engine=engine)
         result = runner.estimate(
             SynchronousSampler(),
             lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
             trials=trials,
-            max_steps=200_000,
+            max_steps=max_steps,
             rng=rng.spawn(1000 + n),
+            batch_legitimate=LC_LEGITIMACY,
         )
         all_converge = all_converge and result.censored == 0
         rows.append(

@@ -119,6 +119,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "monte_carlo_sizes": (8, 10),
                 "trials": 300,
                 "seed": 2008,
+                "max_steps": 200_000,
+                "engine": "auto",
             },
         ),
         Experiment(
@@ -130,6 +132,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                 "monte_carlo_sizes": (8, 10),
                 "trials": 300,
                 "seed": 2008,
+                "max_steps": 200_000,
+                "engine": "auto",
             },
         ),
         Experiment(
@@ -137,7 +141,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Q3: baseline comparison on rings",
             "future work (extension)",
             run_q3,
-            {"seed": 2008, "trials": 200},
+            {
+                "seed": 2008,
+                "trials": 200,
+                "dijkstra_exhaustive_sizes": (4, 5),
+                "dijkstra_monte_carlo_sizes": (),
+                "engine": "auto",
+            },
         ),
         Experiment(
             "Q4",
@@ -154,6 +164,49 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
     )
 }
+
+
+#: Larger-N parameterizations of the quantitative sweeps — affordable
+#: only through the vectorized batch engine (see
+#: :mod:`repro.markov.batch`): each preset is ``(experiment id,
+#: overrides)`` merged over the experiment's defaults by
+#: :func:`run_preset`.
+PRESETS: dict[str, tuple[str, dict]] = {
+    "Q1-large": (
+        "Q1",
+        {"monte_carlo_sizes": (20, 30, 40, 50), "trials": 1000},
+    ),
+    "Q2-large": (
+        "Q2",
+        {"monte_carlo_sizes": (20, 30, 40, 50), "trials": 1000},
+    ),
+    "Q3-large": (
+        "Q3",
+        {"dijkstra_monte_carlo_sizes": (20, 30, 40), "trials": 1000},
+    ),
+}
+
+
+def preset_ids() -> list[str]:
+    """Registered preset names, registry order."""
+    return list(PRESETS)
+
+
+def find_preset(name: str) -> str | None:
+    """Canonical preset name for a case-insensitive lookup, or ``None``."""
+    matches = {key.upper(): key for key in PRESETS}
+    return matches.get(name.upper())
+
+
+def run_preset(name: str) -> ExperimentResult:
+    """Run a named preset (case-insensitive)."""
+    key = find_preset(name)
+    if key is None:
+        raise ExperimentError(
+            f"unknown preset {name!r}; known: {preset_ids()}"
+        )
+    experiment_id, overrides = PRESETS[key]
+    return get_experiment(experiment_id).run(**overrides)
 
 
 def all_ids() -> list[str]:

@@ -1,5 +1,14 @@
-"""Markov-chain analysis: exact hitting times and Monte-Carlo estimation."""
+"""Markov-chain analysis: exact hitting times and Monte-Carlo estimation
+(per-trial scalar engine and vectorized lockstep batch engine)."""
 
+from repro.markov.batch import (
+    BatchEngine,
+    BatchLegitimacy,
+    DecodingLegitimacy,
+    EnabledCountLegitimacy,
+    batch_strategy_for,
+    register_batch_sampler,
+)
 from repro.markov.builder import build_chain
 from repro.markov.chain import MarkovChain, ROW_SUM_TOLERANCE
 from repro.markov.hitting import (
@@ -12,8 +21,10 @@ from repro.markov.hitting import (
 from repro.markov.lumping import lumped_synchronous_transformed_chain
 from repro.markov.montecarlo import (
     MonteCarloResult,
+    MonteCarloRunner,
     estimate_stabilization_time,
     random_configuration,
+    random_configurations,
 )
 
 __all__ = [
@@ -27,6 +38,14 @@ __all__ = [
     "ABSORPTION_TOLERANCE",
     "lumped_synchronous_transformed_chain",
     "MonteCarloResult",
+    "MonteCarloRunner",
     "estimate_stabilization_time",
     "random_configuration",
+    "random_configurations",
+    "BatchEngine",
+    "BatchLegitimacy",
+    "EnabledCountLegitimacy",
+    "DecodingLegitimacy",
+    "batch_strategy_for",
+    "register_batch_sampler",
 ]

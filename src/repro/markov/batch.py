@@ -1,0 +1,352 @@
+"""Vectorized Monte-Carlo batch engine over dense code matrices.
+
+A sweep point's trials are advanced *in lockstep*: the batch state is one
+``(trials × processes)`` integer code matrix (see
+:class:`repro.core.encoding.StateEncoding`), enabledness is a table gather
+(:class:`repro.core.encoding.CompiledKernelTables`), scheduler draws and
+outcome sampling are vectorized NumPy RNG, legitimacy is a compiled
+predicate over the code matrix, and converged/terminal rows are retired in
+place (the active matrix shrinks as trials finish).  Per simulated step
+the Python interpreter executes a constant number of array operations
+regardless of the trial count — this is what makes the N = 20–50 Q1/Q2/Q3
+presets affordable.
+
+The engine reproduces the scalar path's *distributions*, not its random
+streams: action choice is uniform over the neighborhood's enabled actions
+and outcomes follow the resolved probability rows, exactly as
+:meth:`repro.core.kernel.TransitionKernel.sample_step`, but the draws come
+from a NumPy generator.  ``engine="scalar"`` in
+:class:`repro.markov.montecarlo.MonteCarloRunner` keeps the loop-per-trial
+path as the equivalence oracle; the statistical agreement of the two
+engines is asserted by ``tests/test_batch_engine.py``.
+
+**Legitimacy compilation.**  Arbitrary global predicates cannot be tabled
+per neighborhood, so legitimacy is expressed as a :class:`BatchLegitimacy`
+strategy:
+
+* :class:`EnabledCountLegitimacy` — ``legitimate(γ) ⇔ |Enabled(γ)| = k``.
+  Free (the enabled matrix is computed every step anyway) and exact for
+  the paper's workloads: token circulation (token ⇔ enabled, Section 3.1),
+  Dijkstra's ring (privilege ⇔ enabled), and leader election on trees
+  (``LC ⇔ terminal``, Lemma 10) — all preserved by the coin-toss
+  transformer because ``Trans(A)`` keeps the guard ``G_A``.
+* :class:`DecodingLegitimacy` — fallback for arbitrary predicates:
+  decodes each active row (memoized per code vector) and calls the Python
+  predicate.  Correct for everything, slower, still leaves the stepping
+  itself vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.encoding import (
+    CompiledKernelTables,
+    StateEncoding,
+    compile_tables,
+)
+from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
+from repro.errors import MarkovError
+from repro.schedulers.samplers import (
+    BernoulliSampler,
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    SynchronousSampler,
+)
+
+__all__ = [
+    "BatchLegitimacy",
+    "EnabledCountLegitimacy",
+    "DecodingLegitimacy",
+    "compile_legitimacy",
+    "BatchSamplerStrategy",
+    "batch_strategy_for",
+    "register_batch_sampler",
+    "BatchEngine",
+    "BatchRunResult",
+]
+
+
+# ----------------------------------------------------------------------
+# legitimacy predicates over code matrices
+# ----------------------------------------------------------------------
+class BatchLegitimacy:
+    """Strategy interface: legitimacy of every active trial at once."""
+
+    def evaluate(
+        self,
+        codes: np.ndarray,
+        enabled: np.ndarray,
+        engine: "BatchEngine",
+    ) -> np.ndarray:
+        """Boolean vector over the rows of ``codes``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class EnabledCountLegitimacy(BatchLegitimacy):
+    """``legitimate(γ) ⇔ |Enabled(γ)| = count`` — gather-free.
+
+    The caller asserts the equivalence (it is a property of the algorithm
+    and specification, e.g. Lemma 10 for Algorithm 2); the engine only
+    counts true bits in the enabled matrix it already computed.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise MarkovError("enabled count must be non-negative")
+        self.count = count
+
+    def evaluate(self, codes, enabled, engine):
+        return enabled.sum(axis=1) == self.count
+
+
+class DecodingLegitimacy(BatchLegitimacy):
+    """Fallback: decode each row and call a Python predicate (memoized).
+
+    The memo is keyed by the raw code-vector bytes, so revisited
+    configurations — common near convergence — skip both the decode and
+    the predicate.
+    """
+
+    __slots__ = ("_predicate", "_cache")
+
+    def __init__(
+        self, predicate: Callable[[Configuration], bool]
+    ) -> None:
+        self._predicate = predicate
+        self._cache: dict[bytes, bool] = {}
+
+    def evaluate(self, codes, enabled, engine):
+        cache = self._cache
+        decode = engine.encoding.decode
+        predicate = self._predicate
+        result = np.empty(codes.shape[0], dtype=bool)
+        for row in range(codes.shape[0]):
+            key = codes[row].tobytes()
+            verdict = cache.get(key)
+            if verdict is None:
+                verdict = bool(predicate(decode(codes[row])))
+                cache[key] = verdict
+            result[row] = verdict
+        return result
+
+
+def compile_legitimacy(
+    legitimate: Callable[[Configuration], bool] | BatchLegitimacy,
+) -> BatchLegitimacy:
+    """Accept a ready strategy or wrap a plain predicate in the fallback."""
+    if isinstance(legitimate, BatchLegitimacy):
+        return legitimate
+    return DecodingLegitimacy(legitimate)
+
+
+# ----------------------------------------------------------------------
+# vectorized scheduler samplers
+# ----------------------------------------------------------------------
+class BatchSamplerStrategy:
+    """Vectorized counterpart of a scalar scheduler sampler."""
+
+    def choose(
+        self, enabled: np.ndarray, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Mover mask (subset of ``enabled``, non-empty per row)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class _SynchronousBatch(BatchSamplerStrategy):
+    """Every enabled process moves."""
+
+    def choose(self, enabled, generator):
+        return enabled
+
+
+class _CentralRandomizedBatch(BatchSamplerStrategy):
+    """Uniform single enabled process per trial (Definition 6, central)."""
+
+    def choose(self, enabled, generator):
+        counts = enabled.sum(axis=1)
+        target = (generator.random(enabled.shape[0]) * counts).astype(
+            np.int64
+        )
+        target = np.minimum(target, np.maximum(counts - 1, 0))
+        ranks = np.cumsum(enabled, axis=1)
+        return enabled & (ranks == (target + 1)[:, None])
+
+
+class _IndependentCoinBatch(BatchSamplerStrategy):
+    """Per-process coin, redrawn per trial until non-empty.
+
+    With probability ½ this is the distributed randomized scheduler
+    (uniform over non-empty subsets of the enabled set — the rejection
+    sampling matches
+    :meth:`repro.random_source.RandomSource.sample_nonempty_subset`); other
+    biases give the Bernoulli sampler.
+    """
+
+    __slots__ = ("_p",)
+
+    def __init__(self, probability: float) -> None:
+        self._p = probability
+
+    def choose(self, enabled, generator):
+        movers = (generator.random(enabled.shape) < self._p) & enabled
+        empty = np.flatnonzero(~movers.any(axis=1))
+        while empty.size:
+            redraw = (
+                generator.random((empty.size, enabled.shape[1])) < self._p
+            ) & enabled[empty]
+            movers[empty] = redraw
+            empty = empty[~redraw.any(axis=1)]
+        return movers
+
+
+_BATCH_STRATEGIES: dict[type, Callable[[object], BatchSamplerStrategy]] = {
+    SynchronousSampler: lambda sampler: _SynchronousBatch(),
+    CentralRandomizedSampler: lambda sampler: _CentralRandomizedBatch(),
+    DistributedRandomizedSampler: lambda sampler: _IndependentCoinBatch(0.5),
+    BernoulliSampler: lambda sampler: _IndependentCoinBatch(sampler._p),
+}
+
+
+def register_batch_sampler(
+    sampler_type: type,
+    factory: Callable[[object], BatchSamplerStrategy],
+) -> None:
+    """Register a vectorized strategy for a custom sampler type."""
+    _BATCH_STRATEGIES[sampler_type] = factory
+
+
+def batch_strategy_for(sampler: object) -> BatchSamplerStrategy | None:
+    """Vectorized strategy for a scalar sampler, or ``None`` (stateful
+    samplers like round-robin or scripted adversaries have no lockstep
+    equivalent and keep the scalar engine)."""
+    factory = _BATCH_STRATEGIES.get(type(sampler))
+    return factory(sampler) if factory is not None else None
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class BatchRunResult:
+    """Per-trial outcome vectors of one lockstep batch.
+
+    ``times[t]`` is meaningful only where ``converged[t]``;
+    ``hit_terminal`` marks trials retired in an illegitimate terminal
+    configuration (they can never converge — the scalar path counts them
+    as censored, and so do we).
+    """
+
+    __slots__ = ("times", "converged", "hit_terminal")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        converged: np.ndarray,
+        hit_terminal: np.ndarray,
+    ) -> None:
+        self.times = times
+        self.converged = converged
+        self.hit_terminal = hit_terminal
+
+    @property
+    def stabilization_times(self) -> list[float]:
+        """Converged trials' times, trial order, as floats."""
+        return [float(t) for t in self.times[self.converged]]
+
+
+class BatchEngine:
+    """Compiled encoding + tables for one system, reusable across runs.
+
+    Mirrors the kernel-sharing contract of
+    :class:`~repro.markov.montecarlo.MonteCarloRunner`: compile once per
+    (algorithm, topology), then every sweep point's batch is pure array
+    work.  Compilation enumerates the full neighborhood product space, so
+    it is subject to the same ``max_entries`` budget as
+    :meth:`TransitionKernel.precompute`.
+    """
+
+    def __init__(
+        self,
+        kernel: TransitionKernel,
+        max_entries: int = DEFAULT_TABLE_BUDGET,
+    ) -> None:
+        self.kernel = kernel
+        self.encoding = StateEncoding(kernel)
+        self.tables = compile_tables(kernel, self.encoding, max_entries)
+
+    def run(
+        self,
+        strategy: BatchSamplerStrategy,
+        legitimacy: BatchLegitimacy,
+        initial_codes: np.ndarray,
+        max_steps: int,
+        generator: np.random.Generator,
+    ) -> BatchRunResult:
+        """Advance all trials in lockstep until retirement or budget.
+
+        Semantics per trial match :func:`repro.core.simulate.run_until`:
+        legitimacy is tested on the initial configuration (time 0) and
+        after every step; an illegitimate terminal configuration retires
+        the trial as censored; ``max_steps`` bounds the sampler calls.
+        """
+        trials = initial_codes.shape[0]
+        times = np.zeros(trials, dtype=np.int64)
+        converged = np.zeros(trials, dtype=bool)
+        hit_terminal = np.zeros(trials, dtype=bool)
+        active = np.arange(trials)
+        codes = np.array(initial_codes, copy=True)
+        tables = self.tables
+
+        step = 0
+        while active.size:
+            keys = tables.pack(codes)
+            enabled = tables.enabled(keys)
+            legit = legitimacy.evaluate(codes, enabled, self)
+            if legit.any():
+                retired = active[legit]
+                times[retired] = step
+                converged[retired] = True
+                keep = ~legit
+                active, codes, keys, enabled = (
+                    active[keep],
+                    codes[keep],
+                    keys[keep],
+                    enabled[keep],
+                )
+                if not active.size:
+                    break
+            terminal = ~enabled.any(axis=1)
+            if terminal.any():
+                hit_terminal[active[terminal]] = True
+                keep = ~terminal
+                active, codes, keys, enabled = (
+                    active[keep],
+                    codes[keep],
+                    keys[keep],
+                    enabled[keep],
+                )
+                if not active.size:
+                    break
+            if step >= max_steps:
+                break
+            movers = strategy.choose(enabled, generator)
+            codes = tables.sample(codes, keys, movers, generator)
+            step += 1
+        return BatchRunResult(times, converged, hit_terminal)
+
+
+def encode_initials(
+    encoding: StateEncoding,
+    initial_configurations: Sequence[Configuration],
+    trials: int,
+) -> np.ndarray:
+    """Tile explicit initial configurations over the trial axis, matching
+    the scalar path's ``trial % len(initial_configurations)`` cycling."""
+    base = encoding.encode_batch(list(initial_configurations))
+    repeats = -(-trials // base.shape[0])  # ceil division
+    return np.tile(base, (repeats, 1))[:trials]

@@ -5,6 +5,19 @@ networks we instead sample executions under a scheduler sampler and
 measure the number of steps until the specification's legitimate predicate
 first holds.  Initial configurations are drawn uniformly from ``C``
 (the paper's "arbitrary initial configuration") unless given explicitly.
+
+Two execution engines share this interface (selected per runner or per
+call via ``engine``):
+
+* ``"scalar"`` — one :func:`repro.core.simulate.run_until` per trial on
+  the shared :class:`~repro.core.kernel.TransitionKernel`.  Supports every
+  sampler, round counting, and is the equivalence oracle for the batch
+  path.
+* ``"batch"`` — all trials advance in lockstep as a ``(trials ×
+  processes)`` code matrix through :class:`repro.markov.batch.BatchEngine`
+  (same sampling distributions, NumPy random stream).  Needs a
+  vectorizable sampler and no round measurement.
+* ``"auto"`` (default) — batch when supported, scalar otherwise.
 """
 
 from __future__ import annotations
@@ -12,29 +25,66 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.analysis.rounds import count_rounds
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.configuration import Configuration
 from repro.core.kernel import TransitionKernel
 from repro.core.simulate import SchedulerSampler, run_until
 from repro.core.system import System
-from repro.errors import MarkovError
+from repro.errors import MarkovError, ModelError
+from repro.markov.batch import (
+    BatchEngine,
+    BatchLegitimacy,
+    batch_strategy_for,
+    compile_legitimacy,
+    encode_initials,
+)
 from repro.random_source import RandomSource
 
 __all__ = ["MonteCarloResult", "MonteCarloRunner",
-           "estimate_stabilization_time", "random_configuration"]
+           "estimate_stabilization_time", "random_configuration",
+           "random_configurations"]
+
+#: Accepted ``engine`` values.
+ENGINES = ("auto", "batch", "scalar")
+
+
+def _domain_table(system: System) -> list[list[tuple[tuple, int]]]:
+    """Per-process ``(domain, size)`` pairs, hoisted for repeated draws."""
+    return [
+        [(spec.domain, spec.size) for spec in layout.specs]
+        for layout in system.layouts
+    ]
+
+
+def _draw_configuration(
+    domains: list[list[tuple[tuple, int]]], rng: RandomSource
+) -> Configuration:
+    """One uniform configuration from a precomputed domain table."""
+    return tuple(
+        tuple(domain[rng.randrange(size)] for domain, size in specs)
+        for specs in domains
+    )
+
+
+def random_configurations(
+    system: System, rng: RandomSource, count: int
+) -> list[Configuration]:
+    """``count`` uniform random configurations of the full space ``C``.
+
+    The batched form used by both engines: per-spec domain/size lookups
+    are hoisted out of the trial loop, and the draw order (trial-major,
+    then process, then variable) is exactly ``count`` successive
+    :func:`random_configuration` calls — identical seeds keep producing
+    identical initial configurations.
+    """
+    domains = _domain_table(system)
+    return [_draw_configuration(domains, rng) for _ in range(count)]
 
 
 def random_configuration(system: System, rng: RandomSource) -> Configuration:
     """Uniform random configuration of the full space ``C``."""
-    states = []
-    for layout in system.layouts:
-        states.append(
-            tuple(
-                spec.domain[rng.randrange(spec.size)]
-                for spec in layout.specs
-            )
-        )
-    return tuple(states)
+    return _draw_configuration(_domain_table(system), rng)
 
 
 @dataclass(frozen=True)
@@ -60,7 +110,7 @@ class MonteCarloResult:
         return self.converged / self.trials if self.trials else 0.0
 
     def row(self) -> dict[str, object]:
-        """Dict form for tables."""
+        """Dict form for tables (round statistics prefixed ``round_``)."""
         base: dict[str, object] = {
             "trials": self.trials,
             "converged": self.converged,
@@ -68,6 +118,13 @@ class MonteCarloResult:
         }
         if self.stats is not None:
             base.update(self.stats.row())
+        if self.round_stats is not None:
+            base.update(
+                {
+                    f"round_{key}": value
+                    for key, value in self.round_stats.row().items()
+                }
+            )
         return base
 
 
@@ -75,18 +132,51 @@ class MonteCarloRunner:
     """Batched multi-replica Monte-Carlo driver for one sweep point.
 
     All trials — and all repeated :meth:`estimate` calls on the same
-    system — share one :class:`~repro.core.kernel.TransitionKernel`, so
-    guard/outcome statements execute once per distinct local neighborhood
-    across the *entire* batch rather than once per simulated step.  Trials
-    also run with compact traces (no per-step configuration retention)
-    unless round counting requires the full history.
+    system — share one :class:`~repro.core.kernel.TransitionKernel` (and,
+    when the batch engine is used, one compiled
+    :class:`~repro.markov.batch.BatchEngine` built from it), so guard and
+    outcome statements execute once per distinct local neighborhood
+    across the *entire* batch rather than once per simulated step.
+
+    ``engine`` sets the runner-wide default (overridable per call):
+    ``"auto"`` picks the vectorized lockstep engine whenever the sampler
+    has a batch strategy, rounds are not measured, and the neighborhood
+    tables fit the compilation budget; ``"batch"`` demands it (raising
+    :class:`MarkovError` when unsupported); ``"scalar"`` forces the
+    loop-per-trial oracle path.
     """
 
     def __init__(
-        self, system: System, kernel: TransitionKernel | None = None
+        self,
+        system: System,
+        kernel: TransitionKernel | None = None,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ENGINES:
+            raise MarkovError(
+                f"unknown engine {engine!r}; known: {ENGINES}"
+            )
         self.system = system
         self.kernel = kernel if kernel is not None else TransitionKernel(system)
+        self.engine = engine
+        self._batch_engine: BatchEngine | None = None
+        self._batch_compile_error: ModelError | None = None
+
+    def batch_engine(self) -> BatchEngine:
+        """The lazily compiled batch engine (shared across estimates).
+
+        A failed compilation (neighborhood space over budget) is cached
+        too, so repeated ``engine="auto"`` estimates on an uncompilable
+        system fall back to scalar without rebuilding the encoding."""
+        if self._batch_engine is None:
+            if self._batch_compile_error is not None:
+                raise self._batch_compile_error
+            try:
+                self._batch_engine = BatchEngine(self.kernel)
+            except ModelError as error:
+                self._batch_compile_error = error
+                raise
+        return self._batch_engine
 
     def estimate(
         self,
@@ -97,29 +187,160 @@ class MonteCarloRunner:
         rng: RandomSource,
         initial_configurations: Sequence[Configuration] | None = None,
         measure_rounds: bool = False,
+        engine: str | None = None,
+        batch_legitimate: BatchLegitimacy | None = None,
     ) -> MonteCarloResult:
         """Sample stabilization times over random starts/scheduler draws.
 
         With ``measure_rounds=True`` each converged trial additionally
         reports its completed-round count (see
         :mod:`repro.analysis.rounds`), which makes measurements comparable
-        across scheduler families — and forces full trace retention.
+        across scheduler families — and forces full trace retention (and
+        therefore the scalar engine).
+
+        ``batch_legitimate`` supplies a compiled code-matrix predicate for
+        the batch engine (e.g.
+        :class:`~repro.markov.batch.EnabledCountLegitimacy`); without it
+        the batch path falls back to decoding rows through ``legitimate``.
         """
         if trials < 1:
             raise MarkovError("need at least one trial")
         if initial_configurations is not None and not initial_configurations:
             raise MarkovError("need at least one initial configuration")
+        engine = engine if engine is not None else self.engine
+        if engine not in ENGINES:
+            raise MarkovError(
+                f"unknown engine {engine!r}; known: {ENGINES}"
+            )
+        if engine != "scalar" and self._batch_supported(
+            sampler, measure_rounds, require=engine == "batch"
+        ):
+            return self._estimate_batch(
+                sampler,
+                legitimate,
+                trials,
+                max_steps,
+                rng,
+                initial_configurations,
+                batch_legitimate,
+            )
+        return self._estimate_scalar(
+            sampler,
+            legitimate,
+            trials,
+            max_steps,
+            rng,
+            initial_configurations,
+            measure_rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # engine selection
+    # ------------------------------------------------------------------
+    def _batch_supported(
+        self,
+        sampler: SchedulerSampler,
+        measure_rounds: bool,
+        require: bool,
+    ) -> bool:
+        """Whether the lockstep engine can run this estimate.
+
+        ``require=True`` (``engine="batch"``) raises instead of silently
+        falling back; ``require=False`` (``engine="auto"``) degrades to
+        scalar.
+        """
+        if measure_rounds:
+            if require:
+                raise MarkovError(
+                    "round counting needs full traces; the batch engine"
+                    " keeps none — use engine='scalar'"
+                )
+            return False
+        if batch_strategy_for(sampler) is None:
+            if require:
+                raise MarkovError(
+                    f"sampler {type(sampler).__name__} has no vectorized"
+                    " strategy; register one or use engine='scalar'"
+                )
+            return False
+        try:
+            self.batch_engine()
+        except ModelError:
+            if require:
+                raise
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # the two engines
+    # ------------------------------------------------------------------
+    def _estimate_batch(
+        self,
+        sampler: SchedulerSampler,
+        legitimate: Callable[[Configuration], bool],
+        trials: int,
+        max_steps: int,
+        rng: RandomSource,
+        initial_configurations: Sequence[Configuration] | None,
+        batch_legitimate: BatchLegitimacy | None,
+    ) -> MonteCarloResult:
+        engine = self.batch_engine()
+        if initial_configurations is not None:
+            codes = encode_initials(
+                engine.encoding, initial_configurations, trials
+            )
+        else:
+            codes = engine.encoding.encode_batch(
+                random_configurations(self.system, rng, trials)
+            )
+        legitimacy = compile_legitimacy(
+            batch_legitimate if batch_legitimate is not None else legitimate
+        )
+        strategy = batch_strategy_for(sampler)
+        assert strategy is not None  # _batch_supported vetted it
+        outcome = engine.run(
+            strategy,
+            legitimacy,
+            codes,
+            max_steps,
+            rng.numpy_generator(),
+        )
+        times = outcome.stabilization_times
+        return MonteCarloResult(
+            trials=trials,
+            converged=len(times),
+            censored=trials - len(times),
+            stats=summarize(times) if times else None,
+            round_stats=None,
+        )
+
+    def _estimate_scalar(
+        self,
+        sampler: SchedulerSampler,
+        legitimate: Callable[[Configuration], bool],
+        trials: int,
+        max_steps: int,
+        rng: RandomSource,
+        initial_configurations: Sequence[Configuration] | None,
+        measure_rounds: bool,
+    ) -> MonteCarloResult:
         system = self.system
         times: list[float] = []
         rounds: list[float] = []
         censored = 0
+        domains = (
+            _domain_table(system) if initial_configurations is None else None
+        )
         for trial in range(trials):
             if initial_configurations is not None:
                 initial = initial_configurations[
                     trial % len(initial_configurations)
                 ]
             else:
-                initial = random_configuration(system, rng)
+                # Drawn lazily (one configuration per trial, interleaved
+                # with the run's own consumption of ``rng``) so seeded
+                # scalar runs reproduce pre-batch-engine results exactly.
+                initial = _draw_configuration(domains, rng)
             result = run_until(
                 system,
                 sampler,
@@ -133,8 +354,6 @@ class MonteCarloRunner:
             if result.converged:
                 times.append(float(result.steps_taken))
                 if measure_rounds:
-                    from repro.analysis.rounds import count_rounds
-
                     rounds.append(float(count_rounds(system, result.trace)))
             elif result.hit_terminal:
                 # Terminal but illegitimate: the run can never converge.
@@ -168,6 +387,8 @@ def estimate_stabilization_time(
     initial_configurations: Sequence[Configuration] | None = None,
     measure_rounds: bool = False,
     kernel: TransitionKernel | None = None,
+    engine: str = "auto",
+    batch_legitimate: BatchLegitimacy | None = None,
 ) -> MonteCarloResult:
     """Sample stabilization times over random starts and scheduler draws.
 
@@ -182,4 +403,6 @@ def estimate_stabilization_time(
         rng=rng,
         initial_configurations=initial_configurations,
         measure_rounds=measure_rounds,
+        engine=engine,
+        batch_legitimate=batch_legitimate,
     )

@@ -42,6 +42,15 @@ class RandomSource:
         base = self._seed if self._seed is not None else 0
         return RandomSource((base * 1_000_003 + salt) & 0x7FFFFFFF)
 
+    def numpy_generator(self):
+        """A seeded :class:`numpy.random.Generator` derived from this
+        stream (consumes one draw, so repeated calls differ — and the
+        whole chain stays reproducible from the original seed).  NumPy is
+        imported lazily: only the vectorized batch paths need it."""
+        import numpy
+
+        return numpy.random.default_rng(self._rng.getrandbits(63))
+
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""
         return self._rng.random()

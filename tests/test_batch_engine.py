@@ -1,0 +1,399 @@
+"""Scalar-vs-batch equivalence and unit tests for the lockstep engine.
+
+The batch engine reproduces the scalar path's sampling *distributions*
+(not its random streams), so equivalence is asserted statistically:
+seeded runs of both engines on the same sweep point must produce
+stabilization-time samples whose empirical distributions agree under a
+two-sample Kolmogorov–Smirnov bound, plus matching structural outcomes
+(censoring counts, terminal retirement) that are seed-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.leader_tree import make_leader_tree_system
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.errors import MarkovError
+from repro.graphs.generators import path
+from repro.markov.batch import (
+    DecodingLegitimacy,
+    EnabledCountLegitimacy,
+    batch_strategy_for,
+    compile_legitimacy,
+)
+from repro.markov.montecarlo import (
+    MonteCarloRunner,
+    random_configuration,
+    random_configurations,
+)
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import (
+    BernoulliSampler,
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    RoundRobinSampler,
+    SynchronousSampler,
+)
+from repro.transformer.coin_toss import (
+    TransformedSpec,
+    make_transformed_system,
+)
+
+
+def _ks_statistic(sample_a, sample_b) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (sup CDF distance)."""
+    a = np.sort(np.asarray(sample_a, dtype=float))
+    b = np.sort(np.asarray(sample_b, dtype=float))
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def _ks_bound(n: int, m: int, confidence: float = 2.0) -> float:
+    """KS acceptance threshold ``c · sqrt((n + m) / (n m))``.
+
+    ``confidence=2.0`` corresponds to α ≈ 0.0007 — runs are seeded, so
+    this is a deterministic regression bound, not a flaky gate.
+    """
+    return confidence * ((n + m) / (n * m)) ** 0.5
+
+
+def _distribution_cases():
+    ring5 = make_token_ring_system(5)
+    ring5_spec = TokenCirculationSpec()
+    ring6 = make_token_ring_system(6)
+    tree5 = make_leader_tree_system(path(5))
+    base2 = make_two_process_system()
+    trans2 = make_transformed_system(base2)
+    trans2_spec = TransformedSpec(BothTrueSpec(), base2)
+    return [
+        (
+            "ring5-central",
+            ring5,
+            CentralRandomizedSampler(),
+            lambda c, s=ring5, sp=ring5_spec: sp.legitimate(s, c),
+            EnabledCountLegitimacy(1),
+        ),
+        (
+            "ring6-distributed",
+            ring6,
+            DistributedRandomizedSampler(),
+            lambda c, s=ring6: len(s.enabled_processes(c)) == 1,
+            EnabledCountLegitimacy(1),
+        ),
+        (
+            "leader-path5-bernoulli",
+            tree5,
+            BernoulliSampler(0.7),
+            tree5.is_terminal,
+            EnabledCountLegitimacy(0),
+        ),
+        (
+            "trans-two-process-synchronous",
+            trans2,
+            SynchronousSampler(),
+            lambda c, s=trans2, sp=trans2_spec: sp.legitimate(s, c),
+            None,  # exercise the decoding fallback
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,system,sampler,legitimate,batch_legitimate",
+    _distribution_cases(),
+    ids=[case[0] for case in _distribution_cases()],
+)
+def test_stabilization_time_distribution_matches_scalar(
+    name, system, sampler, legitimate, batch_legitimate
+):
+    """Seeded KS-style property: the batch engine's per-trial
+    stabilization-time distribution matches the scalar oracle's."""
+    scalar_times = _raw_times(system, sampler, legitimate, "scalar")
+    batch_times = _raw_times(
+        system, sampler, legitimate, "batch", batch_legitimate
+    )
+    statistic = _ks_statistic(scalar_times, batch_times)
+    assert statistic < _ks_bound(len(scalar_times), len(batch_times)), (
+        f"{name}: KS statistic {statistic:.4f} exceeds bound"
+    )
+    scalar_mean = float(np.mean(scalar_times))
+    batch_mean = float(np.mean(batch_times))
+    scalar_sem = float(np.std(scalar_times) / np.sqrt(len(scalar_times)))
+    assert batch_mean == pytest.approx(
+        scalar_mean, abs=max(5.0 * scalar_sem, 0.5)
+    )
+
+
+def _raw_times(system, sampler, legitimate, engine, batch_legitimate=None):
+    """Raw per-trial stabilization times from one seeded estimate."""
+    runner = MonteCarloRunner(system)
+    times = []
+    if engine == "batch":
+        strategy = batch_strategy_for(sampler)
+        assert strategy is not None
+        engine_obj = runner.batch_engine()
+        rng = RandomSource(777)
+        codes = engine_obj.encoding.encode_batch(
+            random_configurations(system, rng, 600)
+        )
+        outcome = engine_obj.run(
+            strategy,
+            compile_legitimacy(
+                batch_legitimate
+                if batch_legitimate is not None
+                else legitimate
+            ),
+            codes,
+            20_000,
+            rng.numpy_generator(),
+        )
+        assert outcome.converged.all()
+        times = outcome.stabilization_times
+    else:
+        from repro.core.simulate import run_until
+
+        rng = RandomSource(888)
+        for _ in range(600):
+            initial = random_configuration(system, rng)
+            result = run_until(
+                system,
+                sampler,
+                initial,
+                stop=legitimate,
+                max_steps=20_000,
+                rng=rng,
+                kernel=runner.kernel,
+                record=False,
+            )
+            assert result.converged
+            times.append(float(result.steps_taken))
+    return times
+
+
+class TestBatchSamplerStrategies:
+    def _enabled_fixture(self):
+        generator = np.random.default_rng(5)
+        enabled = generator.random((200, 9)) < 0.5
+        enabled[(~enabled).all(axis=1), 0] = True  # no empty rows
+        return enabled, generator
+
+    def test_synchronous_moves_all_enabled(self):
+        enabled, generator = self._enabled_fixture()
+        movers = batch_strategy_for(SynchronousSampler()).choose(
+            enabled, generator
+        )
+        assert (movers == enabled).all()
+
+    def test_central_moves_exactly_one_enabled(self):
+        enabled, generator = self._enabled_fixture()
+        movers = batch_strategy_for(CentralRandomizedSampler()).choose(
+            enabled, generator
+        )
+        assert (movers.sum(axis=1) == 1).all()
+        assert (movers & ~enabled).sum() == 0
+
+    def test_distributed_moves_nonempty_enabled_subset(self):
+        enabled, generator = self._enabled_fixture()
+        movers = batch_strategy_for(DistributedRandomizedSampler()).choose(
+            enabled, generator
+        )
+        assert (movers.sum(axis=1) >= 1).all()
+        assert (movers & ~enabled).sum() == 0
+
+    def test_bernoulli_respects_enabledness(self):
+        enabled, generator = self._enabled_fixture()
+        movers = batch_strategy_for(BernoulliSampler(0.2)).choose(
+            enabled, generator
+        )
+        assert (movers.sum(axis=1) >= 1).all()
+        assert (movers & ~enabled).sum() == 0
+
+    def test_central_choice_is_uniform(self):
+        """Each of k enabled processes is chosen ≈ 1/k of the time."""
+        generator = np.random.default_rng(9)
+        enabled = np.zeros((30_000, 6), dtype=bool)
+        enabled[:, [1, 3, 4]] = True
+        movers = batch_strategy_for(CentralRandomizedSampler()).choose(
+            enabled, generator
+        )
+        frequencies = movers.mean(axis=0)
+        assert frequencies[[0, 2, 5]].sum() == 0
+        assert np.allclose(frequencies[[1, 3, 4]], 1 / 3, atol=0.01)
+
+    def test_stateful_samplers_have_no_strategy(self):
+        assert batch_strategy_for(RoundRobinSampler()) is None
+
+
+class TestEngineSelection:
+    def test_batch_engine_refuses_rounds(self):
+        system = make_token_ring_system(4)
+        with pytest.raises(MarkovError):
+            MonteCarloRunner(system).estimate(
+                CentralRandomizedSampler(),
+                system.is_terminal,
+                trials=5,
+                max_steps=100,
+                rng=RandomSource(0),
+                engine="batch",
+                measure_rounds=True,
+            )
+
+    def test_batch_engine_refuses_stateful_sampler(self):
+        system = make_token_ring_system(4)
+        with pytest.raises(MarkovError):
+            MonteCarloRunner(system).estimate(
+                RoundRobinSampler(),
+                system.is_terminal,
+                trials=5,
+                max_steps=100,
+                rng=RandomSource(0),
+                engine="batch",
+            )
+
+    def test_auto_falls_back_to_scalar_bitwise(self):
+        """auto with a round-robin sampler must equal scalar exactly
+        (same engine, same random stream)."""
+        system = make_token_ring_system(5)
+        spec = TokenCirculationSpec()
+        kwargs = dict(
+            legitimate=lambda c: spec.legitimate(system, c),
+            trials=20,
+            max_steps=5_000,
+        )
+        auto = MonteCarloRunner(system).estimate(
+            RoundRobinSampler(), rng=RandomSource(6), engine="auto", **kwargs
+        )
+        scalar = MonteCarloRunner(system).estimate(
+            RoundRobinSampler(), rng=RandomSource(6), engine="scalar", **kwargs
+        )
+        assert auto == scalar
+
+    def test_unknown_engine_rejected(self):
+        system = make_token_ring_system(4)
+        with pytest.raises(MarkovError):
+            MonteCarloRunner(system, engine="warp")
+        with pytest.raises(MarkovError):
+            MonteCarloRunner(system).estimate(
+                CentralRandomizedSampler(),
+                system.is_terminal,
+                trials=1,
+                max_steps=1,
+                rng=RandomSource(0),
+                engine="warp",
+            )
+
+    def test_measure_rounds_auto_uses_scalar(self):
+        system = make_token_ring_system(4)
+        spec = TokenCirculationSpec()
+        result = MonteCarloRunner(system).estimate(
+            CentralRandomizedSampler(),
+            lambda c: spec.legitimate(system, c),
+            trials=10,
+            max_steps=5_000,
+            rng=RandomSource(4),
+            measure_rounds=True,
+        )
+        assert result.round_stats is not None
+        row = result.row()
+        assert "round_mean" in row
+        assert row["round_mean"] == round(result.round_stats.mean, 4)
+
+
+class TestBatchStructuralEquivalence:
+    def test_censoring_matches_scalar(self):
+        """From (False, False) the central scheduler can never reach the
+        both-true set — every trial is censored on both engines."""
+        system = make_two_process_system()
+        spec = BothTrueSpec()
+        kwargs = dict(
+            legitimate=lambda c: spec.legitimate(system, c),
+            trials=20,
+            max_steps=50,
+            initial_configurations=[((False,), (False,))],
+        )
+        runner = MonteCarloRunner(system)
+        batch = runner.estimate(
+            CentralRandomizedSampler(),
+            rng=RandomSource(1),
+            engine="batch",
+            **kwargs,
+        )
+        scalar = runner.estimate(
+            CentralRandomizedSampler(),
+            rng=RandomSource(1),
+            engine="scalar",
+            **kwargs,
+        )
+        assert batch.censored == scalar.censored == 20
+        assert batch.stats is None and scalar.stats is None
+
+    def test_initial_configurations_cycle(self):
+        """Explicit initials tile over trials exactly as the scalar path:
+        legitimate starts converge at time 0 on both engines."""
+        system = make_token_ring_system(5)
+        spec = TokenCirculationSpec()
+        legitimate_start = next(
+            c
+            for c in system.all_configurations()
+            if spec.legitimate(system, c)
+        )
+        runner = MonteCarloRunner(system)
+        for engine in ("batch", "scalar"):
+            result = runner.estimate(
+                CentralRandomizedSampler(),
+                lambda c: spec.legitimate(system, c),
+                trials=7,
+                max_steps=10,
+                rng=RandomSource(2),
+                initial_configurations=[legitimate_start],
+                engine=engine,
+                batch_legitimate=EnabledCountLegitimacy(1),
+            )
+            assert result.converged == 7
+            assert result.stats.mean == 0.0
+
+    def test_decoding_legitimacy_memoizes(self):
+        system = make_token_ring_system(4)
+        spec = TokenCirculationSpec()
+        calls = []
+
+        def predicate(configuration):
+            calls.append(configuration)
+            return spec.legitimate(system, configuration)
+
+        runner = MonteCarloRunner(system)
+        engine = runner.batch_engine()
+        legitimacy = DecodingLegitimacy(predicate)
+        codes = engine.encoding.encode_batch(
+            [next(system.all_configurations())] * 50
+        )
+        enabled = engine.tables.enabled(engine.tables.pack(codes))
+        verdicts = legitimacy.evaluate(codes, enabled, engine)
+        assert verdicts.shape == (50,)
+        assert len(calls) == 1  # 49 repeats hit the memo
+
+    def test_batch_runner_reuses_compiled_engine(self):
+        system = make_token_ring_system(5)
+        runner = MonteCarloRunner(system)
+        assert runner.batch_engine() is runner.batch_engine()
+
+
+class TestRandomConfigurations:
+    def test_matches_sequential_singles(self):
+        system = make_token_ring_system(5)
+        batched = random_configurations(system, RandomSource(9), 10)
+        rng = RandomSource(9)
+        singles = [random_configuration(system, rng) for _ in range(10)]
+        assert batched == singles
+
+    def test_configurations_valid(self):
+        system = make_transformed_system(make_token_ring_system(4))
+        for configuration in random_configurations(
+            system, RandomSource(1), 20
+        ):
+            system.check_configuration(configuration)
