@@ -1,0 +1,59 @@
+"""Shard-scaling benchmarks for exhaustive state-space exploration.
+
+One ring-N exploration point (Algorithm 1 on a 10-ring, central daemon:
+59049 configurations, 393660 edges) measured sequentially and sharded,
+so ``BENCH_kernel.json`` records the shard-scaling trajectory next to
+the other hot paths.  The sharded runs assert bit-for-bit equality with
+the sequential result — a benchmark that drifted semantically would be
+worthless.
+"""
+
+from repro.algorithms.token_ring import make_token_ring_system
+from repro.schedulers.relations import CentralRelation
+from repro.stabilization.statespace import StateSpace
+
+RING_SIZE = 10
+EXPECTED_CONFIGURATIONS = 59049
+EXPECTED_EDGES = 393660
+
+
+def _explore(system, shards):
+    return StateSpace.explore(system, CentralRelation(), shards=shards)
+
+
+def test_explore_ring10_shards1(benchmark):
+    """Sequential oracle: the baseline the speedup criterion divides by."""
+    system = make_token_ring_system(RING_SIZE)
+    space = benchmark.pedantic(
+        lambda: _explore(system, 1), rounds=3, iterations=1
+    )
+    assert space.num_configurations == EXPECTED_CONFIGURATIONS
+    assert space.num_edges == EXPECTED_EDGES
+
+
+def test_explore_ring10_shards2(benchmark):
+    system = make_token_ring_system(RING_SIZE)
+    space = benchmark.pedantic(
+        lambda: _explore(system, 2), rounds=3, iterations=1
+    )
+    assert space.num_configurations == EXPECTED_CONFIGURATIONS
+    assert space.num_edges == EXPECTED_EDGES
+
+
+def test_explore_ring10_shards4(benchmark):
+    system = make_token_ring_system(RING_SIZE)
+    space = benchmark.pedantic(
+        lambda: _explore(system, 4), rounds=3, iterations=1
+    )
+    assert space.num_configurations == EXPECTED_CONFIGURATIONS
+    assert space.num_edges == EXPECTED_EDGES
+
+
+def test_explore_ring10_sharded_equals_oracle():
+    """Not a timing: the equivalence guarantee on the benchmark point."""
+    system = make_token_ring_system(RING_SIZE)
+    oracle = _explore(system, 1)
+    sharded = _explore(system, 4)
+    assert oracle.configurations == sharded.configurations
+    assert oracle.edges == sharded.edges
+    assert oracle.enabled == sharded.enabled

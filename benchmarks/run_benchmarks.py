@@ -1,9 +1,10 @@
 """Entry point: run the infrastructure micro-benchmarks, persist results.
 
-Runs ``bench_infrastructure.py`` and ``bench_batch_engine.py`` through
-pytest-benchmark and appends a condensed, machine-readable record to
-``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
-execution engine (state-space exploration, chain building, simulation
+Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``, and
+``bench_sharded_explore.py`` through pytest-benchmark and appends a
+condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
+so the performance trajectory of the execution engine (state-space
+exploration — sequential and sharded — chain building, simulation
 throughput, batch Monte-Carlo throughput) is tracked across PRs.
 Usage::
 
@@ -11,6 +12,11 @@ Usage::
 
 The JSON file holds a list of runs, newest last; each run records the
 per-benchmark min/mean/stddev seconds and round counts.
+
+Before benchmarking, the runner doctests ``README.md`` and every
+markdown file under ``docs/`` (the same check as
+``tests/test_docs.py``), so the documented commands and examples cannot
+rot unnoticed; ``--skip-docs`` bypasses it.
 """
 
 from __future__ import annotations
@@ -29,17 +35,39 @@ REPO_ROOT = BENCH_DIR.parent
 SUITE = (
     BENCH_DIR / "bench_infrastructure.py",
     BENCH_DIR / "bench_batch_engine.py",
+    BENCH_DIR / "bench_sharded_explore.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 
 
-def run_suite(raw_json_path: pathlib.Path) -> None:
-    """Execute the suite under pytest-benchmark, writing its raw JSON."""
+def _bench_env() -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
+    return env
+
+
+def run_docs_check() -> None:
+    """Doctest README.md and docs/*.md so documented commands can't rot."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "tests" / "test_docs.py"),
+        "-q",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=_bench_env())
+    if completed.returncode != 0:
+        raise SystemExit(
+            "documentation check failed — fix README/docs before recording"
+            " benchmarks"
+        )
+
+
+def run_suite(raw_json_path: pathlib.Path) -> None:
+    """Execute the suite under pytest-benchmark, writing its raw JSON."""
     command = [
         sys.executable,
         "-m",
@@ -49,7 +77,7 @@ def run_suite(raw_json_path: pathlib.Path) -> None:
         "--benchmark-only",
         f"--benchmark-json={raw_json_path}",
     ]
-    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=_bench_env())
     if completed.returncode != 0:
         raise SystemExit(completed.returncode)
 
@@ -81,7 +109,15 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help="free-form note stored with this run (e.g. a PR id)",
     )
+    parser.add_argument(
+        "--skip-docs",
+        action="store_true",
+        help="skip the README/docs doctest check",
+    )
     args = parser.parse_args(argv)
+
+    if not args.skip_docs:
+        run_docs_check()
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "raw.json"

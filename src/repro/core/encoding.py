@@ -18,10 +18,13 @@ step a handful of integer gathers:
   and per-action outcome rows (cumulative probability + post-state code).
 
 Division of labor (see :mod:`repro.core`): ``System`` = semantics,
-``TransitionKernel`` = speed, encoding/batch = scale.  The batch engine
-built on these tables lives in :mod:`repro.markov.batch`; the arrays are
-read-only after compilation, so they are also the natural unit to ship to
-worker processes once exploration is sharded.
+``TransitionKernel`` = speed, encoding/batch = scale.  Two engines build
+on these tables: the lockstep Monte-Carlo batch engine
+(:mod:`repro.markov.batch`) and the sharded state-space explorer
+(:mod:`repro.stabilization.sharding`) — the arrays are read-only after
+compilation, so one compiled table serves any number of concurrent
+batches and ships to exploration worker processes for free (one pickle,
+or copy-on-write under ``fork``).
 """
 
 from __future__ import annotations
@@ -45,10 +48,23 @@ CODE_DTYPE = np.uint32
 class StateEncoding:
     """Interning of per-process local states to dense integer codes.
 
+    The bijection ``local state ⟷ code`` underpinning every array-based
+    tier: built from a :class:`~repro.core.system.System` (or a kernel
+    proxying one), it maps process ``p``'s local state to an integer in
+    ``[0, |S_p|)`` and a whole configuration to a ``uint32`` vector —
+    the representation the batch engine advances in lockstep and the
+    sharded explorer ranks into canonical state ids.
+
     Codes enumerate each process's local-state space in domain-product
     order (first variable varies slowest), matching the order used by
     configuration enumeration and kernel precomputation, so code ``c`` of
-    process ``p`` *is* the mixed-radix rank of its local state.
+    process ``p`` *is* the mixed-radix rank of its local state — and the
+    mixed-radix rank of a full code vector (process 0 slowest) is the
+    configuration's position in
+    :func:`~repro.core.configuration.enumerate_configurations` order.
+    Two encodings of the same system are therefore interchangeable:
+    every worker process can rebuild or receive one and agree on every
+    code.
     """
 
     __slots__ = ("_states", "_codes", "_sizes", "num_processes")

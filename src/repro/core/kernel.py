@@ -190,10 +190,23 @@ class TransitionKernel:
     def neighborhood_entry(
         self, process: int, key: tuple[LocalState, ...]
     ) -> NeighborhoodEntry:
-        """Resolved entry for ``(own state, neighbor states...)`` — the
-        public face of the memo tables, used by the table compiler
-        (:func:`repro.core.encoding.compile_tables`) to enumerate
-        neighborhoods without materializing full configurations."""
+        """Resolved transitions of ``process`` for one local neighborhood.
+
+        ``key`` is ``(own state, neighbor states...)`` with neighbor
+        states in :meth:`Topology.neighbors` order — the same tuple the
+        per-configuration fast paths extract internally.  Returns the
+        memoized :class:`NeighborhoodEntry` (resolving and caching it on
+        first sight); because the locally-shared-memory model guarantees
+        transitions depend on nothing else, the entry is valid in
+        *every* configuration agreeing with ``key`` on that
+        neighborhood.
+
+        This is the public face of the memo tables: the table compiler
+        (:func:`repro.core.encoding.compile_tables`) drives it to
+        enumerate whole neighborhood product spaces without
+        materializing full configurations, and custom analyses can probe
+        individual neighborhoods the same way.
+        """
         table = self._tables[process]
         entry = table.get(key)
         if entry is None:

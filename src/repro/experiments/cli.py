@@ -10,6 +10,12 @@ Subcommands::
     run-all [--fast]     run everything (--fast shrinks parameters)
     report [--fast] -o EXPERIMENTS.generated.md
                          run everything and write the markdown report
+
+``run``, ``run-all``, and ``report`` accept ``--shards N`` (or
+``--shards auto``): every exhaustive state-space exploration inside the
+selected experiments is then partitioned across that many worker
+processes (see :mod:`repro.stabilization.sharding`).  Results are
+identical for any shard count; only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -29,8 +35,36 @@ from repro.experiments.registry import (
     run_all,
     run_preset,
 )
+from repro.stabilization.sharding import set_default_shards
 
 __all__ = ["main", "build_parser"]
+
+
+def _shards_value(raw: str) -> "int | str":
+    """Parse ``--shards``: a positive int or the literal ``auto``."""
+    if raw == "auto":
+        return raw
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {raw!r}"
+        )
+    return value
+
+
+def _add_shards_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=_shards_value,
+        default=None,
+        metavar="N|auto",
+        help="partition state-space explorations across N worker"
+        " processes ('auto' = available CPUs, capped at 8); results are"
+        " identical for any value",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,11 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run selected experiments")
     run_parser.add_argument("ids", nargs="+", metavar="ID")
+    _add_shards_flag(run_parser)
 
     run_all_parser = sub.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument(
         "--fast", action="store_true", help="shrink heavy parameters"
     )
+    _add_shards_flag(run_all_parser)
 
     report_parser = sub.add_parser(
         "report", help="run everything, write markdown"
@@ -59,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "-o", "--output", default="EXPERIMENTS.generated.md"
     )
+    _add_shards_flag(report_parser)
     return parser
 
 
@@ -77,6 +114,12 @@ def _print_results(results: Sequence[ExperimentResult]) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "shards", None) is not None:
+        resolved = set_default_shards(args.shards)
+        if resolved > 1:
+            print(f"(explorations sharded across {resolved} workers)")
+        else:
+            print("(explorations running sequentially: 1 shard resolved)")
     if args.command == "list":
         for experiment_id in all_ids():
             experiment = get_experiment(experiment_id)

@@ -10,6 +10,16 @@ irrelevant for the paper's algorithms, whose guards are mutually
 exclusive), and ``q_p`` the action's outcome distribution.  Terminal
 configurations self-loop with probability one, so legitimate terminal
 configurations are absorbing.
+
+Execution tier (see ``docs/architecture.md``): rows resolve guards and
+outcomes through the neighborhood-memoized
+:class:`~repro.core.kernel.TransitionKernel` — algorithm code runs once
+per distinct local neighborhood, every revisit is a dict probe — and the
+interning walk itself is the sequential FIFO pattern the state-space
+explorer also uses.  Chain building stays single-process (rows carry
+probabilities, which the sharded explorer's possibility-semantics wire
+format does not); vectorizing it over the compiled tables is a ROADMAP
+item.
 """
 
 from __future__ import annotations

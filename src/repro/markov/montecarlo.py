@@ -131,6 +131,12 @@ class MonteCarloResult:
 class MonteCarloRunner:
     """Batched multi-replica Monte-Carlo driver for one sweep point.
 
+    The front door for stabilization-time sampling: construct one runner
+    per ``(system,)`` sweep point, then call :meth:`estimate` (or
+    :meth:`batch` for several sampler/trial variants) — engine choice,
+    kernel sharing, and legitimacy compilation are handled here so
+    experiment runners never touch the execution tiers directly.
+
     All trials — and all repeated :meth:`estimate` calls on the same
     system — share one :class:`~repro.core.kernel.TransitionKernel` (and,
     when the batch engine is used, one compiled
@@ -139,11 +145,17 @@ class MonteCarloRunner:
     across the *entire* batch rather than once per simulated step.
 
     ``engine`` sets the runner-wide default (overridable per call):
-    ``"auto"`` picks the vectorized lockstep engine whenever the sampler
-    has a batch strategy, rounds are not measured, and the neighborhood
-    tables fit the compilation budget; ``"batch"`` demands it (raising
-    :class:`MarkovError` when unsupported); ``"scalar"`` forces the
-    loop-per-trial oracle path.
+
+    * ``"auto"`` — the vectorized lockstep engine whenever the sampler
+      has a batch strategy, rounds are not measured, and the
+      neighborhood tables fit the compilation budget; scalar otherwise;
+    * ``"batch"`` — demand the lockstep engine (raising
+      :class:`MarkovError` when unsupported);
+    * ``"scalar"`` — force the loop-per-trial oracle path, which
+      consumes the same seeded random stream as the pre-batch-engine
+      code and is the distributional reference for the batch tier (the
+      ``engine="auto"`` selection rules are spelled out in
+      ``docs/architecture.md``).
     """
 
     def __init__(

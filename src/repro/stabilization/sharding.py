@@ -1,0 +1,732 @@
+"""Sharded parallel state-space exploration — the scale tier of explore.
+
+:meth:`repro.stabilization.statespace.StateSpace.explore` walks the
+transition digraph one configuration at a time, resolving guards through
+the memoized :class:`~repro.core.kernel.TransitionKernel`.  This module
+partitions that walk across ``multiprocessing`` workers:
+
+* every worker receives the immutable
+  :class:`~repro.core.encoding.CompiledKernelTables` (read-only NumPy
+  storage, so shipping it is one cheap pickle — or free copy-on-write
+  under the ``fork`` start method) and expands its slice of the frontier
+  entirely in *code space*: configurations are mixed-radix ranks over the
+  :class:`~repro.core.encoding.StateEncoding`, enabledness is one gather
+  per slice, and a successor is integer arithmetic instead of tuple
+  surgery plus dict interning;
+* the master merges the per-worker results back into one canonical
+  :class:`~repro.stabilization.statespace.StateSpace` by replaying each
+  slice in frontier order, so interned ids, edge order, and enabled
+  tuples come out **bit-for-bit identical** to the sequential explorer
+  (``shards=1`` is the equivalence oracle — see
+  ``tests/test_sharded_explore.py``).
+
+Two partitioning modes cover the two exploration modes:
+
+* **full space** (``initial=None``): every configuration is a seed and
+  its canonical id *is* its enumeration rank, so the id space needs no
+  merge at all — workers take contiguous rank ranges and the master
+  concatenates their edge lists;
+* **reachable fragment** (explicit ``initial``): a level-synchronous
+  parallel BFS; each level's frontier is split across workers, and the
+  master interns discovered ranks in (source order, edge order) — the
+  exact order the sequential FIFO explorer would have used.
+
+Entry points: :func:`explore_sharded` (called by ``StateSpace.explore``
+when ``shards > 1``), :func:`resolve_shards`, and the process-wide
+default used by the ``--shards`` CLI flag
+(:func:`set_default_shards` / :func:`get_default_shards`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from itertools import islice, product
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.encoding import (
+    CODE_DTYPE,
+    CompiledKernelTables,
+    StateEncoding,
+    compile_tables,
+)
+from repro.core.kernel import TransitionKernel
+from repro.core.system import System
+from repro.errors import ModelError, StateSpaceError
+from repro.schedulers.relations import (
+    CentralRelation,
+    SchedulerRelation,
+    SynchronousRelation,
+)
+
+# One-way dependency: statespace imports this module only lazily inside
+# ``StateSpace.explore``, so importing its helpers here is cycle-free.
+from repro.stabilization.statespace import subset_to_mask
+
+if TYPE_CHECKING:  # pragma: no cover - forward reference only
+    from repro.stabilization.statespace import StateSpace
+
+__all__ = [
+    "explore_sharded",
+    "resolve_shards",
+    "set_default_shards",
+    "get_default_shards",
+    "MAX_SHARDABLE_PROCESSES",
+]
+
+#: Activation bitmasks travel as int64-friendly Python ints; beyond this
+#: many processes the sharded path defers to the sequential explorer
+#: (whose exploration budget such systems exceed anyway).
+MAX_SHARDABLE_PROCESSES = 62
+
+#: Frontiers smaller than this are expanded in-process: the pickle +
+#: scheduling overhead of a worker round-trip exceeds the work.
+MIN_FRONTIER_FOR_WORKERS = 256
+
+#: Process-wide default shard count, used when ``StateSpace.explore`` is
+#: called with ``shards=None`` — set by the ``--shards`` CLI flag.
+_DEFAULT_SHARDS = 1
+
+#: Relations whose deterministic-block expansion is a pure array
+#: expression (exact types: a subclass may redefine ``subsets``).
+#: Order matters — index 0 is the central relation.
+_VECTOR_RELATIONS = (CentralRelation, SynchronousRelation)
+
+
+def set_default_shards(shards: int | str) -> int:
+    """Set the process-wide default shard count (``"auto"`` allowed).
+
+    Returns the resolved count.  ``StateSpace.explore(shards=None)`` —
+    i.e. every exploration that does not choose explicitly, including all
+    experiment runners — picks this default up, which is how the
+    ``--shards`` flag of ``python -m repro.experiments run`` reaches
+    exploration without threading a parameter through every runner.
+    """
+    global _DEFAULT_SHARDS
+    _DEFAULT_SHARDS = resolve_shards(shards)
+    return _DEFAULT_SHARDS
+
+
+def get_default_shards() -> int:
+    """The process-wide default shard count (1 unless configured)."""
+    return _DEFAULT_SHARDS
+
+
+def resolve_shards(shards: int | str | None) -> int:
+    """Normalize a ``shards`` argument to a positive worker count.
+
+    ``None`` → the process-wide default; ``"auto"`` → the number of CPUs
+    available to this process (affinity-aware, capped at 8 — exploration
+    merge work is serial, so very wide pools stop paying off); an int is
+    validated and returned as-is.
+    """
+    if shards is None:
+        return _DEFAULT_SHARDS
+    if isinstance(shards, str):
+        if shards != "auto":
+            raise StateSpaceError(
+                f"shards must be a positive int or 'auto', got {shards!r}"
+            )
+        try:
+            available = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            available = os.cpu_count() or 1
+        return max(1, min(available, 8))
+    if shards < 1:
+        raise StateSpaceError(
+            f"shards must be a positive int or 'auto', got {shards!r}"
+        )
+    return int(shards)
+
+
+# ----------------------------------------------------------------------
+# the compiled expansion shared by workers and the in-process fallback
+# ----------------------------------------------------------------------
+class _ShardContext:
+    """Per-worker read-only state: compiled tables plus derived lookups.
+
+    Built once per worker process (or once in the master for small
+    frontiers); everything here is deterministic structure, so every
+    worker derives identical expansions.
+    """
+
+    def __init__(
+        self,
+        tables: CompiledKernelTables,
+        relation: SchedulerRelation,
+        action_mode: str,
+    ) -> None:
+        self.tables = tables
+        self.relation = relation
+        self.action_mode = action_mode
+        encoding = tables.encoding
+        self.num_processes = encoding.num_processes
+        sizes = encoding.sizes
+        # Mixed-radix configuration weights, process 0 slowest — matching
+        # both enumerate_configurations order and StateEncoding codes, so
+        # rank(configuration) == its id in a full-space exploration.
+        weights = [1] * self.num_processes
+        for process in range(self.num_processes - 2, -1, -1):
+            weights[process] = weights[process + 1] * int(sizes[process + 1])
+        self.config_weights = weights
+        self.sizes = [int(size) for size in sizes]
+        # Ranks fit int64 ⇒ the vectorized emission layers and array wire
+        # format are safe; astronomically large spaces (only reachable
+        # through explicit initial sets) stay on Python ints.
+        space_size = 1
+        for size in self.sizes:
+            space_size *= size
+        self.int64_safe = space_size < 2**62
+        # Outcome codes per action row, trimmed to the row's real arity
+        # (rows are padded with the 2.0 cum-probability sentinel).
+        self.arity = (tables.outcome_cum < 1.5).sum(axis=1)
+        self.outcome_codes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(int(code) for code in tables.outcome_code[row, :count])
+            for row, count in enumerate(self.arity.tolist())
+        )
+        #: First outcome code of each action row — the whole transition
+        #: when the row is deterministic (arity 1).
+        self.first_outcome = tables.outcome_code[:, 0].astype(np.int64)
+        self.weights_row = (
+            np.array(self.config_weights, dtype=np.int64)
+            if self.int64_safe
+            else None
+        )
+
+    def codes_of_ranks(self, ranks: Sequence[int]) -> np.ndarray:
+        """``(M, N)`` code matrix of configuration ranks (mixed radix)."""
+        if self.int64_safe:
+            rank_array = np.fromiter(ranks, dtype=np.int64, count=len(ranks))
+            matrix = np.empty(
+                (len(rank_array), self.num_processes), dtype=CODE_DTYPE
+            )
+            for process, (weight, size) in enumerate(
+                zip(self.config_weights, self.sizes)
+            ):
+                matrix[:, process] = (rank_array // weight) % size
+            return matrix
+        matrix = np.empty((len(ranks), self.num_processes), dtype=CODE_DTYPE)
+        for row, rank in enumerate(ranks):
+            for process, (weight, size) in enumerate(
+                zip(self.config_weights, self.sizes)
+            ):
+                matrix[row, process] = (rank // weight) % size
+        return matrix
+
+
+#: Wire format a worker sends back, all flat and cheap to pickle:
+#: (per-source enabled counts, flat enabled process ids, per-source edge
+#:  counts, flat edge masks, flat edge target ranks).  Arrays are int64;
+#: ``targets`` degrades to a Python list when ranks exceed int64.
+_ChunkResult = tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, "np.ndarray | list[int]"
+]
+
+
+def _expand_block(
+    context: _ShardContext, codes: np.ndarray, ranks: Sequence[int]
+) -> _ChunkResult:
+    """Expand one slice of sources entirely in code space.
+
+    Reproduces the sequential explorer's per-source behavior exactly —
+    same ``enabled`` tuples (sorted process ids), same subset enumeration
+    through ``relation.subsets``, same branch order as
+    :func:`repro.core.system.compose_weighted_targets`, and the same
+    keep-first edge dedup — but a successor is ``source rank + Σ (new
+    code − old code) · weight`` instead of tuple surgery, and enabledness
+    is one vectorized gather for the whole slice.
+
+    Deterministic blocks (every enabled cell has one applicable action
+    with one outcome — the paper's Algorithms 1 and 2) under the central
+    or synchronous relation skip the per-source loop entirely: edges are
+    emitted as whole-block array expressions.
+    """
+    tables = context.tables
+    keys = tables.pack(codes)
+    enabled_matrix = tables.enabled_flat[keys]
+    counts_matrix = tables.action_count[keys]
+    bases_matrix = tables.action_base[keys]
+
+    enabled_counts = enabled_matrix.sum(axis=1, dtype=np.int64)
+    enabled_cols = np.nonzero(enabled_matrix)[1].astype(np.int64)
+
+    relation = context.relation
+    first_only = context.action_mode == "first"
+
+    # ------------------------------------------------------------------
+    # vectorized layer: deterministic cells, central/synchronous relation
+    # ------------------------------------------------------------------
+    if context.int64_safe and type(relation) in _VECTOR_RELATIONS:
+        candidate = enabled_matrix & (
+            (counts_matrix == 1) if not first_only else enabled_matrix
+        )
+        deterministic = candidate & (context.arity[bases_matrix] == 1)
+        if np.array_equal(deterministic, enabled_matrix):
+            rank_array = np.fromiter(
+                ranks, dtype=np.int64, count=len(codes)
+            )
+            # Post-state delta of each (source, process) solo move:
+            # (new code − old code) · weight — zero where disabled.
+            delta = np.where(
+                enabled_matrix,
+                (context.first_outcome[bases_matrix] - codes.astype(np.int64))
+                * context.weights_row,
+                0,
+            )
+            if type(relation) is _VECTOR_RELATIONS[0]:  # central
+                source_idx, movers = np.nonzero(enabled_matrix)
+                masks = np.int64(1) << movers
+                targets = rank_array[source_idx] + delta[source_idx, movers]
+                return (
+                    enabled_counts,
+                    enabled_cols,
+                    enabled_counts,
+                    masks,
+                    targets,
+                )
+            # synchronous: one edge per non-terminal source, all movers.
+            bits = np.int64(1) << np.arange(
+                context.num_processes, dtype=np.int64
+            )
+            nonterminal = enabled_counts > 0
+            masks = (enabled_matrix * bits).sum(axis=1)[nonterminal]
+            targets = (rank_array + delta.sum(axis=1))[nonterminal]
+            return (
+                enabled_counts,
+                enabled_cols,
+                nonterminal.astype(np.int64),
+                masks,
+                targets,
+            )
+
+    # ------------------------------------------------------------------
+    # scalar replay layer: any relation, any action/outcome structure
+    # ------------------------------------------------------------------
+    counts = counts_matrix.tolist()
+    bases = bases_matrix.tolist()
+    rows = codes.tolist()
+    per_row = enabled_counts.tolist()
+    flat_enabled = enabled_cols.tolist()
+    outcome_codes = context.outcome_codes
+    weights = context.config_weights
+    # Subset/mask plans repeat across sources sharing an enabled set;
+    # enumerate each distinct enabled tuple through the relation once.
+    plan_cache: dict[tuple[int, ...], list[tuple[int, tuple[int, ...]]]] = {}
+
+    edge_counts: list[int] = []
+    edge_masks: list[int] = []
+    edge_targets: list[int] = []
+
+    cursor = 0
+    for index, source_rank in enumerate(ranks):
+        count = per_row[index]
+        enabled = tuple(flat_enabled[cursor : cursor + count])
+        cursor += count
+        emitted = 0
+        if enabled:
+            row = rows[index]
+            row_counts = counts[index]
+            row_bases = bases[index]
+            plan = plan_cache.get(enabled)
+            if plan is None:
+                plan = [
+                    (subset_to_mask(subset), subset)
+                    for subset in relation.subsets(enabled)
+                ]
+                plan_cache[enabled] = plan
+            for mask, subset in plan:
+                # Edges dedup keep-first *within* a subset (distinct
+                # subsets have distinct masks, so cross-subset duplicates
+                # cannot occur); a subset with a single branch — one
+                # applicable action per mover, one outcome each — needs
+                # no dedup at all.
+                if len(subset) == 1:
+                    process = subset[0]
+                    base = row_bases[process]
+                    stop = base + (1 if first_only else row_counts[process])
+                    weight = weights[process]
+                    old = row[process] * weight
+                    if stop == base + 1 and len(outcome_codes[base]) == 1:
+                        edge_masks.append(mask)
+                        edge_targets.append(
+                            source_rank + outcome_codes[base][0] * weight - old
+                        )
+                        emitted += 1
+                        continue
+                    seen: set[int] = set()
+                    for action_row in range(base, stop):
+                        for code in outcome_codes[action_row]:
+                            target = source_rank + code * weight - old
+                            if target not in seen:
+                                seen.add(target)
+                                edge_masks.append(mask)
+                                edge_targets.append(target)
+                                emitted += 1
+                    continue
+                choice_lists = [
+                    [
+                        (
+                            weights[process],
+                            row[process] * weights[process],
+                            outcome_codes[action_row],
+                        )
+                        for action_row in range(
+                            row_bases[process],
+                            row_bases[process]
+                            + (1 if first_only else row_counts[process]),
+                        )
+                    ]
+                    for process in subset
+                ]
+                if all(
+                    len(choices) == 1 and len(choices[0][2]) == 1
+                    for choices in choice_lists
+                ):
+                    target = source_rank
+                    for weight, old, codes_ in (
+                        choices[0] for choices in choice_lists
+                    ):
+                        target += codes_[0] * weight - old
+                    edge_masks.append(mask)
+                    edge_targets.append(target)
+                    emitted += 1
+                    continue
+                seen = set()
+                for assignment in product(*choice_lists):
+                    outcome_spaces = [codes_ for _, _, codes_ in assignment]
+                    for combo in product(*outcome_spaces):
+                        target = source_rank
+                        for (weight, old, _), code in zip(assignment, combo):
+                            target += code * weight - old
+                        if target not in seen:
+                            seen.add(target)
+                            edge_masks.append(mask)
+                            edge_targets.append(target)
+                            emitted += 1
+        edge_counts.append(emitted)
+
+    if context.int64_safe:
+        targets: np.ndarray | list[int] = np.fromiter(
+            edge_targets, dtype=np.int64, count=len(edge_targets)
+        )
+    else:
+        targets = edge_targets
+    return (
+        enabled_counts,
+        enabled_cols,
+        np.fromiter(edge_counts, dtype=np.int64, count=len(edge_counts)),
+        np.fromiter(edge_masks, dtype=np.int64, count=len(edge_masks)),
+        targets,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker plumbing
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: _ShardContext | None = None
+
+
+def _init_worker(
+    tables: CompiledKernelTables,
+    relation: SchedulerRelation,
+    action_mode: str,
+) -> None:
+    """Pool initializer: build the per-worker read-only context once."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _ShardContext(tables, relation, action_mode)
+
+
+def _expand_rank_range(
+    bounds: tuple[int, int], context: _ShardContext | None = None
+) -> _ChunkResult:
+    """Full-space mode: expand ranks ``[start, stop)``.
+
+    As a pool task ``context`` defaults to the worker's initialized
+    global; the master's in-process fallback passes its own.
+    """
+    if context is None:
+        context = _WORKER_CONTEXT
+    assert context is not None
+    start, stop = bounds
+    ranks = range(start, stop)
+    codes = context.codes_of_ranks(ranks)
+    return _expand_block(context, codes, ranks)
+
+
+def _expand_rank_list(ranks: list[int]) -> _ChunkResult:
+    """Worker task, frontier mode: expand an explicit rank slice."""
+    context = _WORKER_CONTEXT
+    assert context is not None
+    codes = context.codes_of_ranks(ranks)
+    return _expand_block(context, codes, ranks)
+
+
+def _chunk_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous ``[start, stop)`` chunks covering ``total``."""
+    shards = min(shards, total)
+    step, remainder = divmod(total, shards)
+    bounds = []
+    start = 0
+    for shard in range(shards):
+        stop = start + step + (1 if shard < remainder else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _make_pool(
+    shards: int,
+    tables: CompiledKernelTables,
+    relation: SchedulerRelation,
+    action_mode: str,
+):
+    """A worker pool, preferring ``fork`` (copy-on-write table sharing)."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        mp_context = multiprocessing.get_context()
+    return mp_context.Pool(
+        processes=shards,
+        initializer=_init_worker,
+        initargs=(tables, relation, action_mode),
+    )
+
+
+# ----------------------------------------------------------------------
+# the sharded explorer
+# ----------------------------------------------------------------------
+def explore_sharded(
+    system: System,
+    relation: SchedulerRelation,
+    initial: Iterable[Configuration] | None,
+    max_configurations: int,
+    action_mode: str,
+    kernel: TransitionKernel | None,
+    shards: int,
+) -> "StateSpace":
+    """Sharded equivalent of ``StateSpace.explore`` (see module docs).
+
+    Falls back to the sequential explorer when the system cannot take the
+    compiled-table fast path (neighborhood space over the compilation
+    budget, or more than :data:`MAX_SHARDABLE_PROCESSES` processes) — the
+    result is identical either way, sharding is purely an execution
+    strategy.
+    """
+    from repro.stabilization.statespace import StateSpace
+
+    if action_mode not in ("all", "first"):
+        # Same rejection the sequential path gets from
+        # compose_weighted_targets — sharding must not relax validation.
+        raise ModelError(f"unknown action_mode {action_mode!r}")
+
+    def sequential() -> "StateSpace":
+        return StateSpace.explore(
+            system,
+            relation,
+            initial=initial,
+            max_configurations=max_configurations,
+            action_mode=action_mode,
+            kernel=kernel,
+            shards=1,
+        )
+
+    if shards <= 1 or system.num_processes > MAX_SHARDABLE_PROCESSES:
+        return sequential()
+    if initial is None and system.num_configurations() > max_configurations:
+        # Same immediate rejection the sequential path gives — don't pay
+        # for table compilation first.
+        raise StateSpaceError(
+            f"configuration space has {system.num_configurations()} states,"
+            f" budget is {max_configurations}"
+        )
+    if kernel is None:
+        kernel = TransitionKernel(system)
+    try:
+        tables = compile_tables(kernel)
+    except ModelError:
+        # Neighborhood space over the compilation budget: the batch tier
+        # cannot represent this system; take the scalar path.
+        return sequential()
+
+    if initial is None:
+        return _explore_full(
+            system, relation, max_configurations, action_mode, tables, shards
+        )
+    return _explore_frontier(
+        system,
+        relation,
+        list(initial),
+        max_configurations,
+        action_mode,
+        tables,
+        shards,
+    )
+
+
+def _explore_full(
+    system: System,
+    relation: SchedulerRelation,
+    max_configurations: int,
+    action_mode: str,
+    tables: CompiledKernelTables,
+    shards: int,
+) -> "StateSpace":
+    """Full-space mode: ids are enumeration ranks; no id merge needed."""
+    from repro.stabilization.statespace import StateSpace
+
+    space_size = system.num_configurations()
+    if space_size > max_configurations:
+        raise StateSpaceError(
+            f"configuration space has {space_size} states,"
+            f" budget is {max_configurations}"
+        )
+    if space_size < MIN_FRONTIER_FOR_WORKERS:
+        bounds = [(0, space_size)]
+    else:
+        bounds = _chunk_bounds(space_size, shards)
+    if len(bounds) > 1:
+        with _make_pool(len(bounds), tables, relation, action_mode) as pool:
+            results = pool.map(_expand_rank_range, bounds)
+    else:
+        context = _ShardContext(tables, relation, action_mode)
+        results = [_expand_rank_range(bounds[0], context)]
+
+    edges: list[list[tuple[int, int]]] = []
+    enabled_lists: list[tuple[int, ...]] = []
+    for result in results:
+        _append_chunk(result, enabled_lists, edges)
+
+    configurations = list(system.all_configurations())
+    index = {
+        configuration: rank
+        for rank, configuration in enumerate(configurations)
+    }
+    return StateSpace(
+        system, relation, configurations, index, edges, enabled_lists
+    )
+
+
+def _append_chunk(
+    result: _ChunkResult,
+    enabled_lists: list[tuple[int, ...]],
+    edges: list[list[tuple[int, int]]],
+    intern=None,
+) -> None:
+    """Replay one chunk's flat wire arrays into per-source Python lists.
+
+    ``intern`` (frontier mode) maps target ranks to canonical ids while
+    preserving (source order, edge order); full-space mode passes
+    ``None`` because there the rank *is* the id.
+    """
+    en_counts, en_cols, edge_counts, masks, targets = result
+    cols = iter(en_cols.tolist())
+    enabled_lists.extend(
+        tuple(islice(cols, count)) for count in en_counts.tolist()
+    )
+    target_list = targets.tolist() if isinstance(targets, np.ndarray) else targets
+    if intern is not None:
+        target_list = [intern(rank) for rank in target_list]
+    pairs = iter(zip(masks.tolist(), target_list))
+    edges.extend(
+        list(islice(pairs, count)) for count in edge_counts.tolist()
+    )
+
+
+def _explore_frontier(
+    system: System,
+    relation: SchedulerRelation,
+    seeds: list[Configuration],
+    max_configurations: int,
+    action_mode: str,
+    tables: CompiledKernelTables,
+    shards: int,
+) -> "StateSpace":
+    """Reachable-fragment mode: level-synchronous BFS with canonical merge.
+
+    The master owns the rank → id interning; workers only expand.  Each
+    level's results are replayed in (source order, edge order), which is
+    exactly the order the sequential FIFO explorer interns targets in, so
+    the id space comes out identical.
+    """
+    from repro.stabilization.statespace import StateSpace
+
+    encoding = tables.encoding
+    context = _ShardContext(tables, relation, action_mode)
+    weights = context.config_weights
+
+    rank_to_id: dict[int, int] = {}
+    rank_of_id: list[int] = []
+
+    def intern(rank: int) -> int:
+        state_id = rank_to_id.get(rank)
+        if state_id is not None:
+            return state_id
+        if len(rank_of_id) >= max_configurations:
+            raise StateSpaceError(
+                f"exploration exceeded {max_configurations} configurations"
+            )
+        state_id = len(rank_of_id)
+        rank_to_id[rank] = state_id
+        rank_of_id.append(rank)
+        return state_id
+
+    for seed in seeds:
+        codes = encoding.encode(seed)
+        intern(sum(int(code) * weight for code, weight in zip(codes, weights)))
+
+    edges: list[list[tuple[int, int]]] = []
+    enabled_lists: list[tuple[int, ...]] = []
+
+    pool = None
+    try:
+        frontier_start = 0
+        while frontier_start < len(rank_of_id):
+            frontier = rank_of_id[frontier_start:]
+            frontier_start = len(rank_of_id)
+            if len(frontier) >= MIN_FRONTIER_FOR_WORKERS and shards > 1:
+                if pool is None:
+                    pool = _make_pool(shards, tables, relation, action_mode)
+                chunks = [
+                    frontier[start:stop]
+                    for start, stop in _chunk_bounds(len(frontier), shards)
+                ]
+                results = pool.map(_expand_rank_list, chunks)
+            else:
+                results = [
+                    _expand_block(
+                        context, context.codes_of_ranks(frontier), frontier
+                    )
+                ]
+            for result in results:
+                _append_chunk(result, enabled_lists, edges, intern=intern)
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    configurations = [
+        _configuration_of_rank(encoding, rank, context)
+        for rank in rank_of_id
+    ]
+    index = {
+        configuration: state_id
+        for state_id, configuration in enumerate(configurations)
+    }
+    return StateSpace(
+        system, relation, configurations, index, edges, enabled_lists
+    )
+
+
+def _configuration_of_rank(
+    encoding: StateEncoding, rank: int, context: _ShardContext
+) -> Configuration:
+    """Decode a mixed-radix configuration rank back to a configuration."""
+    return tuple(
+        encoding.decode_local(process, (rank // weight) % size)
+        for process, (weight, size) in enumerate(
+            zip(context.config_weights, context.sizes)
+        )
+    )

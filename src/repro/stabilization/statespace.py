@@ -9,6 +9,20 @@ edge labelled with the *activation bitmask* of the processes that moved
 
 Edges follow possibility semantics: a probabilistic action contributes one
 edge per outcome in its support.
+
+Two execution strategies produce the same digraph (see
+``docs/architecture.md``):
+
+* the **sequential explorer** below — a FIFO walk that resolves guards
+  and outcomes through the neighborhood-memoized
+  :class:`~repro.core.kernel.TransitionKernel` (once per distinct local
+  neighborhood, not once per configuration; ``use_kernel=False`` restores
+  the reference :class:`~repro.core.system.System` path);
+* the **sharded explorer** (:mod:`repro.stabilization.sharding`,
+  ``shards > 1``) — the frontier is partitioned across worker processes
+  that expand their slices over the compiled NumPy kernel tables, and the
+  merge reproduces the sequential intern order bit-for-bit.  ``shards=1``
+  is the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -82,6 +96,7 @@ class StateSpace:
         action_mode: str = "all",
         kernel: TransitionKernel | None = None,
         use_kernel: bool = True,
+        shards: int | str | None = None,
     ) -> "StateSpace":
         """Breadth-first exploration from ``initial`` (default: all of C).
 
@@ -95,7 +110,37 @@ class StateSpace:
         run once per distinct local neighborhood rather than once per
         configuration; pass ``kernel`` to reuse existing memo tables or
         ``use_kernel=False`` for the reference :class:`System` path.
+
+        ``shards`` selects the execution strategy: ``1`` runs the
+        sequential walk below; an int ``> 1`` partitions the frontier
+        across that many worker processes running the compiled-table fast
+        path (:func:`repro.stabilization.sharding.explore_sharded`);
+        ``"auto"`` sizes the pool from the available CPUs; ``None`` (the
+        default) uses the process-wide default — 1 unless raised via
+        :func:`repro.stabilization.sharding.set_default_shards` or the
+        ``--shards`` CLI flag.  Every value yields an identical
+        :class:`StateSpace` (same ids, edges, and enabled tuples);
+        systems that cannot take the compiled fast path fall back to the
+        sequential walk.  ``use_kernel=False`` forces the sequential
+        reference path regardless of ``shards``.
         """
+        if use_kernel:
+            from repro.stabilization.sharding import (
+                explore_sharded,
+                resolve_shards,
+            )
+
+            num_shards = resolve_shards(shards)
+            if num_shards > 1:
+                return explore_sharded(
+                    system,
+                    relation,
+                    initial,
+                    max_configurations,
+                    action_mode,
+                    kernel,
+                    num_shards,
+                )
         if initial is None:
             space_size = system.num_configurations()
             if space_size > max_configurations:

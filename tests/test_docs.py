@@ -1,0 +1,125 @@
+"""Documentation cannot rot: doctest + command validation for the docs.
+
+Two layers of enforcement over ``README.md`` and ``docs/*.md``:
+
+* every ``>>>`` Python example is executed verbatim through
+  :mod:`doctest` (exact expected output);
+* every fenced ``bash`` block is parsed, and the commands it shows are
+  validated against the real code: experiment/preset ids must resolve
+  in the registry, CLI flags must exist on the argparse tree, and
+  repo-relative paths must exist.
+
+``benchmarks/run_benchmarks.py`` runs this module before recording any
+benchmark, so a stale document fails the perf pipeline too.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import shlex
+
+import pytest
+
+from repro.experiments.cli import build_parser
+from repro.experiments.registry import EXPERIMENTS, find_preset
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+
+
+def _bash_blocks(path: pathlib.Path) -> list[str]:
+    return _FENCE.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "path", DOCUMENTS, ids=[p.name for p in DOCUMENTS]
+)
+def test_doctests_pass(path: pathlib.Path):
+    """Run every ``>>>`` example in the document, exact output."""
+    failures, tests = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert failures == 0, f"{path.name}: {failures} doctest failures"
+    assert tests > 0 or path.name == "experiments.md", (
+        f"{path.name} has no doctested examples; add at least one"
+    )
+
+
+def _documented_commands() -> list[tuple[str, str]]:
+    commands = []
+    for path in DOCUMENTS:
+        for block in _bash_blocks(path):
+            for line in block.splitlines():
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    commands.append((path.name, line))
+    return commands
+
+
+def test_documents_show_commands():
+    """The quickstart promises runnable commands; make sure some exist."""
+    commands = _documented_commands()
+    assert any("repro.experiments" in line for _, line in commands)
+    assert any("pytest" in line for _, line in commands)
+
+
+@pytest.mark.parametrize(
+    "source,line",
+    _documented_commands(),
+    ids=[f"{name}:{line[:40]}" for name, line in _documented_commands()],
+)
+def test_documented_command_is_valid(source: str, line: str):
+    """Statically validate one documented shell command against the code."""
+    tokens = shlex.split(line)
+
+    # Repo-relative paths mentioned in commands must exist.
+    for token in tokens:
+        if token.startswith(("benchmarks/", "docs/", "examples/", "src/")):
+            assert (REPO_ROOT / token).exists(), (
+                f"{source} references missing path {token!r}"
+            )
+
+    if "repro.experiments" in tokens:
+        # Parse the CLI invocation through the real argparse tree: flags
+        # and subcommands that do not exist raise SystemExit here.
+        cli_args = tokens[tokens.index("repro.experiments") + 1 :]
+        parsed = build_parser().parse_args(cli_args)
+        if parsed.command == "run":
+            for experiment_id in parsed.ids:
+                known = (
+                    experiment_id.upper() in EXPERIMENTS
+                    or find_preset(experiment_id) is not None
+                )
+                assert known, (
+                    f"{source} documents unknown experiment"
+                    f" {experiment_id!r}"
+                )
+
+    if tokens[:2] == ["pip", "install"]:
+        # Install commands must target this package (editable from root).
+        assert "-e" in tokens
+        assert (REPO_ROOT / "pyproject.toml").exists()
+
+
+def test_experiments_catalog_is_complete():
+    """docs/experiments.md must mention every registry entry and preset."""
+    from repro.experiments.registry import preset_ids
+
+    catalog = (REPO_ROOT / "docs" / "experiments.md").read_text(
+        encoding="utf-8"
+    )
+    missing = [
+        experiment_id
+        for experiment_id in (*EXPERIMENTS, *preset_ids())
+        if f"`{experiment_id}`" not in catalog
+    ]
+    assert not missing, f"catalog is missing {missing}"

@@ -1,0 +1,263 @@
+"""Sharded exploration is bit-for-bit identical to the sequential oracle.
+
+The contract (see ``docs/architecture.md``): for every shard count,
+``StateSpace.explore`` must produce the *same* canonical state space —
+configurations, interned ids, edge lists (order included), enabled
+tuples — and therefore identical downstream verdicts, on every topology
+family the registry uses (rings, trees/chains, stars) and for
+deterministic as well as probabilistic systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.algorithms.two_process import make_two_process_system
+from repro.errors import StateSpaceError
+from repro.graphs.generators import figure3_chain, star
+from repro.schedulers.relations import (
+    CentralRelation,
+    DistributedRelation,
+    SynchronousRelation,
+)
+from repro.stabilization import (
+    StateSpace,
+    classify,
+    convergence_profile,
+    get_default_shards,
+    resolve_shards,
+    set_default_shards,
+)
+from repro.transformer.coin_toss import make_transformed_system
+
+
+def assert_identical(space_a: StateSpace, space_b: StateSpace) -> None:
+    """Full structural equality of two explored spaces."""
+    assert space_a.configurations == space_b.configurations
+    assert space_a.index == space_b.index
+    assert space_a.edges == space_b.edges
+    assert space_a.enabled == space_b.enabled
+
+
+def explore_pair(system, relation, shards, **kwargs):
+    oracle = StateSpace.explore(system, relation, shards=1, **kwargs)
+    sharded = StateSpace.explore(system, relation, shards=shards, **kwargs)
+    return oracle, sharded
+
+
+# ----------------------------------------------------------------------
+# ring / tree / star topologies, all relations
+# ----------------------------------------------------------------------
+TOPOLOGY_CASES = [
+    pytest.param(lambda: make_token_ring_system(5), id="ring5-token"),
+    pytest.param(lambda: make_token_ring_system(6), id="ring6-token"),
+    pytest.param(
+        lambda: make_leader_tree_system(figure3_chain()), id="chain4-leader"
+    ),
+    pytest.param(lambda: make_leader_tree_system(star(3)), id="star3-leader"),
+]
+
+RELATIONS = [
+    pytest.param(CentralRelation, id="central"),
+    pytest.param(DistributedRelation, id="distributed"),
+    pytest.param(SynchronousRelation, id="synchronous"),
+]
+
+
+@pytest.mark.parametrize("make_system", TOPOLOGY_CASES)
+@pytest.mark.parametrize("make_relation", RELATIONS)
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_identical_across_topologies(
+    make_system, make_relation, shards
+):
+    oracle, sharded = explore_pair(
+        make_system(), make_relation(), shards=shards
+    )
+    assert_identical(oracle, sharded)
+
+
+def test_sharded_identical_probabilistic_two_process():
+    """Multi-outcome (probabilistic) actions take the scalar replay path."""
+    system = make_two_process_system()
+    for relation in (
+        CentralRelation(),
+        DistributedRelation(),
+        SynchronousRelation(),
+    ):
+        oracle, sharded = explore_pair(system, relation, shards=3)
+        assert_identical(oracle, sharded)
+
+
+def test_sharded_identical_transformed_ring():
+    """The coin-toss transformer mixes deterministic and coin actions."""
+    system = make_transformed_system(make_token_ring_system(5))
+    for relation in (CentralRelation(), SynchronousRelation()):
+        oracle, sharded = explore_pair(system, relation, shards=4)
+        assert_identical(oracle, sharded)
+
+
+def test_sharded_identical_action_mode_first():
+    oracle, sharded = explore_pair(
+        make_two_process_system(),
+        SynchronousRelation(),
+        shards=2,
+        action_mode="first",
+    )
+    assert_identical(oracle, sharded)
+
+
+def test_sharded_rejects_unknown_action_mode():
+    """Sharding must not relax the sequential path's validation."""
+    from repro.errors import ModelError
+
+    with pytest.raises(ModelError):
+        StateSpace.explore(
+            make_token_ring_system(5),
+            CentralRelation(),
+            action_mode="bogus",
+            shards=2,
+        )
+
+
+# ----------------------------------------------------------------------
+# reachable-fragment (explicit initial set) mode
+# ----------------------------------------------------------------------
+def test_sharded_identical_restricted_initial():
+    system = make_token_ring_system(6)
+    seeds = [next(system.all_configurations())]
+    oracle = StateSpace.explore(
+        system, CentralRelation(), initial=seeds, shards=1
+    )
+    sharded = StateSpace.explore(
+        system, CentralRelation(), initial=seeds, shards=4
+    )
+    assert_identical(oracle, sharded)
+    # The fragment really is a fragment (regression guard: the sharded
+    # path must not silently explore the full space).
+    assert oracle.num_configurations < system.num_configurations()
+
+
+def test_sharded_restricted_worker_pool_path(monkeypatch):
+    """Force the frontier-mode pool dispatch (levels > threshold).
+
+    The default ``MIN_FRONTIER_FOR_WORKERS`` keeps small test frontiers
+    in-process; shrinking it makes every BFS level round-trip through
+    real worker processes, covering the chunking/pickling/merge path.
+    """
+    from repro.stabilization import sharding
+
+    monkeypatch.setattr(sharding, "MIN_FRONTIER_FOR_WORKERS", 2)
+    system = make_token_ring_system(6)
+    seeds = [next(system.all_configurations())]
+    for relation in (CentralRelation(), DistributedRelation()):
+        oracle = StateSpace.explore(
+            system, relation, initial=seeds, shards=1
+        )
+        sharded = StateSpace.explore(
+            system, relation, initial=seeds, shards=3
+        )
+        assert_identical(oracle, sharded)
+
+
+def test_sharded_restricted_budget_enforced():
+    system = make_token_ring_system(6)
+    seeds = [next(system.all_configurations())]
+    with pytest.raises(StateSpaceError):
+        StateSpace.explore(
+            system,
+            CentralRelation(),
+            initial=seeds,
+            max_configurations=10,
+            shards=4,
+        )
+
+
+def test_sharded_full_budget_enforced():
+    with pytest.raises(StateSpaceError):
+        StateSpace.explore(
+            make_token_ring_system(6),
+            CentralRelation(),
+            max_configurations=100,
+            shards=4,
+        )
+
+
+# ----------------------------------------------------------------------
+# downstream analyses see identical inputs → identical verdicts
+# ----------------------------------------------------------------------
+def test_sharded_identical_downstream_verdicts():
+    cases = [
+        (make_token_ring_system(6), TokenCirculationSpec(), CentralRelation()),
+        (
+            make_leader_tree_system(star(3)),
+            TreeLeaderSpec(),
+            DistributedRelation(),
+        ),
+        (
+            make_leader_tree_system(figure3_chain()),
+            TreeLeaderSpec(),
+            SynchronousRelation(),
+        ),
+    ]
+    for system, spec, relation in cases:
+        oracle, sharded = explore_pair(system, relation, shards=4)
+        mask_oracle = oracle.legitimate_mask(spec.legitimate)
+        mask_sharded = sharded.legitimate_mask(spec.legitimate)
+        assert mask_oracle == mask_sharded
+        verdict_oracle = classify(system, spec, relation, space=oracle)
+        verdict_sharded = classify(system, spec, relation, space=sharded)
+        assert verdict_oracle == verdict_sharded
+        assert convergence_profile(
+            oracle, mask_oracle
+        ) == convergence_profile(sharded, mask_sharded)
+
+
+# ----------------------------------------------------------------------
+# shard-count plumbing
+# ----------------------------------------------------------------------
+def test_resolve_shards_values():
+    assert resolve_shards(1) == 1
+    assert resolve_shards(7) == 7
+    assert resolve_shards("auto") >= 1
+    assert resolve_shards(None) == get_default_shards()
+    with pytest.raises(StateSpaceError):
+        resolve_shards(0)
+    with pytest.raises(StateSpaceError):
+        resolve_shards(-2)
+    with pytest.raises(StateSpaceError):
+        resolve_shards("many")
+
+
+def test_default_shards_round_trip():
+    original = get_default_shards()
+    try:
+        assert set_default_shards(3) == 3
+        assert get_default_shards() == 3
+        system = make_token_ring_system(5)
+        implicit = StateSpace.explore(system, CentralRelation())
+        explicit = StateSpace.explore(system, CentralRelation(), shards=1)
+        assert_identical(implicit, explicit)
+    finally:
+        set_default_shards(original)
+
+
+def test_shards_auto_explores():
+    system = make_token_ring_system(5)
+    oracle = StateSpace.explore(system, CentralRelation(), shards=1)
+    auto = StateSpace.explore(system, CentralRelation(), shards="auto")
+    assert_identical(oracle, auto)
+
+
+def test_use_kernel_false_still_oracle():
+    """The reference-path escape hatch ignores sharding entirely."""
+    system = make_token_ring_system(5)
+    reference = StateSpace.explore(
+        system, CentralRelation(), use_kernel=False, shards=4
+    )
+    oracle = StateSpace.explore(system, CentralRelation(), shards=1)
+    assert_identical(reference, oracle)
