@@ -1,17 +1,29 @@
 """Entry point: run the infrastructure micro-benchmarks, persist results.
 
-Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``, and
-``bench_sharded_explore.py`` through pytest-benchmark and appends a
-condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
-so the performance trajectory of the execution engine (state-space
-exploration — sequential and sharded — chain building, simulation
-throughput, batch Monte-Carlo throughput) is tracked across PRs.
-Usage::
+Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
+``bench_sharded_explore.py``, and ``bench_chain_build.py`` through
+pytest-benchmark and appends a condensed, machine-readable record to
+``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
+execution engine (state-space exploration — sequential and sharded —
+chain building and hitting solves, simulation throughput, batch
+Monte-Carlo throughput) is tracked across PRs.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --check-regressions
 
 The JSON file holds a list of runs, newest last; each run records the
 per-benchmark min/mean/stddev seconds and round counts.
+
+Every recorded run is compared against the most recent *healthy*
+record (the newest one not itself tagged): a run where any shared hot
+path slowed down by more than ``REGRESSION_TOLERANCE`` (25%) is still
+recorded — the trajectory stays honest — but tagged
+``"regressed": true`` and skipped when choosing future baselines, so
+slow runs never ratchet the bar downward no matter which flags they
+were recorded with.  ``--check-regressions`` additionally fails the
+invocation with a non-zero exit when the fresh run regressed, so a CI
+hook or a pre-merge run catches performance regressions the
+correctness suite cannot see.
 
 Before benchmarking, the runner doctests ``README.md`` and every
 markdown file under ``docs/`` (the same check as
@@ -36,8 +48,13 @@ SUITE = (
     BENCH_DIR / "bench_infrastructure.py",
     BENCH_DIR / "bench_batch_engine.py",
     BENCH_DIR / "bench_sharded_explore.py",
+    BENCH_DIR / "bench_chain_build.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
+
+#: ``--check-regressions`` fails on a hot path slower than the previous
+#: record by more than this fraction (min-of-rounds vs min-of-rounds).
+REGRESSION_TOLERANCE = 0.25
 
 
 def _bench_env() -> dict:
@@ -102,6 +119,30 @@ def condense(raw: dict, label: str | None) -> dict:
     }
 
 
+def find_regressions(
+    previous: dict, current: dict, tolerance: float = REGRESSION_TOLERANCE
+) -> list[tuple[str, float, float]]:
+    """Hot paths slower than the previous record beyond ``tolerance``.
+
+    Compares min-of-rounds (the least noisy statistic) for every
+    benchmark name present in *both* runs; returns
+    ``(name, previous_min, current_min)`` triples.
+    """
+    baseline = {
+        bench["name"]: bench["min_seconds"]
+        for bench in previous.get("benchmarks", [])
+    }
+    regressions = []
+    for bench in current.get("benchmarks", []):
+        before = baseline.get(bench["name"])
+        if before is None:
+            continue
+        now = bench["min_seconds"]
+        if now > before * (1.0 + tolerance):
+            regressions.append((bench["name"], before, now))
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -113,6 +154,12 @@ def main(argv: list[str] | None = None) -> None:
         "--skip-docs",
         action="store_true",
         help="skip the README/docs doctest check",
+    )
+    parser.add_argument(
+        "--check-regressions",
+        action="store_true",
+        help="after recording, compare against the previous record and"
+        " exit non-zero on a >25%% slowdown in any shared hot path",
     )
     args = parser.parse_args(argv)
 
@@ -130,11 +177,44 @@ def main(argv: list[str] | None = None) -> None:
         if OUTPUT.exists()
         else []
     )
+    # Baseline = newest record not itself tagged as a regression, so a
+    # slow run cannot become the bar the next run is measured against.
+    # Tagging happens on every recording; --check-regressions only
+    # controls whether a regression also fails the invocation.
+    baseline = next(
+        (run for run in reversed(history) if not run.get("regressed")),
+        None,
+    )
+    regressions = (
+        find_regressions(baseline, record) if baseline is not None else []
+    )
+    if regressions:
+        record["regressed"] = True
     history.append(record)
     OUTPUT.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
     print(f"recorded {len(record['benchmarks'])} benchmarks -> {OUTPUT}")
     for bench in record["benchmarks"]:
         print(f"  {bench['name']}: {bench['mean_seconds'] * 1000:.2f} ms mean")
+
+    if args.check_regressions:
+        if baseline is None:
+            print("no previous record; nothing to compare against")
+            return
+        if regressions:
+            print(
+                f"PERFORMANCE REGRESSIONS vs {baseline.get('label')!r}"
+                f" ({len(regressions)}):"
+            )
+            for name, before, now in regressions:
+                print(
+                    f"  {name}: {before * 1000:.2f} ms -> {now * 1000:.2f} ms"
+                    f" ({now / before:.2f}x)"
+                )
+            raise SystemExit(1)
+        print(
+            "no regressions beyond"
+            f" {REGRESSION_TOLERANCE:.0%} vs {baseline.get('label')!r}"
+        )
 
 
 if __name__ == "__main__":

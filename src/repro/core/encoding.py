@@ -15,13 +15,16 @@ step a handful of integer gathers:
 * :class:`CompiledKernelTables` / :func:`compile_tables` — every
   neighborhood of every process resolved once through the kernel and
   packed into mixed-radix-indexed arrays: enabled bit, action count,
-  and per-action outcome rows (cumulative probability + post-state code).
+  and per-action outcome rows (cumulative probability for inverse-CDF
+  sampling, raw probability for the exact chain builder, post-state
+  code).
 
 Division of labor (see :mod:`repro.core`): ``System`` = semantics,
-``TransitionKernel`` = speed, encoding/batch = scale.  Two engines build
-on these tables: the lockstep Monte-Carlo batch engine
-(:mod:`repro.markov.batch`) and the sharded state-space explorer
-(:mod:`repro.stabilization.sharding`) — the arrays are read-only after
+``TransitionKernel`` = speed, encoding/batch = scale.  Three engines
+build on these tables: the lockstep Monte-Carlo batch engine
+(:mod:`repro.markov.batch`), the sharded state-space explorer
+(:mod:`repro.stabilization.sharding`), and the compiled chain builder
+(:mod:`repro.markov.builder`) — the arrays are read-only after
 compilation, so one compiled table serves any number of concurrent
 batches and ships to exploration worker processes for free (one pickle,
 or copy-on-write under ``fork``).
@@ -39,7 +42,12 @@ from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
 from repro.core.system import System
 from repro.errors import ModelError
 
-__all__ = ["StateEncoding", "CompiledKernelTables", "compile_tables"]
+__all__ = [
+    "StateEncoding",
+    "CompiledKernelTables",
+    "ExpansionContext",
+    "compile_tables",
+]
 
 #: Code dtype: local state spaces are tiny, 32 bits is generous.
 CODE_DTYPE = np.uint32
@@ -204,6 +212,7 @@ class CompiledKernelTables:
         "action_base",
         "outcome_cum",
         "outcome_code",
+        "outcome_prob",
         "num_entries",
     )
 
@@ -218,6 +227,7 @@ class CompiledKernelTables:
         action_base: np.ndarray,
         outcome_cum: np.ndarray,
         outcome_code: np.ndarray,
+        outcome_prob: np.ndarray,
     ) -> None:
         self.encoding = encoding
         self.neighbor_index = neighbor_index
@@ -228,6 +238,7 @@ class CompiledKernelTables:
         self.action_base = action_base
         self.outcome_cum = outcome_cum
         self.outcome_code = outcome_code
+        self.outcome_prob = outcome_prob
         self.num_entries = int(enabled_flat.shape[0])
 
     # ------------------------------------------------------------------
@@ -276,6 +287,92 @@ class CompiledKernelTables:
         )
 
 
+class ExpansionContext:
+    """Read-only lookups derived from one set of compiled kernel tables.
+
+    The wire-format substrate shared by every code-space expander: the
+    sharded explorer's workers (:mod:`repro.stabilization.sharding`) and
+    the compiled chain builder (:mod:`repro.markov.builder`) both rank
+    configurations mixed-radix over the :class:`StateEncoding`, gather
+    enabledness per slice, and compute successors as ``source rank +
+    Σ (new code − old code) · weight``.  Everything here is deterministic
+    structure, so every consumer derives identical expansions.
+    """
+
+    def __init__(self, tables: CompiledKernelTables) -> None:
+        self.tables = tables
+        encoding = tables.encoding
+        self.num_processes = encoding.num_processes
+        sizes = encoding.sizes
+        # Mixed-radix configuration weights, process 0 slowest — matching
+        # both enumerate_configurations order and StateEncoding codes, so
+        # rank(configuration) == its id in a full-space exploration.
+        weights = [1] * self.num_processes
+        for process in range(self.num_processes - 2, -1, -1):
+            weights[process] = weights[process + 1] * int(sizes[process + 1])
+        self.config_weights = weights
+        self.sizes = [int(size) for size in sizes]
+        # Ranks fit int64 ⇒ the vectorized emission layers and array wire
+        # format are safe; astronomically large spaces (only reachable
+        # through explicit initial sets) stay on Python ints.
+        space_size = 1
+        for size in self.sizes:
+            space_size *= size
+        self.int64_safe = space_size < 2**62
+        # Outcome codes per action row, trimmed to the row's real arity
+        # (rows are padded with the 2.0 cum-probability sentinel).
+        self.arity = (tables.outcome_cum < 1.5).sum(axis=1)
+        self.outcome_codes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(int(code) for code in tables.outcome_code[row, :count])
+            for row, count in enumerate(self.arity.tolist())
+        )
+        #: First outcome code of each action row — the whole transition
+        #: when the row is deterministic (arity 1).
+        self.first_outcome = tables.outcome_code[:, 0].astype(np.int64)
+        self.weights_row = (
+            np.array(self.config_weights, dtype=np.int64)
+            if self.int64_safe
+            else None
+        )
+
+    def codes_of_ranks(self, ranks: Sequence[int]) -> np.ndarray:
+        """``(M, N)`` code matrix of configuration ranks (mixed radix)."""
+        if self.int64_safe:
+            rank_array = np.fromiter(ranks, dtype=np.int64, count=len(ranks))
+            matrix = np.empty(
+                (len(rank_array), self.num_processes), dtype=CODE_DTYPE
+            )
+            for process, (weight, size) in enumerate(
+                zip(self.config_weights, self.sizes)
+            ):
+                matrix[:, process] = (rank_array // weight) % size
+            return matrix
+        matrix = np.empty((len(ranks), self.num_processes), dtype=CODE_DTYPE)
+        for row, rank in enumerate(ranks):
+            for process, (weight, size) in enumerate(
+                zip(self.config_weights, self.sizes)
+            ):
+                matrix[row, process] = (rank // weight) % size
+        return matrix
+
+    def rank_of(self, codes: Sequence[int] | np.ndarray) -> int:
+        """Mixed-radix configuration rank of one code vector."""
+        return sum(
+            int(code) * weight
+            for code, weight in zip(codes, self.config_weights)
+        )
+
+    def configuration_of_rank(self, rank: int) -> Configuration:
+        """Decode a mixed-radix configuration rank back to a configuration."""
+        encoding = self.tables.encoding
+        return tuple(
+            encoding.decode_local(process, (rank // weight) % size)
+            for process, (weight, size) in enumerate(
+                zip(self.config_weights, self.sizes)
+            )
+        )
+
+
 def compile_tables(
     kernel: TransitionKernel,
     encoding: StateEncoding | None = None,
@@ -288,7 +385,18 @@ def compile_tables(
     NumPy storage instead of per-process dicts, so lookups vectorize over
     whole trial batches.  Raises :class:`ModelError` when the neighborhood
     product space exceeds the budget.
+
+    Default-parameter calls (``encoding=None``, default budget) are
+    memoized on the kernel: the tables are immutable after compilation,
+    so every consumer sharing a kernel — chain builds under several
+    distributions, sharded exploration, vectorized marks — shares one
+    compilation.  An explicit ``encoding`` or budget bypasses the memo.
     """
+    default_call = encoding is None and max_entries == DEFAULT_TABLE_BUDGET
+    if default_call:
+        cached = getattr(kernel, "_compiled_tables_memo", None)
+        if cached is not None:
+            return cached
     if encoding is None:
         encoding = StateEncoding(kernel)
     total = kernel.num_neighborhoods()
@@ -312,6 +420,7 @@ def compile_tables(
     action_base = np.zeros(total, dtype=np.int64)
     row_cums: list[tuple[float, ...]] = []
     row_codes: list[tuple[int, ...]] = []
+    row_probs: list[tuple[float, ...]] = []
 
     offset = 0
     for process in range(num_processes):
@@ -344,6 +453,10 @@ def compile_tables(
                 cum = np.cumsum(probabilities / probabilities.sum())
                 cum[-1] = 1.0  # make the inverse-CDF draw exhaustive
                 row_cums.append(tuple(cum))
+                # The raw (pre-normalization) probabilities feed the chain
+                # builder, which must reproduce the scalar oracle's branch
+                # weights exactly, not modulo a normalizing division.
+                row_probs.append(tuple(float(p) for p in probabilities))
                 row_codes.append(
                     tuple(
                         encoding.encode_local(process, state)
@@ -355,11 +468,15 @@ def compile_tables(
     width_out = max((len(row) for row in row_cums), default=1)
     outcome_cum = np.full((max(len(row_cums), 1), width_out), 2.0)
     outcome_code = np.zeros((max(len(row_codes), 1), width_out), dtype=CODE_DTYPE)
-    for row, (cums, codes) in enumerate(zip(row_cums, row_codes)):
+    outcome_prob = np.zeros((max(len(row_probs), 1), width_out))
+    for row, (cums, codes, probs) in enumerate(
+        zip(row_cums, row_codes, row_probs)
+    ):
         outcome_cum[row, : len(cums)] = cums
         outcome_code[row, : len(codes)] = codes
+        outcome_prob[row, : len(probs)] = probs
 
-    return CompiledKernelTables(
+    tables = CompiledKernelTables(
         encoding=encoding,
         neighbor_index=neighbor_index,
         neighbor_weight=neighbor_weight,
@@ -369,4 +486,8 @@ def compile_tables(
         action_base=action_base,
         outcome_cum=outcome_cum,
         outcome_code=outcome_code,
+        outcome_prob=outcome_prob,
     )
+    if default_call:
+        kernel._compiled_tables_memo = tables
+    return tables

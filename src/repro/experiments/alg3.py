@@ -38,8 +38,11 @@ from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 EXPERIMENT_ID = "ALG3"
 
 
-def run_alg3() -> ExperimentResult:
-    """Classification matrix + transformed absorption analysis."""
+def run_alg3(engine: str = "auto") -> ExperimentResult:
+    """Classification matrix + transformed absorption analysis.
+
+    ``engine`` forwards to :func:`repro.markov.builder.build_chain`.
+    """
     system = make_two_process_system()
     spec = BothTrueSpec()
     rows = []
@@ -70,7 +73,7 @@ def run_alg3() -> ExperimentResult:
         ("distributed-randomized", DistributedRandomizedDistribution()),
         ("central-randomized", CentralRandomizedDistribution()),
     ):
-        chain = build_chain(transformed, distribution)
+        chain = build_chain(transformed, distribution, engine=engine)
         absorption = absorption_probabilities(
             chain, chain.mark(tspec.legitimate)
         )

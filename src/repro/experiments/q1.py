@@ -34,9 +34,10 @@ from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 
 EXPERIMENT_ID = "Q1"
 
-#: ``L_Prob`` compiled for the batch engine: a process holds a token iff
-#: its (guard-preserving) transformed action is enabled, so "exactly one
-#: token in the projection" is "exactly one enabled process".
+#: ``L_Prob`` compiled once for both vectorized tiers — the batch
+#: Monte-Carlo engine and :meth:`MarkovChain.mark` on exact chains: a
+#: process holds a token iff its (guard-preserving) action is enabled,
+#: so "exactly one token" is "exactly one enabled process".
 TOKEN_LEGITIMACY = EnabledCountLegitimacy(1)
 
 
@@ -47,12 +48,14 @@ def run_q1(
     seed: int = 2008,
     max_steps: int = 200_000,
     engine: str = "auto",
+    chain_engine: str = "auto",
 ) -> ExperimentResult:
     """Sweep ring sizes; exact hitting times then Monte-Carlo estimates.
 
     ``monte_carlo_sizes`` up to N = 50 are affordable through the
     vectorized batch engine (see the ``Q1-large`` preset); ``engine``
-    forwards to :meth:`MonteCarloRunner.estimate`.
+    forwards to :meth:`MonteCarloRunner.estimate` and ``chain_engine``
+    to the exact tier's :func:`build_chain` calls.
     """
     spec = TokenCirculationSpec()
     rows = []
@@ -61,11 +64,17 @@ def run_q1(
 
     for n in exact_sizes:
         system = make_token_ring_system(n)
-        lumped = lumped_synchronous_transformed_chain(system)
-        sync_summary = hitting_summary(lumped, lumped.mark(spec.legitimate))
-        central_chain = build_chain(system, CentralRandomizedDistribution())
+        lumped = lumped_synchronous_transformed_chain(
+            system, engine=chain_engine
+        )
+        # The vectorized mark (token ⇔ enabled) replaces 2^N Python
+        # predicate calls with one enabled-count gather per chain.
+        sync_summary = hitting_summary(lumped, lumped.mark(TOKEN_LEGITIMACY))
+        central_chain = build_chain(
+            system, CentralRandomizedDistribution(), engine=chain_engine
+        )
         central_summary = hitting_summary(
-            central_chain, central_chain.mark(spec.legitimate)
+            central_chain, central_chain.mark(TOKEN_LEGITIMACY)
         )
         all_converge = (
             all_converge

@@ -58,13 +58,16 @@ def run_q3(
     dijkstra_exhaustive_sizes: tuple[int, ...] = (4, 5),
     dijkstra_monte_carlo_sizes: tuple[int, ...] = (),
     engine: str = "auto",
+    chain_engine: str = "auto",
 ) -> ExperimentResult:
     """Build the baseline comparison table.
 
     ``dijkstra_exhaustive_sizes`` are classified exhaustively *and*
     measured by Monte-Carlo; ``dijkstra_monte_carlo_sizes`` (the
     ``Q3-large`` preset uses N = 20–40) skip the exhaustive
-    classification, which is exponential in N, and only measure."""
+    classification, which is exponential in N, and only measure.
+    ``engine`` forwards to :meth:`MonteCarloRunner.estimate`,
+    ``chain_engine`` to the exact chain builds."""
     rows = []
     rng = RandomSource(seed)
 
@@ -72,7 +75,9 @@ def run_q3(
     herman_means = {}
     for n in (5, 7):
         system = make_herman_system(n)
-        chain = build_chain(system, SynchronousDistribution())
+        chain = build_chain(
+            system, SynchronousDistribution(), engine=chain_engine
+        )
         summary = hitting_summary(
             chain, chain.mark(HermanSingleTokenSpec().legitimate)
         )
@@ -112,7 +117,9 @@ def run_q3(
     trans_means = {}
     for n in (4, 5, 6):
         system = make_token_ring_system(n)
-        lumped = lumped_synchronous_transformed_chain(system)
+        lumped = lumped_synchronous_transformed_chain(
+            system, engine=chain_engine
+        )
         summary = hitting_summary(
             lumped, lumped.mark(TokenCirculationSpec().legitimate)
         )

@@ -47,17 +47,21 @@ from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 EXPERIMENT_ID = "Q4"
 
 
-def _transformed_mean(base_system, spec) -> float:
+def _transformed_mean(base_system, spec, engine: str = "auto") -> float:
     from repro.markov.hitting import hitting_summary
 
-    lumped = lumped_synchronous_transformed_chain(base_system)
+    lumped = lumped_synchronous_transformed_chain(base_system, engine=engine)
     summary = hitting_summary(lumped, lumped.mark(spec.legitimate))
     assert summary.converges_with_probability_one
     return summary.mean_expected_steps
 
 
-def run_q4() -> ExperimentResult:
-    """Direct probabilistic designs vs transformed weak designs."""
+def run_q4(engine: str = "auto") -> ExperimentResult:
+    """Direct probabilistic designs vs transformed weak designs.
+
+    ``engine`` forwards to every chain build (direct classification and
+    lumped transformed analysis).
+    """
     rows = []
     all_prob_one = True
     modest_factor = True
@@ -72,9 +76,10 @@ def run_q4() -> ExperimentResult:
             make_randomized_coloring_system(graph),
             ProperColoringSpec(),
             SynchronousDistribution(),
+            engine=engine,
         )
         transformed_mean = _transformed_mean(
-            make_coloring_system(graph), ProperColoringSpec()
+            make_coloring_system(graph), ProperColoringSpec(), engine
         )
         all_prob_one = (
             all_prob_one and direct.is_probabilistically_self_stabilizing
@@ -104,9 +109,10 @@ def run_q4() -> ExperimentResult:
             make_herman_system(n),
             HermanSingleTokenSpec(),
             SynchronousDistribution(),
+            engine=engine,
         )
         transformed_mean = _transformed_mean(
-            make_token_ring_system(n), TokenCirculationSpec()
+            make_token_ring_system(n), TokenCirculationSpec(), engine
         )
         all_prob_one = (
             all_prob_one and herman.is_probabilistically_self_stabilizing

@@ -70,9 +70,13 @@ def _cases():
     )
 
 
-def run_thm7() -> ExperimentResult:
+def run_thm7(engine: str = "auto") -> ExperimentResult:
     """Compare structural and numeric convergence for both randomized
-    schedulers."""
+    schedulers.
+
+    ``engine`` forwards to :func:`repro.markov.builder.build_chain`
+    (``"scalar"`` re-runs the numeric side on the dict-walk oracle).
+    """
     rows = []
     all_pass = True
     schedulers = (
@@ -92,7 +96,7 @@ def run_thm7() -> ExperimentResult:
             space = StateSpace.explore(system, relation)
             legitimate = space.legitimate_mask(spec.legitimate)
             possible, _ = possible_convergence(space, legitimate)
-            chain = build_chain(system, distribution)
+            chain = build_chain(system, distribution, engine=engine)
             absorption = absorption_probabilities(
                 chain, chain.mark(spec.legitimate)
             )

@@ -9,7 +9,7 @@ from repro.markov.batch import (
     batch_strategy_for,
     register_batch_sampler,
 )
-from repro.markov.builder import build_chain
+from repro.markov.builder import CHAIN_ENGINES, build_chain
 from repro.markov.chain import MarkovChain, ROW_SUM_TOLERANCE
 from repro.markov.hitting import (
     ABSORPTION_TOLERANCE,
@@ -29,6 +29,7 @@ from repro.markov.montecarlo import (
 
 __all__ = [
     "build_chain",
+    "CHAIN_ENGINES",
     "MarkovChain",
     "ROW_SUM_TOLERANCE",
     "absorption_probabilities",

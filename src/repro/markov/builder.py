@@ -11,33 +11,70 @@ exclusive), and ``q_p`` the action's outcome distribution.  Terminal
 configurations self-loop with probability one, so legitimate terminal
 configurations are absorbing.
 
-Execution tier (see ``docs/architecture.md``): rows resolve guards and
-outcomes through the neighborhood-memoized
-:class:`~repro.core.kernel.TransitionKernel` — algorithm code runs once
-per distinct local neighborhood, every revisit is a dict probe — and the
-interning walk itself is the sequential FIFO pattern the state-space
-explorer also uses.  Chain building stays single-process (rows carry
-probabilities, which the sharded explorer's possibility-semantics wire
-format does not); vectorizing it over the compiled tables is a ROADMAP
-item.
+Execution tier (see ``docs/architecture.md``): two engines build the same
+chain, selected via ``engine=``:
+
+* ``"compiled"`` — a probability-carrying extension of the sharded
+  explorer's wire format.  Sources are mixed-radix configuration ranks
+  over the :class:`~repro.core.encoding.StateEncoding`; a block of rows
+  is expanded over the :class:`~repro.core.encoding.CompiledKernelTables`
+  as ``(edge count per source, target rank, probability)`` wire arrays.
+  Deterministic blocks under the central-randomized or synchronous
+  distribution are whole-block array expressions (enabled-count gather →
+  per-mover uniform weight); everything else (probabilistic outcomes,
+  distributed/Bernoulli daemons, custom distributions) takes an
+  order-exact scalar replay of the oracle's subset and branch
+  enumeration.  The wire triples are deduplicated/accumulated into the
+  CSR arrays :class:`~repro.markov.chain.MarkovChain` stores natively.
+* ``"scalar"`` — the pre-existing dict-walk over the memoized
+  :class:`~repro.core.kernel.TransitionKernel` (or the reference
+  :class:`System` with ``use_kernel=False``): the bit-for-bit oracle the
+  compiled path is tested against (``tests/test_chain_compiled.py``).
+* ``"auto"`` (default) — compiled whenever the kernel tables fit the
+  compilation budget, scalar otherwise; mirroring
+  :class:`~repro.markov.montecarlo.MonteCarloRunner`'s engine knob.
+
+Either way the resulting chain has identical states in identical order,
+identical transition support, and row probabilities equal to ≤ 1e-12
+(bit-for-bit in the deterministic blocks).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.core.configuration import Configuration
+from repro.core.encoding import ExpansionContext, compile_tables
 from repro.core.kernel import TransitionKernel, resolve_engine
 from repro.core.system import System, compose_weighted_targets
-from repro.errors import MarkovError
+from repro.errors import MarkovError, ModelError
 from repro.markov.chain import MarkovChain
-from repro.schedulers.distributions import SchedulerDistribution
+from repro.schedulers.distributions import (
+    CentralRandomizedDistribution,
+    SchedulerDistribution,
+    SynchronousDistribution,
+)
 
-__all__ = ["build_chain", "DEFAULT_MAX_STATES"]
+__all__ = ["build_chain", "CHAIN_ENGINES", "DEFAULT_MAX_STATES"]
 
 #: State-count guard against accidental blow-ups.
 DEFAULT_MAX_STATES = 500_000
+
+#: Accepted ``engine`` values.
+CHAIN_ENGINES = ("auto", "compiled", "scalar")
+
+#: Distributions whose deterministic-block expansion is a pure array
+#: expression (exact types: a subclass may redefine ``weighted_subsets``).
+#: Index 0 is the central-randomized distribution.
+_VECTOR_DISTRIBUTIONS = (CentralRandomizedDistribution, SynchronousDistribution)
+
+#: Sources are expanded in blocks of this many ranks so the gather
+#: working set stays cache-friendly and memory-bounded.
+_CHAIN_BLOCK = 8192
 
 
 def build_chain(
@@ -47,6 +84,7 @@ def build_chain(
     max_states: int = DEFAULT_MAX_STATES,
     kernel: TransitionKernel | None = None,
     use_kernel: bool = True,
+    engine: str = "auto",
 ) -> MarkovChain:
     """Build the Markov chain of ``system`` under ``distribution``.
 
@@ -54,12 +92,19 @@ def build_chain(
     (the paper's ``I = C``); otherwise the chain is the forward closure of
     the given configurations.
 
-    Rows resolve guards/outcomes through a memoized
-    :class:`~repro.core.kernel.TransitionKernel` by default (once per
-    distinct local neighborhood); pass ``kernel`` to share tables across
-    several chains of the same system, or ``use_kernel=False`` for the
-    reference :class:`System` path.
+    ``engine`` selects the execution path (see the module docstring):
+    ``"compiled"`` demands the vectorized wire-format builder (raising
+    :class:`MarkovError` when the system cannot take it), ``"scalar"``
+    forces the dict-walk oracle — exactly the pre-compiled-tier behavior —
+    and ``"auto"`` picks compiled when possible.  Pass ``kernel`` to share
+    resolution tables across several chains of the same system, or
+    ``use_kernel=False`` for the reference :class:`System` path (implies
+    scalar).
     """
+    if engine not in CHAIN_ENGINES:
+        raise MarkovError(
+            f"unknown engine {engine!r}; known: {CHAIN_ENGINES}"
+        )
     if initial is None:
         total = system.num_configurations()
         if total > max_states:
@@ -67,9 +112,38 @@ def build_chain(
                 f"configuration space has {total} states, budget is"
                 f" {max_states}; pass an explicit initial set"
             )
-        seeds: Iterable[Configuration] = system.all_configurations()
-    else:
-        seeds = initial
+
+    if engine != "scalar":
+        context = _compile_chain_context(
+            system, distribution, kernel, use_kernel,
+            require=engine == "compiled",
+        )
+        if context is not None:
+            if initial is None:
+                return _build_full(system, context)
+            return _build_frontier(
+                system, context, list(initial), max_states
+            )
+
+    return _build_scalar(
+        system, distribution, initial, max_states, kernel, use_kernel
+    )
+
+
+# ----------------------------------------------------------------------
+# scalar oracle path (pre-compiled-tier behavior, unchanged)
+# ----------------------------------------------------------------------
+def _build_scalar(
+    system: System,
+    distribution: SchedulerDistribution,
+    initial: Iterable[Configuration] | None,
+    max_states: int,
+    kernel: TransitionKernel | None,
+    use_kernel: bool,
+) -> MarkovChain:
+    seeds: Iterable[Configuration] = (
+        system.all_configurations() if initial is None else initial
+    )
 
     states: list[Configuration] = []
     index: dict[Configuration, int] = {}
@@ -136,3 +210,426 @@ def _row(
             target_id = intern(target)
             row[target_id] = row.get(target_id, 0.0) + probability
     return row
+
+
+# ----------------------------------------------------------------------
+# compiled wire-format path
+# ----------------------------------------------------------------------
+class _ChainContext(ExpansionContext):
+    """Expansion lookups plus the probability structure of one builder run.
+
+    Extends the sharded explorer's :class:`ExpansionContext` with the raw
+    outcome probabilities of every compiled action row and a per-enabled-
+    tuple cache of the distribution's weighted subsets (the distribution
+    is a pure function of the enabled set, so each distinct enabled tuple
+    is enumerated once per build).
+    """
+
+    def __init__(self, tables, distribution: SchedulerDistribution) -> None:
+        super().__init__(tables)
+        self.distribution = distribution
+        self.outcome_probs: tuple[tuple[float, ...], ...] = tuple(
+            tuple(float(p) for p in tables.outcome_prob[row, :count])
+            for row, count in enumerate(self.arity.tolist())
+        )
+        self.plan_cache: dict[
+            tuple[int, ...], list[tuple[float, tuple[int, ...]]]
+        ] = {}
+
+
+def _compile_chain_context(
+    system: System,
+    distribution: SchedulerDistribution,
+    kernel: TransitionKernel | None,
+    use_kernel: bool,
+    require: bool,
+) -> _ChainContext | None:
+    """Tables + context for the compiled path, or ``None`` → scalar.
+
+    ``require=True`` (``engine="compiled"``) turns every fallback reason
+    into a :class:`MarkovError` instead.
+    """
+    if not use_kernel:
+        if require:
+            raise MarkovError(
+                "engine='compiled' requires the kernel path"
+                " (use_kernel=True)"
+            )
+        return None
+    if kernel is None:
+        kernel = TransitionKernel(system)
+    try:
+        tables = compile_tables(kernel)
+    except ModelError as error:
+        if require:
+            raise MarkovError(
+                f"engine='compiled' unavailable: {error}"
+            ) from error
+        return None
+    return _ChainContext(tables, distribution)
+
+
+#: Wire format of one expanded block, all flat: (edge count per source,
+#: flat target ranks, flat edge probabilities).  ``targets`` degrades to
+#: a Python list when ranks exceed int64.
+_ChainChunk = tuple[np.ndarray, "np.ndarray | list[int]", np.ndarray]
+
+
+def _expand_chain_block(
+    context: _ChainContext, codes: np.ndarray, ranks: Sequence[int]
+) -> _ChainChunk:
+    """Expand one block of sources into probability-carrying wire arrays.
+
+    Reproduces the scalar ``_row`` per source exactly — same weighted
+    subsets in the same order, same branch enumeration as
+    :func:`repro.core.system.compose_weighted_targets`, same probability
+    expression ``weight · branch / action_choices`` — but a successor is
+    ``source rank + Σ (new code − old code) · weight`` instead of tuple
+    surgery, and enabledness is one gather for the whole block.  Edges
+    are emitted pre-accumulation (duplicate targets within a row are
+    summed later, in emission order, by :func:`_csr_from_wire`).
+
+    Deterministic blocks (every enabled cell has one applicable action
+    with one outcome — the paper's Algorithms 1 and 2) under the
+    central-randomized or synchronous distribution skip the per-source
+    loop entirely.
+    """
+    tables = context.tables
+    keys = tables.pack(codes)
+    enabled_matrix = tables.enabled_flat[keys]
+    counts_matrix = tables.action_count[keys]
+    bases_matrix = tables.action_base[keys]
+
+    enabled_counts = enabled_matrix.sum(axis=1, dtype=np.int64)
+    enabled_cols = np.nonzero(enabled_matrix)[1].astype(np.int64)
+
+    distribution = context.distribution
+
+    # ------------------------------------------------------------------
+    # vectorized layer: deterministic cells, central/synchronous daemon
+    # ------------------------------------------------------------------
+    if context.int64_safe and type(distribution) in _VECTOR_DISTRIBUTIONS:
+        deterministic = (
+            enabled_matrix
+            & (counts_matrix == 1)
+            & (context.arity[bases_matrix] == 1)
+        )
+        if np.array_equal(deterministic, enabled_matrix):
+            rank_array = np.fromiter(
+                ranks, dtype=np.int64, count=len(codes)
+            )
+            # Post-state delta of each (source, process) solo move:
+            # (new code − old code) · weight — zero where disabled.
+            delta = np.where(
+                enabled_matrix,
+                (context.first_outcome[bases_matrix] - codes.astype(np.int64))
+                * context.weights_row,
+                0,
+            )
+            nonterminal = enabled_counts > 0
+            if type(distribution) is _VECTOR_DISTRIBUTIONS[0]:  # central
+                edge_counts = np.where(nonterminal, enabled_counts, 1)
+                offsets = np.cumsum(edge_counts) - edge_counts
+                targets = np.empty(int(edge_counts.sum()), dtype=np.int64)
+                probs = np.empty(targets.shape[0], dtype=float)
+                terminal_rows = np.flatnonzero(~nonterminal)
+                targets[offsets[terminal_rows]] = rank_array[terminal_rows]
+                probs[offsets[terminal_rows]] = 1.0
+                source_idx, movers = np.nonzero(enabled_matrix)
+                # np.nonzero is row-major, so a row's edges are contiguous
+                # in mover (= sorted-singleton) order, matching the
+                # oracle's weighted_subsets enumeration.
+                first_edge = np.cumsum(enabled_counts) - enabled_counts
+                positions = offsets[source_idx] + (
+                    np.arange(source_idx.shape[0]) - first_edge[source_idx]
+                )
+                targets[positions] = (
+                    rank_array[source_idx] + delta[source_idx, movers]
+                )
+                probs[positions] = 1.0 / enabled_counts[source_idx]
+                return edge_counts, targets, probs
+            # synchronous: one edge per source — all movers, or self-loop.
+            targets = np.where(
+                nonterminal, rank_array + delta.sum(axis=1), rank_array
+            )
+            return (
+                np.ones(len(codes), dtype=np.int64),
+                targets,
+                np.ones(len(codes), dtype=float),
+            )
+
+    # ------------------------------------------------------------------
+    # scalar replay layer: any distribution, any action/outcome structure
+    # ------------------------------------------------------------------
+    counts = counts_matrix.tolist()
+    bases = bases_matrix.tolist()
+    rows = codes.tolist()
+    per_row = enabled_counts.tolist()
+    flat_enabled = enabled_cols.tolist()
+    outcome_codes = context.outcome_codes
+    outcome_probs = context.outcome_probs
+    weights = context.config_weights
+    plan_cache = context.plan_cache
+
+    edge_counts: list[int] = []
+    edge_targets: list[int] = []
+    edge_probs: list[float] = []
+
+    cursor = 0
+    for index, source_rank in enumerate(ranks):
+        count = per_row[index]
+        enabled = tuple(flat_enabled[cursor : cursor + count])
+        cursor += count
+        emitted = 0
+        if not enabled:
+            edge_targets.append(source_rank)
+            edge_probs.append(1.0)
+            edge_counts.append(1)
+            continue
+        row = rows[index]
+        row_counts = counts[index]
+        row_bases = bases[index]
+        plan = plan_cache.get(enabled)
+        if plan is None:
+            plan = distribution.weighted_subsets(enabled)
+            plan_cache[enabled] = plan
+        for weight, subset in plan:
+            if weight <= 0.0:
+                continue
+            if not subset:
+                # Lazy daemons: the empty draw is an explicit self-loop.
+                edge_targets.append(source_rank)
+                edge_probs.append(weight)
+                emitted += 1
+                continue
+            action_choices = 1
+            for process in subset:
+                action_choices *= row_counts[process]
+            if len(subset) == 1:
+                process = subset[0]
+                base = row_bases[process]
+                config_weight = weights[process]
+                old = row[process] * config_weight
+                for action_row in range(base, base + row_counts[process]):
+                    for code, branch in zip(
+                        outcome_codes[action_row],
+                        outcome_probs[action_row],
+                    ):
+                        edge_targets.append(
+                            source_rank + code * config_weight - old
+                        )
+                        edge_probs.append(
+                            weight * branch / action_choices
+                        )
+                        emitted += 1
+                continue
+            choice_lists = [
+                [
+                    (
+                        weights[process],
+                        row[process] * weights[process],
+                        outcome_codes[action_row],
+                        outcome_probs[action_row],
+                    )
+                    for action_row in range(
+                        row_bases[process],
+                        row_bases[process] + row_counts[process],
+                    )
+                ]
+                for process in subset
+            ]
+            for assignment in product(*choice_lists):
+                outcome_spaces = [
+                    tuple(zip(codes_, probs_))
+                    for _, _, codes_, probs_ in assignment
+                ]
+                for combo in product(*outcome_spaces):
+                    branch = 1.0
+                    target = source_rank
+                    for (config_weight, old, _, _), (code, p) in zip(
+                        assignment, combo
+                    ):
+                        branch *= p
+                        target += code * config_weight - old
+                    edge_targets.append(target)
+                    edge_probs.append(weight * branch / action_choices)
+                    emitted += 1
+        edge_counts.append(emitted)
+
+    if context.int64_safe:
+        targets: np.ndarray | list[int] = np.fromiter(
+            edge_targets, dtype=np.int64, count=len(edge_targets)
+        )
+    else:
+        targets = edge_targets
+    return (
+        np.fromiter(edge_counts, dtype=np.int64, count=len(edge_counts)),
+        targets,
+        np.fromiter(edge_probs, dtype=float, count=len(edge_probs)),
+    )
+
+
+def _csr_from_wire(
+    num_states: int,
+    edge_counts: np.ndarray,
+    targets: np.ndarray,
+    probs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Accumulate flat (source-grouped) wire edges into CSR arrays.
+
+    Duplicate targets within a row are summed **in emission order**
+    (stable sort + sequential segment reduction), reproducing the scalar
+    oracle's dict-accumulation order bit-for-bit.
+    """
+    if targets.size == 0:
+        return (
+            np.zeros(0, dtype=float),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(num_states + 1, dtype=np.int64),
+        )
+    row_of_edge = np.repeat(
+        np.arange(num_states, dtype=np.int64), edge_counts
+    )
+    keys = row_of_edge * np.int64(num_states) + targets
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    boundaries = np.diff(keys_sorted) != 0
+    group_starts = np.concatenate(([0], np.flatnonzero(boundaries) + 1))
+    if group_starts.size == keys_sorted.size:
+        # No duplicate (source, target) pairs — nothing to accumulate.
+        data = probs[order]
+    else:
+        # ``np.add.at`` applies strictly sequentially in index order, so
+        # duplicates sum left-to-right exactly as the oracle's dict
+        # accumulation does (reduceat's pairwise summation would differ
+        # in the last ulp).
+        group_of_edge = np.zeros(keys_sorted.size, dtype=np.int64)
+        group_of_edge[1:] = np.cumsum(boundaries)
+        data = np.zeros(group_starts.size, dtype=float)
+        np.add.at(data, group_of_edge, probs[order])
+    unique_keys = keys_sorted[group_starts]
+    indices = unique_keys % num_states
+    indptr = np.zeros(num_states + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(
+            unique_keys // num_states, minlength=num_states
+        ),
+        out=indptr[1:],
+    )
+    return data, indices, indptr
+
+
+def _build_full(system: System, context: _ChainContext) -> MarkovChain:
+    """Full-space mode: state ids are enumeration ranks."""
+    num_states = system.num_configurations()
+    counts_parts: list[np.ndarray] = []
+    target_parts: list[np.ndarray] = []
+    prob_parts: list[np.ndarray] = []
+    codes_parts: list[np.ndarray] = []
+    for start in range(0, num_states, _CHAIN_BLOCK):
+        stop = min(start + _CHAIN_BLOCK, num_states)
+        codes = context.codes_of_ranks(range(start, stop))
+        counts, targets, probs = _expand_chain_block(
+            context, codes, range(start, stop)
+        )
+        counts_parts.append(counts)
+        target_parts.append(np.asarray(targets, dtype=np.int64))
+        prob_parts.append(probs)
+        codes_parts.append(codes)
+
+    data, indices, indptr = _csr_from_wire(
+        num_states,
+        np.concatenate(counts_parts) if counts_parts else np.zeros(0, np.int64),
+        np.concatenate(target_parts) if target_parts else np.zeros(0, np.int64),
+        np.concatenate(prob_parts) if prob_parts else np.zeros(0),
+    )
+    states = list(system.all_configurations())
+    return MarkovChain.from_arrays(
+        system,
+        states,
+        data,
+        indices,
+        indptr,
+        context.distribution.name,
+        codes=np.concatenate(codes_parts) if codes_parts else None,
+        tables=context.tables,
+    )
+
+
+def _build_frontier(
+    system: System,
+    context: _ChainContext,
+    seeds: list[Configuration],
+    max_states: int,
+) -> MarkovChain:
+    """Reachable-fragment mode: level-synchronous BFS in rank space.
+
+    Targets are interned in (source order, edge order) — the exact order
+    the scalar FIFO builder discovers them — so state ids come out
+    identical to the oracle's.
+    """
+    encoding = context.tables.encoding
+
+    rank_to_id: dict[int, int] = {}
+    rank_of_id: list[int] = []
+
+    def intern(rank: int) -> int:
+        state_id = rank_to_id.get(rank)
+        if state_id is not None:
+            return state_id
+        if len(rank_of_id) >= max_states:
+            raise MarkovError(f"chain exceeded {max_states} states")
+        state_id = len(rank_of_id)
+        rank_to_id[rank] = state_id
+        rank_of_id.append(rank)
+        return state_id
+
+    for seed in seeds:
+        intern(context.rank_of(encoding.encode(seed)))
+
+    counts_parts: list[np.ndarray] = []
+    id_parts: list[np.ndarray] = []
+    prob_parts: list[np.ndarray] = []
+
+    frontier_start = 0
+    while frontier_start < len(rank_of_id):
+        frontier = rank_of_id[frontier_start:]
+        frontier_start = len(rank_of_id)
+        for start in range(0, len(frontier), _CHAIN_BLOCK):
+            block = frontier[start : start + _CHAIN_BLOCK]
+            counts, targets, probs = _expand_chain_block(
+                context, context.codes_of_ranks(block), block
+            )
+            target_list = (
+                targets.tolist()
+                if isinstance(targets, np.ndarray)
+                else targets
+            )
+            ids = [intern(rank) for rank in target_list]
+            counts_parts.append(counts)
+            id_parts.append(
+                np.fromiter(ids, dtype=np.int64, count=len(ids))
+            )
+            prob_parts.append(probs)
+
+    num_states = len(rank_of_id)
+    data, indices, indptr = _csr_from_wire(
+        num_states,
+        np.concatenate(counts_parts) if counts_parts else np.zeros(0, np.int64),
+        np.concatenate(id_parts) if id_parts else np.zeros(0, np.int64),
+        np.concatenate(prob_parts) if prob_parts else np.zeros(0),
+    )
+    states = [
+        context.configuration_of_rank(rank) for rank in rank_of_id
+    ]
+    codes = context.codes_of_ranks(rank_of_id) if rank_of_id else None
+    return MarkovChain.from_arrays(
+        system,
+        states,
+        data,
+        indices,
+        indptr,
+        context.distribution.name,
+        codes=codes,
+        tables=context.tables,
+    )

@@ -11,6 +11,11 @@ time of transformed algorithms):
   target, per state (``inf`` where absorption is uncertain).
 * :func:`hitting_summary` — the aggregate a paper table would report:
   worst-case and average expected time over all initial configurations.
+
+All three consume the chain's CSR arrays directly — the backward
+closure is a sparse-transpose BFS over ``(indices, indptr)``, and the
+transient-submatrix solves slice the cached scipy matrix with fancy
+indexing (:func:`_transient_solve`) — no per-state Python dict walking.
 """
 
 from __future__ import annotations
@@ -18,10 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse.linalg import spsolve
+from scipy import sparse
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse.linalg import splu
 
 from repro.errors import MarkovError
-from repro.markov.chain import MarkovChain
+from repro.markov.chain import MarkovChain, concat_ranges
 
 __all__ = [
     "absorption_probabilities",
@@ -51,6 +58,72 @@ def _target_vector(chain: MarkovChain, target: np.ndarray) -> np.ndarray:
     return target
 
 
+def _transient_solve(
+    chain: MarkovChain, solve_ids: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``(I - Q) x = rhs`` on the transient block ``solve_ids``.
+
+    ``Q`` is the ``solve_ids × solve_ids`` submatrix of the transition
+    matrix, sliced from the cached CSR export — the one assembly both
+    :func:`absorption_probabilities` and :func:`expected_hitting_times`
+    share.  Dense below :data:`_DENSE_LIMIT` states (LAPACK LU), sparse
+    above (SuperLU with the minimum-degree ``A^T + A`` column ordering —
+    chain states are BFS/enumeration ordered, so the support is near
+    banded and COLAMD's fill-in is 5-10× worse here).  The factorization
+    is cached on the chain keyed by the solve set: absorption and
+    expected-time solves over the same transient block — every
+    probability-1 chain — factor once and back-substitute twice.
+    """
+    factor_kind, factor = _transient_factorization(chain, solve_ids)
+    if factor_kind == "dense":
+        return lu_solve(factor, rhs)
+    return factor.solve(rhs)
+
+
+def _transient_factorization(chain: MarkovChain, solve_ids: np.ndarray):
+    """Cached LU factorization of ``I - Q`` for one solve set."""
+    key = solve_ids.tobytes()
+    cached = chain._transient_lu
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2]
+    m = len(solve_ids)
+    q = chain.sparse_matrix()[solve_ids][:, solve_ids]
+    if m <= _DENSE_LIMIT:
+        kind = "dense"
+        factor = lu_factor(np.eye(m) - q.toarray())
+    else:
+        kind = "sparse"
+        factor = splu(
+            (sparse.identity(m, format="csc") - q.tocsc()).tocsc(),
+            permc_spec="MMD_AT_PLUS_A",
+        )
+    chain._transient_lu = (key, kind, factor)
+    return kind, factor
+
+
+def _backward_closure(
+    chain: MarkovChain, target: np.ndarray
+) -> np.ndarray:
+    """States that can reach the target in the support digraph.
+
+    A multi-source BFS over the *transposed* support — predecessors of
+    each frontier are one fancy-indexed gather into the transpose's CSR
+    arrays per level.
+    """
+    transpose = chain.sparse_matrix().T.tocsr()
+    indptr, indices = transpose.indptr, transpose.indices
+    reached = np.array(target, dtype=bool)
+    frontier = np.flatnonzero(target)
+    while frontier.size:
+        predecessors = indices[
+            concat_ranges(indptr[frontier], indptr[frontier + 1])
+        ]
+        fresh = np.unique(predecessors[~reached[predecessors]])
+        reached[fresh] = True
+        frontier = fresh
+    return reached
+
+
 def absorption_probabilities(
     chain: MarkovChain, target: np.ndarray
 ) -> np.ndarray:
@@ -66,115 +139,51 @@ def absorption_probabilities(
     result = np.zeros(n, dtype=float)
     result[target] = 1.0
 
-    # States that can reach the target in the support digraph.
     can_reach = _backward_closure(chain, target)
     transient = ~target & can_reach
     if not transient.any():
         return result
 
     transient_ids = np.flatnonzero(transient)
-    position = {int(s): k for k, s in enumerate(transient_ids)}
-    m = len(transient_ids)
-    b = np.zeros(m, dtype=float)
-
-    if m <= _DENSE_LIMIT:
-        q = np.zeros((m, m), dtype=float)
-        for k, state in enumerate(transient_ids):
-            for successor, probability in chain.rows[int(state)].items():
-                if target[successor]:
-                    b[k] += probability
-                elif successor in position:
-                    q[k, position[successor]] += probability
-        h = np.linalg.solve(np.eye(m) - q, b)
-    else:
-        from scipy import sparse
-
-        rows_idx: list[int] = []
-        cols_idx: list[int] = []
-        values: list[float] = []
-        for k, state in enumerate(transient_ids):
-            for successor, probability in chain.rows[int(state)].items():
-                if target[successor]:
-                    b[k] += probability
-                elif successor in position:
-                    rows_idx.append(k)
-                    cols_idx.append(position[successor])
-                    values.append(probability)
-        q = sparse.csr_matrix(
-            (values, (rows_idx, cols_idx)), shape=(m, m)
+    b = np.asarray(
+        chain.sparse_matrix()[transient_ids][:, np.flatnonzero(target)].sum(
+            axis=1
         )
-        h = spsolve(sparse.identity(m, format="csr") - q, b)
-
+    ).ravel()
+    h = _transient_solve(chain, transient_ids, b)
     result[transient_ids] = np.clip(h, 0.0, 1.0)
     return result
 
 
 def expected_hitting_times(
-    chain: MarkovChain, target: np.ndarray
+    chain: MarkovChain,
+    target: np.ndarray,
+    absorption: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Expected steps to reach the target; ``inf`` where absorption < 1."""
+    """Expected steps to reach the target; ``inf`` where absorption < 1.
+
+    Pass ``absorption`` (a vector previously returned by
+    :func:`absorption_probabilities` for the same chain and target) to
+    skip recomputing it — :func:`hitting_summary` and
+    :func:`repro.stabilization.probabilistic.classify_probabilistic`
+    compute absorption exactly once this way.
+    """
     target = _target_vector(chain, target)
-    absorption = absorption_probabilities(chain, target)
+    if absorption is None:
+        absorption = absorption_probabilities(chain, target)
     certain = absorption >= 1.0 - ABSORPTION_TOLERANCE
 
     n = chain.num_states
     times = np.full(n, np.inf, dtype=float)
     times[target] = 0.0
 
-    solve_states = np.flatnonzero(certain & ~target)
-    if solve_states.size == 0:
+    solve_ids = np.flatnonzero(certain & ~target)
+    if solve_ids.size == 0:
         return times
-    position = {int(s): k for k, s in enumerate(solve_states)}
-    m = len(solve_states)
-    ones = np.ones(m, dtype=float)
-
-    if m <= _DENSE_LIMIT:
-        q = np.zeros((m, m), dtype=float)
-        for k, state in enumerate(solve_states):
-            for successor, probability in chain.rows[int(state)].items():
-                if successor in position:
-                    q[k, position[successor]] += probability
-        t = np.linalg.solve(np.eye(m) - q, ones)
-    else:
-        from scipy import sparse
-
-        rows_idx: list[int] = []
-        cols_idx: list[int] = []
-        values: list[float] = []
-        for k, state in enumerate(solve_states):
-            for successor, probability in chain.rows[int(state)].items():
-                if successor in position:
-                    rows_idx.append(k)
-                    cols_idx.append(position[successor])
-                    values.append(probability)
-        q = sparse.csr_matrix(
-            (values, (rows_idx, cols_idx)), shape=(m, m)
-        )
-        t = spsolve(sparse.identity(m, format="csr") - q, ones)
-
-    times[solve_states] = np.maximum(t, 0.0)
+    ones = np.ones(len(solve_ids), dtype=float)
+    t = _transient_solve(chain, solve_ids, ones)
+    times[solve_ids] = np.maximum(t, 0.0)
     return times
-
-
-def _backward_closure(
-    chain: MarkovChain, target: np.ndarray
-) -> np.ndarray:
-    from collections import deque
-
-    n = chain.num_states
-    predecessors: list[list[int]] = [[] for _ in range(n)]
-    for source, row in enumerate(chain.rows):
-        for successor in row:
-            predecessors[successor].append(source)
-    reached = np.array(target, dtype=bool)
-    queue = deque(int(s) for s in np.flatnonzero(target))
-    while queue:
-        current = queue.popleft()
-        for predecessor in predecessors[current]:
-            if not reached[predecessor]:
-                reached[predecessor] = True
-                queue.append(predecessor)
-    return reached
 
 
 @dataclass(frozen=True)
@@ -207,7 +216,7 @@ def hitting_summary(chain: MarkovChain, target: np.ndarray) -> HittingSummary:
     min_absorption = float(absorption.min())
     converges = bool(min_absorption >= 1.0 - ABSORPTION_TOLERANCE)
     if converges:
-        times = expected_hitting_times(chain, target)
+        times = expected_hitting_times(chain, target, absorption=absorption)
         transient = ~target
         if transient.any():
             worst = float(times[transient].max())

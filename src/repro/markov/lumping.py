@@ -31,6 +31,7 @@ def lumped_synchronous_transformed_chain(
     initial: Iterable[Configuration] | None = None,
     max_states: int = 500_000,
     win_probability: float = 0.5,
+    engine: str = "auto",
 ) -> MarkovChain:
     """Chain of the *transformed* system under the synchronous scheduler,
     expressed on the *base* system's configuration space.
@@ -41,11 +42,17 @@ def lumped_synchronous_transformed_chain(
     :func:`repro.markov.builder.build_chain` +
     :class:`repro.schedulers.distributions.SynchronousDistribution`.
     ``win_probability`` matches the transformer's coin bias (½ in the
-    paper).
+    paper).  ``engine`` forwards to :func:`repro.markov.builder.build_chain`
+    (the Bernoulli daemon takes the compiled builder's order-exact scalar
+    replay over the kernel tables).
     """
     daemon = BernoulliDistribution(
         probability=win_probability, include_empty=True
     )
     return build_chain(
-        base_system, daemon, initial=initial, max_states=max_states
+        base_system,
+        daemon,
+        initial=initial,
+        max_states=max_states,
+        engine=engine,
     )

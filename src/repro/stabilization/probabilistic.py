@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.system import System
 from repro.markov.builder import build_chain
-from repro.markov.chain import MarkovChain
+from repro.markov.chain import MarkovChain, concat_ranges
 from repro.markov.hitting import (
     ABSORPTION_TOLERANCE,
     absorption_probabilities,
@@ -85,25 +85,41 @@ def classify_probabilistic(
     initial: Iterable[Configuration] | None = None,
     max_states: int = 500_000,
     chain: MarkovChain | None = None,
+    engine: str = "auto",
 ) -> ProbabilisticVerdict:
-    """Build (or reuse) the chain and evaluate Definition 2."""
+    """Build (or reuse) the chain and evaluate Definition 2.
+
+    ``engine`` forwards to :func:`repro.markov.builder.build_chain`
+    (``"auto"`` | ``"compiled"`` | ``"scalar"``) when no prebuilt chain
+    is given.
+    """
     if chain is None:
         chain = build_chain(
-            system, distribution, initial=initial, max_states=max_states
+            system,
+            distribution,
+            initial=initial,
+            max_states=max_states,
+            engine=engine,
         )
     legitimate = chain.mark(specification.legitimate)
 
-    closure_violations = 0
-    for state_id in np.flatnonzero(legitimate):
-        for successor in chain.rows[int(state_id)]:
-            if not legitimate[successor]:
-                closure_violations += 1
+    # Closure over the support: count (legitimate state, illegitimate
+    # successor) edges — one gather over the CSR slices of the
+    # legitimate rows instead of a per-edge dict walk.
+    _, indices, indptr = chain.transition_arrays()
+    legit_ids = np.flatnonzero(legitimate)
+    successors = indices[
+        concat_ranges(indptr[legit_ids], indptr[legit_ids + 1])
+    ]
+    closure_violations = int((~legitimate[successors]).sum())
 
     if legitimate.any():
         absorption = absorption_probabilities(chain, legitimate)
         min_absorption = float(absorption.min())
         if min_absorption >= 1.0 - ABSORPTION_TOLERANCE:
-            times = expected_hitting_times(chain, legitimate)
+            times = expected_hitting_times(
+                chain, legitimate, absorption=absorption
+            )
             transient = ~legitimate
             worst = float(times[transient].max()) if transient.any() else 0.0
             mean = float(times[transient].mean()) if transient.any() else 0.0

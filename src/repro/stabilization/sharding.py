@@ -48,9 +48,8 @@ import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.core.encoding import (
-    CODE_DTYPE,
     CompiledKernelTables,
-    StateEncoding,
+    ExpansionContext,
     compile_tables,
 )
 from repro.core.kernel import TransitionKernel
@@ -70,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - forward reference only
     from repro.stabilization.statespace import StateSpace
 
 __all__ = [
+    "ExpansionContext",
     "explore_sharded",
     "resolve_shards",
     "set_default_shards",
@@ -145,12 +145,11 @@ def resolve_shards(shards: int | str | None) -> int:
 # ----------------------------------------------------------------------
 # the compiled expansion shared by workers and the in-process fallback
 # ----------------------------------------------------------------------
-class _ShardContext:
-    """Per-worker read-only state: compiled tables plus derived lookups.
+class _ShardContext(ExpansionContext):
+    """Per-worker read-only state: shared lookups plus the relation.
 
     Built once per worker process (or once in the master for small
-    frontiers); everything here is deterministic structure, so every
-    worker derives identical expansions.
+    frontiers).
     """
 
     def __init__(
@@ -159,62 +158,9 @@ class _ShardContext:
         relation: SchedulerRelation,
         action_mode: str,
     ) -> None:
-        self.tables = tables
+        super().__init__(tables)
         self.relation = relation
         self.action_mode = action_mode
-        encoding = tables.encoding
-        self.num_processes = encoding.num_processes
-        sizes = encoding.sizes
-        # Mixed-radix configuration weights, process 0 slowest — matching
-        # both enumerate_configurations order and StateEncoding codes, so
-        # rank(configuration) == its id in a full-space exploration.
-        weights = [1] * self.num_processes
-        for process in range(self.num_processes - 2, -1, -1):
-            weights[process] = weights[process + 1] * int(sizes[process + 1])
-        self.config_weights = weights
-        self.sizes = [int(size) for size in sizes]
-        # Ranks fit int64 ⇒ the vectorized emission layers and array wire
-        # format are safe; astronomically large spaces (only reachable
-        # through explicit initial sets) stay on Python ints.
-        space_size = 1
-        for size in self.sizes:
-            space_size *= size
-        self.int64_safe = space_size < 2**62
-        # Outcome codes per action row, trimmed to the row's real arity
-        # (rows are padded with the 2.0 cum-probability sentinel).
-        self.arity = (tables.outcome_cum < 1.5).sum(axis=1)
-        self.outcome_codes: tuple[tuple[int, ...], ...] = tuple(
-            tuple(int(code) for code in tables.outcome_code[row, :count])
-            for row, count in enumerate(self.arity.tolist())
-        )
-        #: First outcome code of each action row — the whole transition
-        #: when the row is deterministic (arity 1).
-        self.first_outcome = tables.outcome_code[:, 0].astype(np.int64)
-        self.weights_row = (
-            np.array(self.config_weights, dtype=np.int64)
-            if self.int64_safe
-            else None
-        )
-
-    def codes_of_ranks(self, ranks: Sequence[int]) -> np.ndarray:
-        """``(M, N)`` code matrix of configuration ranks (mixed radix)."""
-        if self.int64_safe:
-            rank_array = np.fromiter(ranks, dtype=np.int64, count=len(ranks))
-            matrix = np.empty(
-                (len(rank_array), self.num_processes), dtype=CODE_DTYPE
-            )
-            for process, (weight, size) in enumerate(
-                zip(self.config_weights, self.sizes)
-            ):
-                matrix[:, process] = (rank_array // weight) % size
-            return matrix
-        matrix = np.empty((len(ranks), self.num_processes), dtype=CODE_DTYPE)
-        for row, rank in enumerate(ranks):
-            for process, (weight, size) in enumerate(
-                zip(self.config_weights, self.sizes)
-            ):
-                matrix[row, process] = (rank // weight) % size
-        return matrix
 
 
 #: Wire format a worker sends back, all flat and cheap to pickle:
@@ -655,7 +601,6 @@ def _explore_frontier(
 
     encoding = tables.encoding
     context = _ShardContext(tables, relation, action_mode)
-    weights = context.config_weights
 
     rank_to_id: dict[int, int] = {}
     rank_of_id: list[int] = []
@@ -674,8 +619,7 @@ def _explore_frontier(
         return state_id
 
     for seed in seeds:
-        codes = encoding.encode(seed)
-        intern(sum(int(code) * weight for code, weight in zip(codes, weights)))
+        intern(context.rank_of(encoding.encode(seed)))
 
     edges: list[list[tuple[int, int]]] = []
     enabled_lists: list[tuple[int, ...]] = []
@@ -708,8 +652,7 @@ def _explore_frontier(
             pool.join()
 
     configurations = [
-        _configuration_of_rank(encoding, rank, context)
-        for rank in rank_of_id
+        context.configuration_of_rank(rank) for rank in rank_of_id
     ]
     index = {
         configuration: state_id
@@ -717,16 +660,4 @@ def _explore_frontier(
     }
     return StateSpace(
         system, relation, configurations, index, edges, enabled_lists
-    )
-
-
-def _configuration_of_rank(
-    encoding: StateEncoding, rank: int, context: _ShardContext
-) -> Configuration:
-    """Decode a mixed-radix configuration rank back to a configuration."""
-    return tuple(
-        encoding.decode_local(process, (rank // weight) % size)
-        for process, (weight, size) in enumerate(
-            zip(context.config_weights, context.sizes)
-        )
     )

@@ -1,0 +1,381 @@
+"""Compiled-vs-scalar chain equivalence: the PR 4 oracle contract.
+
+The compiled wire-format builder (``build_chain(engine="compiled")``)
+must reproduce the dict-walk oracle (``engine="scalar"``) exactly: same
+state list in the same order, row probabilities equal to ≤ 1e-12
+(bit-for-bit in practice), and identical downstream verdicts
+(``hitting_summary``, ``classify_probabilistic``) — across topologies,
+scheduler distributions, deterministic and probabilistic systems, and
+both full-space and restricted-initial modes.  Also covers the
+CSR-native :class:`MarkovChain` surface: cached matrix exports, the lazy
+``rows`` view, and vectorized ``mark`` predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.herman_ring import HermanSingleTokenSpec, make_herman_system
+from repro.algorithms.leader_tree import TreeLeaderSpec, make_leader_tree_system
+from repro.algorithms.token_ring import TokenCirculationSpec, make_token_ring_system
+from repro.algorithms.two_process import BothTrueSpec, make_two_process_system
+from repro.errors import MarkovError
+from repro.graphs.generators import figure3_chain, star
+from repro.markov.batch import DecodingLegitimacy, EnabledCountLegitimacy
+from repro.markov.builder import CHAIN_ENGINES, build_chain
+from repro.markov.hitting import hitting_summary
+from repro.schedulers.distributions import (
+    BernoulliDistribution,
+    CentralRandomizedDistribution,
+    DistributedRandomizedDistribution,
+    SynchronousDistribution,
+)
+from repro.stabilization.probabilistic import classify_probabilistic
+from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
+
+#: Probability agreement demanded of the compiled path, per entry.
+TOLERANCE = 1e-12
+
+SYSTEMS = {
+    "ring5": lambda: make_token_ring_system(5),
+    "chain4": lambda: make_leader_tree_system(figure3_chain()),
+    "star3": lambda: make_leader_tree_system(star(3)),
+    "two-process": lambda: make_two_process_system(),
+    "herman5": lambda: make_herman_system(5),
+    "trans(two-process)": lambda: make_transformed_system(
+        make_two_process_system()
+    ),
+}
+
+DISTRIBUTIONS = {
+    "central": CentralRandomizedDistribution,
+    "synchronous": SynchronousDistribution,
+    "distributed": DistributedRandomizedDistribution,
+    "bernoulli-lazy": lambda: BernoulliDistribution(0.5, True),
+    "bernoulli-strict": lambda: BernoulliDistribution(0.3, False),
+}
+
+
+def assert_chains_equivalent(scalar, compiled):
+    assert scalar.states == compiled.states
+    assert scalar.scheduler_name == compiled.scheduler_name
+    assert len(scalar.rows) == len(compiled.rows)
+    for row_scalar, row_compiled in zip(scalar.rows, compiled.rows):
+        assert set(row_scalar) == set(row_compiled)
+        for target, probability in row_scalar.items():
+            assert row_compiled[target] == pytest.approx(
+                probability, abs=TOLERANCE
+            )
+
+
+@pytest.mark.parametrize("distribution_name", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("system_name", sorted(SYSTEMS))
+def test_full_space_equivalence(system_name, distribution_name):
+    system = SYSTEMS[system_name]()
+    make_distribution = DISTRIBUTIONS[distribution_name]
+    scalar = build_chain(system, make_distribution(), engine="scalar")
+    compiled = build_chain(system, make_distribution(), engine="compiled")
+    assert_chains_equivalent(scalar, compiled)
+
+
+@pytest.mark.parametrize("distribution_name", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize(
+    "system_name", ["ring5", "two-process", "herman5", "trans(two-process)"]
+)
+def test_restricted_initial_equivalence(system_name, distribution_name):
+    system = SYSTEMS[system_name]()
+    make_distribution = DISTRIBUTIONS[distribution_name]
+    initial = [next(iter(system.all_configurations()))]
+    scalar = build_chain(
+        system, make_distribution(), initial=initial, engine="scalar"
+    )
+    compiled = build_chain(
+        system, make_distribution(), initial=initial, engine="compiled"
+    )
+    assert_chains_equivalent(scalar, compiled)
+    # The forward closure must be a strict restriction, not the full
+    # space, for this test to exercise the BFS interning path.
+    assert compiled.num_states <= system.num_configurations()
+
+
+def test_auto_engine_matches_both(ring5_system):
+    auto = build_chain(ring5_system, CentralRandomizedDistribution())
+    scalar = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+    assert_chains_equivalent(scalar, auto)
+
+
+@pytest.mark.parametrize(
+    "system_name, spec",
+    [
+        ("ring5", TokenCirculationSpec()),
+        ("chain4", TreeLeaderSpec()),
+        ("herman5", HermanSingleTokenSpec()),
+    ],
+)
+@pytest.mark.parametrize("distribution_name", ["central", "synchronous"])
+def test_downstream_hitting_verdicts_identical(
+    system_name, spec, distribution_name
+):
+    system = SYSTEMS[system_name]()
+    make_distribution = DISTRIBUTIONS[distribution_name]
+    summaries = []
+    for engine in ("scalar", "compiled"):
+        chain = build_chain(system, make_distribution(), engine=engine)
+        summaries.append(hitting_summary(chain, chain.mark(spec.legitimate)))
+    scalar_summary, compiled_summary = summaries
+    assert (
+        scalar_summary.converges_with_probability_one
+        == compiled_summary.converges_with_probability_one
+    )
+    assert scalar_summary.num_target == compiled_summary.num_target
+    assert compiled_summary.min_absorption == pytest.approx(
+        scalar_summary.min_absorption, abs=1e-9
+    )
+    assert compiled_summary.mean_expected_steps == pytest.approx(
+        scalar_summary.mean_expected_steps, rel=1e-9
+    )
+    assert compiled_summary.worst_expected_steps == pytest.approx(
+        scalar_summary.worst_expected_steps, rel=1e-9
+    )
+
+
+def test_downstream_classify_verdicts_identical(two_process_system):
+    transformed = make_transformed_system(two_process_system)
+    spec = TransformedSpec(BothTrueSpec(), two_process_system)
+    verdicts = [
+        classify_probabilistic(
+            transformed,
+            spec,
+            DistributedRandomizedDistribution(),
+            engine=engine,
+        )
+        for engine in ("scalar", "compiled")
+    ]
+    scalar_verdict, compiled_verdict = verdicts
+    assert (
+        scalar_verdict.is_probabilistically_self_stabilizing
+        == compiled_verdict.is_probabilistically_self_stabilizing
+    )
+    assert scalar_verdict.support_closure == compiled_verdict.support_closure
+    assert (
+        scalar_verdict.num_closure_violations
+        == compiled_verdict.num_closure_violations
+    )
+    assert scalar_verdict.num_states == compiled_verdict.num_states
+    assert compiled_verdict.min_absorption == pytest.approx(
+        scalar_verdict.min_absorption, abs=1e-9
+    )
+    assert compiled_verdict.mean_expected_steps == pytest.approx(
+        scalar_verdict.mean_expected_steps, rel=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+def test_unknown_engine_rejected(ring5_system):
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring5_system, CentralRandomizedDistribution(), engine="warp"
+        )
+    assert CHAIN_ENGINES == ("auto", "compiled", "scalar")
+
+
+def test_compiled_engine_requires_kernel(ring5_system):
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring5_system,
+            CentralRandomizedDistribution(),
+            use_kernel=False,
+            engine="compiled",
+        )
+
+
+def test_auto_without_kernel_falls_back_to_scalar(ring5_system):
+    chain = build_chain(
+        ring5_system, CentralRandomizedDistribution(), use_kernel=False
+    )
+    scalar = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+    assert chain.states == scalar.states
+    assert chain.rows == scalar.rows
+
+
+def test_compiled_engine_over_table_budget(monkeypatch, ring5_system):
+    # Force table compilation failure to check the demand-vs-auto split.
+    import repro.markov.builder as builder_module
+
+    def refuse(kernel, *args, **kwargs):
+        from repro.errors import ModelError
+
+        raise ModelError("neighborhood space over budget (forced)")
+
+    monkeypatch.setattr(builder_module, "compile_tables", refuse)
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring5_system,
+            CentralRandomizedDistribution(),
+            engine="compiled",
+        )
+    # auto silently falls back to the scalar oracle.
+    chain = build_chain(ring5_system, CentralRandomizedDistribution())
+    scalar = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+    assert chain.rows == scalar.rows
+
+
+def test_budget_errors_match_scalar(ring6_system):
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring6_system,
+            CentralRandomizedDistribution(),
+            max_states=100,
+        )
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring6_system,
+            CentralRandomizedDistribution(),
+            max_states=100,
+            engine="compiled",
+        )
+    # Restricted-initial budget overflow raises from the interning path.
+    with pytest.raises(MarkovError):
+        build_chain(
+            ring6_system,
+            CentralRandomizedDistribution(),
+            initial=list(ring6_system.all_configurations())[:200],
+            max_states=150,
+            engine="compiled",
+        )
+
+
+def test_shared_kernel_reused(ring5_system):
+    from repro.core.kernel import TransitionKernel
+
+    kernel = TransitionKernel(ring5_system)
+    first = build_chain(
+        ring5_system, CentralRandomizedDistribution(), kernel=kernel
+    )
+    second = build_chain(
+        ring5_system, SynchronousDistribution(), kernel=kernel
+    )
+    assert first.num_states == second.num_states == 32
+
+
+# ----------------------------------------------------------------------
+# CSR-native MarkovChain surface
+# ----------------------------------------------------------------------
+def test_matrix_exports_cached(ring5_system):
+    chain = build_chain(ring5_system, CentralRandomizedDistribution())
+    assert chain.sparse_matrix() is chain.sparse_matrix()
+    assert chain.dense_matrix() is chain.dense_matrix()
+    np.testing.assert_allclose(
+        chain.dense_matrix(), chain.sparse_matrix().toarray()
+    )
+
+
+def test_transition_arrays_consistent_with_rows(two_process_system):
+    chain = build_chain(
+        two_process_system, DistributedRandomizedDistribution()
+    )
+    data, indices, indptr = chain.transition_arrays()
+    assert indptr[0] == 0 and indptr[-1] == len(data) == len(indices)
+    for state_id, row in enumerate(chain.rows):
+        start, stop = indptr[state_id], indptr[state_id + 1]
+        assert indices[start:stop].tolist() == sorted(row)
+        assert data[start:stop].tolist() == [
+            row[t] for t in sorted(row)
+        ]
+
+
+def test_lazy_rows_view_matches_scalar(ring5_system):
+    compiled = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="compiled"
+    )
+    scalar = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+    assert compiled.rows == scalar.rows
+    assert compiled.support_adjacency() == scalar.support_adjacency()
+    for source in range(scalar.num_states):
+        for target in scalar.rows[source]:
+            assert compiled.probability(source, target) == pytest.approx(
+                scalar.probability(source, target), abs=TOLERANCE
+            )
+        assert compiled.probability(source, (source + 1) % 32) == (
+            scalar.probability(source, (source + 1) % 32)
+        )
+
+
+@pytest.mark.parametrize("engine", ["scalar", "compiled"])
+def test_vectorized_mark_matches_predicate(engine, ring5_system):
+    spec = TokenCirculationSpec()
+    chain = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine=engine
+    )
+    scalar_mark = chain.mark(spec.legitimate)
+    # Token ring: a process holds a token iff it is enabled, so
+    # "legitimate" is "exactly one enabled".
+    vector_mark = chain.mark(EnabledCountLegitimacy(1))
+    np.testing.assert_array_equal(scalar_mark, vector_mark)
+    decoding_mark = chain.mark(
+        DecodingLegitimacy(
+            lambda cfg, s=ring5_system: spec.legitimate(s, cfg)
+        )
+    )
+    np.testing.assert_array_equal(scalar_mark, decoding_mark)
+
+
+def test_vectorized_mark_over_table_budget(monkeypatch, ring5_system):
+    """Over-budget tables degrade mark() to a kernel walk, never fail."""
+    import repro.core.encoding as encoding_module
+
+    chain = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+
+    def refuse(*args, **kwargs):
+        from repro.errors import ModelError
+
+        raise ModelError("neighborhood space over budget (forced)")
+
+    monkeypatch.setattr(encoding_module, "compile_tables", refuse)
+    spec = TokenCirculationSpec()
+    np.testing.assert_array_equal(
+        chain.mark(EnabledCountLegitimacy(1)), chain.mark(spec.legitimate)
+    )
+
+
+def test_vectorized_mark_restricted_chain(two_process_system):
+    chain = build_chain(
+        two_process_system,
+        CentralRandomizedDistribution(),
+        initial=[((False,), (False,))],
+        engine="compiled",
+    )
+    spec = BothTrueSpec()
+    np.testing.assert_array_equal(
+        chain.mark(spec.legitimate),
+        chain.mark(
+            DecodingLegitimacy(
+                lambda cfg, s=two_process_system: spec.legitimate(s, cfg)
+            )
+        ),
+    )
+
+
+def test_scalar_engine_bitexact_oracle(ring5_system):
+    """engine="scalar" is the pre-PR4 dict walk — and the compiled path
+    agrees bit-for-bit on the paper's deterministic workloads."""
+    scalar = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="scalar"
+    )
+    compiled = build_chain(
+        ring5_system, CentralRandomizedDistribution(), engine="compiled"
+    )
+    assert scalar.rows == compiled.rows
