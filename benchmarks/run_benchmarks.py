@@ -1,15 +1,25 @@
 """Entry point: run the infrastructure micro-benchmarks, persist results.
 
 Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
-``bench_sharded_explore.py``, and ``bench_chain_build.py`` through
-pytest-benchmark and appends a condensed, machine-readable record to
-``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
-execution engine (state-space exploration — sequential and sharded —
-chain building and hitting solves, simulation throughput, batch
-Monte-Carlo throughput) is tracked across PRs.  Usage::
+``bench_sharded_explore.py``, ``bench_chain_build.py``, and
+``bench_sweep_fusion.py`` through pytest-benchmark and appends a
+condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
+so the performance trajectory of the execution engine (state-space
+exploration — sequential and sharded — chain building and hitting
+solves, simulation throughput, batch Monte-Carlo throughput, fused
+multi-point sweeps) is tracked across PRs.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
     PYTHONPATH=src python benchmarks/run_benchmarks.py --check-regressions
+
+``--check-regressions`` guards *speed*; the correctness counterpart is
+the cross-engine conformance tier, which asserts that every accelerated
+path still matches its scalar oracle::
+
+    PYTHONPATH=src python -m pytest -m conformance -q
+
+Run both before recording a perf-sensitive change: a fast engine that
+drifted from its oracle is a bug the regression check cannot see.
 
 The JSON file holds a list of runs, newest last; each run records the
 per-benchmark min/mean/stddev seconds and round counts.
@@ -49,6 +59,7 @@ SUITE = (
     BENCH_DIR / "bench_batch_engine.py",
     BENCH_DIR / "bench_sharded_explore.py",
     BENCH_DIR / "bench_chain_build.py",
+    BENCH_DIR / "bench_sweep_fusion.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 

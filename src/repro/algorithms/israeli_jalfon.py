@@ -13,6 +13,28 @@ directly as a Markov process on token-position sets (exact, for the
 expected merge times) plus a Monte-Carlo simulator — the same abstraction
 level the original analysis uses.  The paper's own algorithms are all
 implemented in the guarded-command model.
+
+**Guarded-command adaptation.**  For the cross-engine conformance matrix
+(``tests/test_engine_conformance.py``) this module *additionally*
+provides :func:`make_israeli_jalfon_system`, a legal guarded-command
+formulation of the token random walk via the *domain-wall* encoding
+(the same trick Herman's protocol uses, with inequality instead of
+equality): each process holds one bit, a process "owns a token" iff its
+bit differs from its predecessor's, and its single action copies the
+predecessor's bit::
+
+    M :: x_p ≠ x_Pred(p) → x_p ← x_Pred(p)
+
+Copying moves the owned token forward one edge — or annihilates it with
+a token immediately ahead.  The walk's randomness comes entirely from
+the scheduler (which token holder is activated), exactly the
+Israeli–Jalfon regime; because wall tokens are created and destroyed in
+pairs their count is always even, so the merge target is *zero* tokens
+(the uniform, terminal configurations) rather than one.  Under any
+probabilistic scheduler the system converges to it with probability 1;
+under the synchronous daemon every token shifts forward in lockstep and
+a non-terminal configuration livelocks forever — a useful deterministic
+fixture for the conformance tier.
 """
 
 from __future__ import annotations
@@ -22,8 +44,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.stats import SummaryStats, summarize
-from repro.errors import ModelError
+from repro.core.actions import Action, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.configuration import Configuration
+from repro.core.system import System
+from repro.core.topology import OrientedRing, Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError, TopologyError
+from repro.graphs.generators import ring as make_ring
 from repro.random_source import RandomSource
+from repro.stabilization.specification import Specification
 
 __all__ = [
     "TokenWalkState",
@@ -31,6 +62,10 @@ __all__ = [
     "ij_expected_merge_time",
     "ij_simulate_merge_time",
     "IJSimulationResult",
+    "IJTokenAlgorithm",
+    "IJMergedSpec",
+    "make_israeli_jalfon_system",
+    "ij_wall_token_holders",
 ]
 
 TokenWalkState = frozenset[int]
@@ -152,3 +187,76 @@ def ij_simulate_merge_time(
             raise ModelError("Israeli-Jalfon run exceeded the step budget")
         samples.append(float(steps))
     return IJSimulationResult(trials=trials, stats=summarize(samples))
+
+
+# ----------------------------------------------------------------------
+# guarded-command adaptation (domain-wall encoding)
+# ----------------------------------------------------------------------
+def _wall_guard(view: View) -> bool:
+    return view.get("x") != view.nbr(view.const("pred"), "x")
+
+
+def _wall_statement(view: View) -> None:
+    view.set("x", view.nbr(view.const("pred"), "x"))
+
+
+class IJTokenAlgorithm(Algorithm):
+    """Israeli–Jalfon-style token annihilation, domain-wall encoded.
+
+    Deterministic single action (move/merge the owned token forward);
+    all randomness comes from the scheduler, as in the original
+    token-management scheme.  See the module docstring for the encoding
+    and its even-token-parity consequence.
+    """
+
+    name = "israeli-jalfon-wall-tokens"
+
+    def __init__(self, ring_size: int) -> None:
+        _check_ring(ring_size)
+        self._n = ring_size
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        return VariableLayout((VarSpec("x", (0, 1)),))
+
+    def constants(self, topology: Topology, process: int):
+        if not isinstance(topology, OrientedRing):
+            raise TopologyError(
+                "the Israeli-Jalfon adaptation needs an oriented ring"
+            )
+        return {"pred": topology.pred_local_index(process)}
+
+    def actions(self) -> tuple[Action, ...]:
+        return (deterministic_action("M", _wall_guard, _wall_statement),)
+
+
+def ij_wall_token_holders(
+    system: System, configuration: Configuration
+) -> list[int]:
+    """Processes whose bit differs from their predecessor's bit."""
+    holders = []
+    for p in system.processes:
+        view = system.view(configuration, p, writable=False)
+        if _wall_guard(view):
+            holders.append(p)
+    return holders
+
+
+class IJMergedSpec(Specification):
+    """All wall tokens merged away (the two uniform configurations).
+
+    Token count is always even under the domain-wall encoding, so the
+    merge target is zero tokens — equivalently, the configuration is
+    terminal (``EnabledCountLegitimacy(0)`` on the batch tiers).
+    """
+
+    name = "israeli-jalfon-merged"
+
+    def legitimate(self, system: System, configuration: Configuration) -> bool:
+        return not ij_wall_token_holders(system, configuration)
+
+
+def make_israeli_jalfon_system(ring_size: int) -> System:
+    """The domain-wall Israeli–Jalfon adaptation on an oriented ring."""
+    return System(
+        IJTokenAlgorithm(ring_size), OrientedRing(make_ring(ring_size))
+    )

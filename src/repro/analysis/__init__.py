@@ -2,7 +2,7 @@
 
 from repro.analysis.rounds import count_rounds, round_boundaries
 from repro.analysis.stats import SummaryStats, quantile, summarize
-from repro.analysis.sweep import SweepPoint, sweep
+from repro.analysis.sweep import SweepPoint, sweep, sweep_fused
 from repro.analysis.tables import format_kv, format_table
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "quantile",
     "SweepPoint",
     "sweep",
+    "sweep_fused",
     "format_table",
     "format_kv",
     "count_rounds",

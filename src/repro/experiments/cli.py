@@ -16,6 +16,12 @@ Subcommands::
 selected experiments is then partitioned across that many worker
 processes (see :mod:`repro.stabilization.sharding`).  Results are
 identical for any shard count; only wall-clock changes.
+
+They also accept ``--fused`` / ``--no-fused``: whether multi-point
+Monte-Carlo sweeps fuse into one code matrix per system group (see
+:mod:`repro.markov.sweep_engine`; fusion is the default).
+``--no-fused`` restores the per-point engines — useful when comparing
+against the seeded per-point oracle.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.experiments.registry import (
     run_all,
     run_preset,
 )
+from repro.markov.sweep_engine import set_default_fusion
 from repro.stabilization.sharding import set_default_shards
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +74,26 @@ def _add_shards_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fused_flag(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--fused",
+        dest="fused",
+        action="store_true",
+        default=None,
+        help="fuse multi-point Monte-Carlo sweeps into one code matrix"
+        " per system group (the default)",
+    )
+    group.add_argument(
+        "--no-fused",
+        dest="fused",
+        action="store_false",
+        help="run auto-engine Monte-Carlo sweep points through their own"
+        " per-point engines (the pre-fusion behavior); presets that"
+        " explicitly demand engine='fused' are unaffected",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -81,12 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run selected experiments")
     run_parser.add_argument("ids", nargs="+", metavar="ID")
     _add_shards_flag(run_parser)
+    _add_fused_flag(run_parser)
 
     run_all_parser = sub.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument(
         "--fast", action="store_true", help="shrink heavy parameters"
     )
     _add_shards_flag(run_all_parser)
+    _add_fused_flag(run_all_parser)
 
     report_parser = sub.add_parser(
         "report", help="run everything, write markdown"
@@ -96,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="EXPERIMENTS.generated.md"
     )
     _add_shards_flag(report_parser)
+    _add_fused_flag(report_parser)
     return parser
 
 
@@ -120,6 +150,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"(explorations sharded across {resolved} workers)")
         else:
             print("(explorations running sequentially: 1 shard resolved)")
+    if getattr(args, "fused", None) is not None:
+        set_default_fusion(args.fused)
+        if args.fused:
+            print("(multi-point Monte-Carlo sweeps fused)")
+        else:
+            print("(multi-point Monte-Carlo sweeps running per point)")
     if args.command == "list":
         for experiment_id in all_ids():
             experiment = get_experiment(experiment_id)

@@ -26,7 +26,7 @@ from repro.markov.batch import EnabledCountLegitimacy
 from repro.markov.builder import build_chain
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import MonteCarloRunner
+from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
 from repro.random_source import RandomSource
 from repro.schedulers.distributions import CentralRandomizedDistribution
 from repro.schedulers.samplers import SynchronousSampler
@@ -54,8 +54,10 @@ def run_q1(
 
     ``monte_carlo_sizes`` up to N = 50 are affordable through the
     vectorized batch engine (see the ``Q1-large`` preset); ``engine``
-    forwards to :meth:`MonteCarloRunner.estimate` and ``chain_engine``
-    to the exact tier's :func:`build_chain` calls.
+    forwards to :class:`~repro.markov.sweep_engine.SweepRunner`
+    (``"fused"``/``"auto"`` fuse the Monte-Carlo points into one sweep
+    matrix, ``"scalar"`` is the seeded per-point oracle) and
+    ``chain_engine`` to the exact tier's :func:`build_chain` calls.
     """
     spec = TokenCirculationSpec()
     rows = []
@@ -100,21 +102,32 @@ def run_q1(
         )
 
     rng = RandomSource(seed)
+    # All Monte-Carlo points run through one SweepRunner: same-system
+    # points fuse into one code matrix, and kernels/compiled tables are
+    # cached per ring size across the whole sweep.
+    mc_points = []
     for n in monte_carlo_sizes:
         system = make_token_ring_system(n)
         transformed = make_transformed_system(system)
         tspec = TransformedSpec(spec, system)
-        # One kernel serves every trial of this sweep point: guards and
-        # outcome statements run once per local neighborhood, not per step.
-        runner = MonteCarloRunner(transformed, engine=engine)
-        result = runner.estimate(
-            SynchronousSampler(),
-            lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
-            trials=trials,
-            max_steps=max_steps,
-            rng=rng.spawn(n),
-            batch_legitimate=TOKEN_LEGITIMACY,
+        mc_points.append(
+            SweepPointSpec(
+                system=transformed,
+                sampler=SynchronousSampler(),
+                legitimate=lambda cfg, s=transformed, t=tspec: t.legitimate(
+                    s, cfg
+                ),
+                trials=trials,
+                max_steps=max_steps,
+                seed=rng.spawn(n).seed,
+                batch_legitimate=TOKEN_LEGITIMACY,
+                label=f"trans-ring-{n}",
+            )
         )
+    mc_results = (
+        SweepRunner(engine=engine).run(mc_points) if mc_points else []
+    )
+    for n, result in zip(monte_carlo_sizes, mc_results):
         all_converge = all_converge and result.censored == 0
         if result.stats is not None:
             mean_by_n[n] = result.stats.mean

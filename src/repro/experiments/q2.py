@@ -17,7 +17,7 @@ from repro.graphs.properties import diameter
 from repro.markov.batch import EnabledCountLegitimacy
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import MonteCarloRunner
+from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
 from repro.random_source import RandomSource
 from repro.schedulers.samplers import SynchronousSampler
 from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
@@ -40,7 +40,10 @@ def run_q2(
     """Exact sweeps on named small trees; Monte-Carlo on random trees.
 
     ``monte_carlo_sizes`` up to N = 50 are affordable through the
-    vectorized batch engine (see the ``Q2-large`` preset)."""
+    vectorized batch engine (see the ``Q2-large`` preset); ``engine``
+    forwards to :class:`~repro.markov.sweep_engine.SweepRunner`
+    (``"fused"``/``"auto"`` fuse the Monte-Carlo points, ``"scalar"``
+    is the seeded per-point oracle)."""
     spec = TreeLeaderSpec()
     rows = []
     all_converge = True
@@ -73,28 +76,42 @@ def run_q2(
         )
 
     rng = RandomSource(seed)
+    # One SweepRunner fuses all Monte-Carlo tree points (block-scheduled
+    # per size) over cached kernels/compiled tables.
+    mc_points = []
+    diameters = []
     for n in monte_carlo_sizes:
         graph = random_tree(n, rng.spawn(n))
         system = make_leader_tree_system(graph)
         transformed = make_transformed_system(system)
         tspec = TransformedSpec(spec, system)
-        # One kernel serves every trial of this sweep point: guards and
-        # outcome statements run once per local neighborhood, not per step.
-        runner = MonteCarloRunner(transformed, engine=engine)
-        result = runner.estimate(
-            SynchronousSampler(),
-            lambda cfg, s=transformed, t=tspec: t.legitimate(s, cfg),
-            trials=trials,
-            max_steps=max_steps,
-            rng=rng.spawn(1000 + n),
-            batch_legitimate=LC_LEGITIMACY,
+        diameters.append(diameter(graph))
+        mc_points.append(
+            SweepPointSpec(
+                system=transformed,
+                sampler=SynchronousSampler(),
+                legitimate=lambda cfg, s=transformed, t=tspec: t.legitimate(
+                    s, cfg
+                ),
+                trials=trials,
+                max_steps=max_steps,
+                seed=rng.spawn(1000 + n).seed,
+                batch_legitimate=LC_LEGITIMACY,
+                label=f"trans-tree-{n}",
+            )
         )
+    mc_results = (
+        SweepRunner(engine=engine).run(mc_points) if mc_points else []
+    )
+    for n, tree_diameter, result in zip(
+        monte_carlo_sizes, diameters, mc_results
+    ):
         all_converge = all_converge and result.censored == 0
         rows.append(
             {
                 "tree": f"random tree (seed-derived)",
                 "n": n,
-                "diameter": diameter(graph),
+                "diameter": tree_diameter,
                 "method": f"monte-carlo ({trials} trials)",
                 "worst E[rounds]": (
                     result.stats.maximum if result.stats else "-"

@@ -36,7 +36,7 @@ from repro.markov.batch import EnabledCountLegitimacy
 from repro.markov.builder import build_chain
 from repro.markov.hitting import hitting_summary
 from repro.markov.lumping import lumped_synchronous_transformed_chain
-from repro.markov.montecarlo import MonteCarloRunner
+from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
 from repro.random_source import RandomSource
 from repro.schedulers.distributions import SynchronousDistribution
 from repro.schedulers.relations import CentralRelation
@@ -66,8 +66,11 @@ def run_q3(
     measured by Monte-Carlo; ``dijkstra_monte_carlo_sizes`` (the
     ``Q3-large`` preset uses N = 20–40) skip the exhaustive
     classification, which is exponential in N, and only measure.
-    ``engine`` forwards to :meth:`MonteCarloRunner.estimate`,
-    ``chain_engine`` to the exact chain builds."""
+    ``engine`` forwards to
+    :class:`~repro.markov.sweep_engine.SweepRunner` (``"fused"``/
+    ``"auto"`` fuse the Dijkstra Monte-Carlo points, ``"scalar"`` is
+    the seeded per-point oracle), ``chain_engine`` to the exact chain
+    builds."""
     rows = []
     rng = RandomSource(seed)
 
@@ -138,24 +141,37 @@ def run_q3(
             }
         )
 
-    # Dijkstra K-state: deterministic, needs identifiers.
+    # Dijkstra K-state: deterministic, needs identifiers.  All sizes'
+    # Monte-Carlo measurements run as one fused sweep; the exhaustive
+    # classifications stay per-size (exponential, exact tier).
     dijkstra_ok = True
-    for n in (*dijkstra_exhaustive_sizes, *dijkstra_monte_carlo_sizes):
-        exhaustive = n in dijkstra_exhaustive_sizes
+    dijkstra_sizes = (*dijkstra_exhaustive_sizes, *dijkstra_monte_carlo_sizes)
+    mc_points = []
+    for n in dijkstra_sizes:
         system = make_dijkstra_system(n)
+        mc_points.append(
+            SweepPointSpec(
+                system=system,
+                sampler=CentralRandomizedSampler(),
+                legitimate=lambda cfg, s=system: SinglePrivilegeSpec(
+                ).legitimate(s, cfg),
+                trials=trials,
+                max_steps=100_000,
+                seed=rng.spawn(n).seed,
+                batch_legitimate=PRIVILEGE_LEGITIMACY,
+                label=f"dijkstra-ring-{n}",
+            )
+        )
+    mc_results = (
+        SweepRunner(engine=engine).run(mc_points) if mc_points else []
+    )
+    for n, point, result in zip(dijkstra_sizes, mc_points, mc_results):
+        exhaustive = n in dijkstra_exhaustive_sizes
         if exhaustive:
             verdict = classify(
-                system, SinglePrivilegeSpec(), CentralRelation()
+                point.system, SinglePrivilegeSpec(), CentralRelation()
             )
             dijkstra_ok = dijkstra_ok and verdict.is_self_stabilizing
-        result = MonteCarloRunner(system, engine=engine).estimate(
-            CentralRandomizedSampler(),
-            lambda cfg, s=system: SinglePrivilegeSpec().legitimate(s, cfg),
-            trials=trials,
-            max_steps=100_000,
-            rng=rng.spawn(n),
-            batch_legitimate=PRIVILEGE_LEGITIMACY,
-        )
         rows.append(
             {
                 "protocol": "Dijkstra K-state [10] (non-anonymous)",

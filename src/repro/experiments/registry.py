@@ -167,22 +167,38 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 
 #: Larger-N parameterizations of the quantitative sweeps — affordable
-#: only through the vectorized batch engine (see
-#: :mod:`repro.markov.batch`): each preset is ``(experiment id,
-#: overrides)`` merged over the experiment's defaults by
-#: :func:`run_preset`.
+#: only through the vectorized batch tier, and since PR 5 running their
+#: Monte-Carlo points through the fused multi-point sweep engine
+#: (``engine="fused"``, see :mod:`repro.markov.sweep_engine`): each
+#: preset is ``(experiment id, overrides)`` merged over the
+#: experiment's defaults by :func:`run_preset`.
 PRESETS: dict[str, tuple[str, dict]] = {
     "Q1-large": (
         "Q1",
-        {"monte_carlo_sizes": (20, 30, 40, 50), "trials": 1000},
+        {
+            "monte_carlo_sizes": (20, 30, 40, 50),
+            "trials": 1000,
+            "engine": "fused",
+        },
     ),
     "Q2-large": (
         "Q2",
-        {"monte_carlo_sizes": (20, 30, 40, 50), "trials": 1000},
+        {
+            "monte_carlo_sizes": (20, 30, 40, 50),
+            "trials": 1000,
+            "engine": "fused",
+        },
     ),
+    # "auto", not "fused": the N = 40 Dijkstra point's neighborhood
+    # space exceeds the table budget, so it falls back to the scalar
+    # oracle while N = 20/30 fuse — a demand would raise instead.
     "Q3-large": (
         "Q3",
-        {"dijkstra_monte_carlo_sizes": (20, 30, 40), "trials": 1000},
+        {
+            "dijkstra_monte_carlo_sizes": (20, 30, 40),
+            "trials": 1000,
+            "engine": "auto",
+        },
     ),
 }
 

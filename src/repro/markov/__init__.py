@@ -26,6 +26,14 @@ from repro.markov.montecarlo import (
     random_configuration,
     random_configurations,
 )
+from repro.markov.sweep_engine import (
+    SWEEP_ENGINES,
+    PointExecution,
+    SweepPointSpec,
+    SweepRunner,
+    default_fusion,
+    set_default_fusion,
+)
 
 __all__ = [
     "build_chain",
@@ -49,4 +57,10 @@ __all__ = [
     "DecodingLegitimacy",
     "batch_strategy_for",
     "register_batch_sampler",
+    "SWEEP_ENGINES",
+    "SweepPointSpec",
+    "SweepRunner",
+    "PointExecution",
+    "set_default_fusion",
+    "default_fusion",
 ]

@@ -96,6 +96,10 @@ class MonteCarloResult:
     non-zero censored count therefore flags an unreliable estimate.
     ``round_stats`` (when round counting was requested) summarizes the
     *rounds* to stabilization, the scheduler-independent time measure.
+    ``samples`` holds the converged trials' raw stabilization times in
+    trial order — the cross-engine conformance tier
+    (``tests/test_engine_conformance.py``) feeds them to its KS tests;
+    ``row()`` deliberately leaves them out of tables.
     """
 
     trials: int
@@ -103,6 +107,7 @@ class MonteCarloResult:
     censored: int
     stats: SummaryStats | None
     round_stats: SummaryStats | None = None
+    samples: tuple[float, ...] | None = None
 
     @property
     def convergence_rate(self) -> float:
@@ -129,13 +134,16 @@ class MonteCarloResult:
 
 
 class MonteCarloRunner:
-    """Batched multi-replica Monte-Carlo driver for one sweep point.
+    """Batched multi-replica Monte-Carlo driver for one system.
 
     The front door for stabilization-time sampling: construct one runner
-    per ``(system,)`` sweep point, then call :meth:`estimate` (or
-    :meth:`batch` for several sampler/trial variants) — engine choice,
-    kernel sharing, and legitimacy compilation are handled here so
-    experiment runners never touch the execution tiers directly.
+    per system, then call :meth:`estimate` for a single sweep point, or
+    :meth:`batch` for several sweep points on this system (sampler,
+    trial, and budget variants) — engine choice, kernel sharing, and
+    legitimacy compilation are handled here so experiment runners never
+    touch the execution tiers directly.  Multi-*system* sweeps belong to
+    :class:`repro.markov.sweep_engine.SweepRunner`, which :meth:`batch`
+    delegates to.
 
     All trials — and all repeated :meth:`estimate` calls on the same
     system — share one :class:`~repro.core.kernel.TransitionKernel` (and,
@@ -163,6 +171,7 @@ class MonteCarloRunner:
         system: System,
         kernel: TransitionKernel | None = None,
         engine: str = "auto",
+        batch_engine: BatchEngine | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise MarkovError(
@@ -171,7 +180,9 @@ class MonteCarloRunner:
         self.system = system
         self.kernel = kernel if kernel is not None else TransitionKernel(system)
         self.engine = engine
-        self._batch_engine: BatchEngine | None = None
+        # ``batch_engine`` lets a multi-system driver (SweepRunner)
+        # share one compiled engine instead of recompiling here.
+        self._batch_engine: BatchEngine | None = batch_engine
         self._batch_compile_error: ModelError | None = None
 
     def batch_engine(self) -> BatchEngine:
@@ -324,6 +335,7 @@ class MonteCarloRunner:
             censored=trials - len(times),
             stats=summarize(times) if times else None,
             round_stats=None,
+            samples=tuple(times),
         )
 
     def _estimate_scalar(
@@ -381,12 +393,102 @@ class MonteCarloRunner:
             censored=censored,
             stats=stats,
             round_stats=round_stats,
+            samples=tuple(times),
         )
 
     def batch(self, cases: Sequence[dict]) -> list[MonteCarloResult]:
-        """Run several estimates (kwargs of :meth:`estimate`) on the shared
-        kernel — e.g. all sampler/trial variants of one sweep point."""
-        return [self.estimate(**case) for case in cases]
+        """Run several sweep points (kwargs of :meth:`estimate`) on the
+        shared kernel, fused into one code matrix where possible.
+
+        Each case is one sweep point on this runner's system; fusable
+        cases are routed through
+        :class:`repro.markov.sweep_engine.SweepRunner`, which stacks
+        them into a single ``(Σ trials × processes)`` matrix over the
+        shared compiled tables (per-row budgets, per-point legitimacy
+        dispatch) instead of running one lockstep batch per case.
+
+        Each fusable case's sweep seed is *drawn from its rng stream*
+        (one ``randrange`` draw), so the rng object advances like the
+        sequential path's would: repeated ``batch`` calls on the same
+        rng objects produce fresh independent replications, and an rng
+        partially consumed by earlier calls is never rewound to its
+        seed.
+
+        **Oracle escape hatch.**  A case falls back to a plain
+        sequential :meth:`estimate` call — consuming its ``rng`` stream
+        exactly as pre-fusion code did — when it cannot be expressed as
+        a pure sweep point: round measurement, an explicit per-case
+        ``engine`` override, one ``rng`` *object* shared between cases
+        (the sequential path keeps those cases' streams consecutive),
+        or a runner-wide ``engine="scalar"``.  Results always align
+        with input order.
+        """
+        if self.engine == "scalar":
+            return [self.estimate(**case) for case in cases]
+
+        from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
+
+        rng_owners: dict[int, int] = {}
+        for case in cases:
+            rng = case.get("rng")
+            if isinstance(rng, RandomSource):
+                rng_owners[id(rng)] = rng_owners.get(id(rng), 0) + 1
+
+        specs: list[tuple[int, SweepPointSpec]] = []
+        results: dict[int, MonteCarloResult] = {}
+        for index, case in enumerate(cases):
+            fusable = (
+                not case.get("measure_rounds")
+                and case.get("engine") is None
+                and isinstance(case.get("rng"), RandomSource)
+                and rng_owners[id(case["rng"])] == 1
+            )
+            if not fusable:
+                results[index] = self.estimate(**case)
+                continue
+            initials = case.get("initial_configurations")
+            specs.append(
+                (
+                    index,
+                    SweepPointSpec(
+                        system=self.system,
+                        sampler=case["sampler"],
+                        legitimate=case["legitimate"],
+                        trials=case["trials"],
+                        max_steps=case["max_steps"],
+                        seed=case["rng"].randrange(2**62),
+                        batch_legitimate=case.get("batch_legitimate"),
+                        initial_configurations=(
+                            tuple(initials) if initials is not None else None
+                        ),
+                        # Positional labels keep value-equal cases (a
+                        # legal pre-fusion input) distinct under the
+                        # sweep runner's duplicate-point check.
+                        label=f"batch-case-{index}",
+                    ),
+                )
+            )
+        if specs:
+            runner = SweepRunner(
+                engine="fused" if self.engine == "batch" else "auto"
+            )
+            # Share this runner's kernel and compiled engine — or its
+            # cached compilation *failure*, so an over-budget system is
+            # not re-enumerated on every batch() call.
+            runner.adopt_system(
+                self.system,
+                kernel=self.kernel,
+                batch_engine=(
+                    self._batch_engine
+                    if self._batch_engine is not None
+                    else self._batch_compile_error
+                ),
+            )
+            for (index, _), result in zip(
+                specs, runner.run([spec for _, spec in specs])
+            ):
+                results[index] = result
+        return [results[index] for index in range(len(cases))]
 
 
 def estimate_stabilization_time(

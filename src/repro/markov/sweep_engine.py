@@ -1,0 +1,587 @@
+"""Fused multi-point sweep engine — one code matrix for many sweep points.
+
+The quantitative experiments (Q1–Q3) answer the paper's questions with
+*sweeps*: stabilization-time curves over ring size, coin bias, scheduler
+family, or seed replications.  Before this module each sweep point
+compiled and ran its own batch in isolation — one
+:class:`~repro.markov.montecarlo.MonteCarloRunner`, one
+:class:`~repro.markov.batch.BatchEngine`, one ``(trials × processes)``
+code matrix per point.  :class:`SweepRunner` fuses them:
+
+* points are **grouped** by ``(algorithm, topology)`` family and, inside
+  a group, by the concrete :class:`~repro.core.system.System` object —
+  the unit that owns a :class:`~repro.core.kernel.TransitionKernel` and
+  one set of :class:`~repro.core.encoding.CompiledKernelTables`;
+* **same-system points fuse** into one ``(Σ trials × processes)`` code
+  matrix carrying a per-row *point id* and a per-row *step budget*;
+  legitimacy and scheduler draws dispatch per point (points sharing a
+  predicate or sampler signature share one vectorized call), so each
+  lockstep iteration pays the interpreter overhead once for the whole
+  sweep instead of once per point;
+* **points of different N** within a group run as block-scheduled
+  sub-batches — one fused matrix per system, executed back to back over
+  cached kernels/tables (table compilation is memoized per system for
+  the runner's lifetime, never repeated per point);
+* a point that cannot take the fused path (no vectorized sampler
+  strategy, neighborhood tables over the compilation budget) falls back
+  to the **per-point scalar oracle** under ``engine="auto"`` — and
+  ``engine="scalar"`` forces that oracle for every point, which is the
+  seeded distributional reference the conformance tier
+  (``tests/test_engine_conformance.py``) checks the fused engine
+  against.
+
+Each sweep point carries its own integer ``seed``: initial
+configurations are drawn from ``RandomSource(seed)`` exactly as the
+per-point engines draw them, so scalar-oracle runs of the same specs
+reproduce the pre-fusion streams bit-for-bit, while the fused lockstep
+draws come from one NumPy generator folded over the group's seeds
+(distribution-identical, stream-different — the same contract as the
+PR 2 batch engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.core.configuration import Configuration
+from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
+from repro.core.simulate import SchedulerSampler
+from repro.core.system import System
+from repro.errors import MarkovError, ModelError
+from repro.markov.batch import (
+    BatchEngine,
+    BatchLegitimacy,
+    EnabledCountLegitimacy,
+    batch_strategy_for,
+    compile_legitimacy,
+    encode_initials,
+)
+from repro.markov.montecarlo import (
+    MonteCarloResult,
+    MonteCarloRunner,
+    random_configurations,
+)
+from repro.random_source import RandomSource
+from repro.schedulers.samplers import (
+    BernoulliSampler,
+    CentralRandomizedSampler,
+    DistributedRandomizedSampler,
+    SynchronousSampler,
+)
+
+__all__ = [
+    "SWEEP_ENGINES",
+    "SweepPointSpec",
+    "PointExecution",
+    "SweepRunner",
+    "set_default_fusion",
+    "default_fusion",
+]
+
+#: Accepted ``engine`` values: ``"fused"`` demands the fused matrix for
+#: every point, ``"batch"``/``"scalar"`` run every point through the
+#: corresponding per-point engine, ``"auto"`` fuses what it can.
+SWEEP_ENGINES = ("auto", "fused", "batch", "scalar")
+
+#: Process-wide default for ``engine="auto"`` — the experiments CLI
+#: flips it via ``--fused/--no-fused``.
+_DEFAULT_FUSION = True
+
+
+def set_default_fusion(enabled: bool) -> None:
+    """Set whether ``engine="auto"`` sweeps fuse by default.
+
+    ``False`` makes ``"auto"`` behave like the pre-fusion per-point
+    path (one :class:`MonteCarloRunner` ``engine="auto"`` estimate per
+    point); the experiments CLI exposes this as ``--no-fused``.
+    """
+    global _DEFAULT_FUSION
+    _DEFAULT_FUSION = bool(enabled)
+
+
+def default_fusion() -> bool:
+    """Whether ``engine="auto"`` sweeps fuse by default."""
+    return _DEFAULT_FUSION
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One sweep point: a complete, self-seeded estimate request.
+
+    The fusable subset of :meth:`MonteCarloRunner.estimate`'s signature
+    (round measurement keeps the scalar engine and therefore the
+    per-point path).  ``seed`` replaces the live
+    :class:`~repro.random_source.RandomSource` argument so a spec is a
+    pure value: the scalar oracle for this point is
+    ``estimate(..., rng=RandomSource(seed), engine="scalar")``.
+    """
+
+    system: System
+    sampler: SchedulerSampler
+    legitimate: Callable[[Configuration], bool]
+    trials: int
+    max_steps: int
+    seed: int
+    batch_legitimate: BatchLegitimacy | None = None
+    initial_configurations: tuple[Configuration, ...] | None = None
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class PointExecution:
+    """How one point actually ran — recorded in ``SweepRunner.last_plan``."""
+
+    index: int
+    label: str | None
+    group: tuple[str, str]
+    engine: str
+    fused_rows: int = 0
+
+
+def _strategy_signature(sampler: SchedulerSampler) -> tuple:
+    """Dispatch key: points with equal signatures share one vectorized
+    ``choose`` call per fused step.  *Exact* built-in sampler types key
+    on their parameters; everything else — including subclasses, which
+    may carry their own registered strategies — is conservatively keyed
+    per instance, mirroring :func:`batch_strategy_for`'s exact-type
+    lookup so a group never applies one member's strategy to another
+    member's differently-behaving sampler."""
+    sampler_type = type(sampler)
+    if sampler_type is SynchronousSampler:
+        return ("synchronous",)
+    if sampler_type is CentralRandomizedSampler:
+        return ("central",)
+    if sampler_type is DistributedRandomizedSampler:
+        return ("coin", 0.5)
+    if sampler_type is BernoulliSampler:
+        return ("coin", sampler._p)
+    return ("custom", sampler_type, id(sampler))
+
+
+def _legitimacy_signature(spec: SweepPointSpec) -> tuple:
+    """Dispatch key for legitimacy: equal keys share one evaluation."""
+    batch = spec.batch_legitimate
+    if isinstance(batch, EnabledCountLegitimacy):
+        return ("enabled-count", batch.count)
+    if batch is not None:
+        return ("batch", id(batch))
+    return ("predicate", id(spec.legitimate))
+
+
+def _fold_seeds(seeds: Sequence[int]) -> int:
+    """Deterministic fold of the member seeds into one generator seed
+    (same multiplier as :meth:`RandomSource.spawn`)."""
+    fold = 0
+    for seed in seeds:
+        fold = (fold * 1_000_003 + int(seed) + 1) & 0x7FFFFFFF
+    return fold
+
+
+class SweepRunner:
+    """Fused multi-point Monte-Carlo driver (the PR 5 scale tier).
+
+    Construct once per sweep, call :meth:`run` with the full point list;
+    grouping, fusion, table caching, and per-point fallback are handled
+    here so experiment runners never touch the execution tiers directly.
+    Kernels and compiled tables are cached per system for the runner's
+    lifetime, so repeated :meth:`run` calls (or mixed fused/fallback
+    plans) never recompile.
+
+    ``engine`` sets the execution policy:
+
+    * ``"auto"`` (default) — fuse every point whose sampler has a
+      vectorized strategy and whose tables fit the budget; per-point
+      scalar otherwise.  When fusion is globally disabled
+      (:func:`set_default_fusion`, the CLI's ``--no-fused``), behaves
+      as per-point ``MonteCarloRunner(engine="auto")`` instead;
+    * ``"fused"`` — demand the fused matrix for every point, raising
+      :class:`MarkovError` when any point cannot take it;
+    * ``"batch"`` — per-point lockstep engine (no fusion) — the
+      baseline the fusion benchmark compares against;
+    * ``"scalar"`` — per-point scalar oracle, consuming
+      ``RandomSource(seed)`` exactly as pre-fusion callers did.
+
+    After :meth:`run`, ``last_plan`` records one :class:`PointExecution`
+    per input point (input order) — which group it joined, which engine
+    executed it, and how many rows its fused matrix carried.
+    """
+
+    def __init__(
+        self,
+        engine: str = "auto",
+        table_budget: int = DEFAULT_TABLE_BUDGET,
+    ) -> None:
+        if engine not in SWEEP_ENGINES:
+            raise MarkovError(
+                f"unknown engine {engine!r}; known: {SWEEP_ENGINES}"
+            )
+        self.engine = engine
+        self.table_budget = table_budget
+        self.last_plan: list[PointExecution] = []
+        # Per-system caches, keyed by object identity; the cached kernel
+        # and engine keep the system alive, so ids cannot be recycled.
+        self._kernels: dict[int, TransitionKernel] = {}
+        self._engines: dict[int, BatchEngine | ModelError] = {}
+        self._runners: dict[int, MonteCarloRunner] = {}
+
+    # ------------------------------------------------------------------
+    # shared per-system state
+    # ------------------------------------------------------------------
+    def adopt_system(
+        self,
+        system: System,
+        kernel: TransitionKernel | None = None,
+        batch_engine: BatchEngine | ModelError | None = None,
+    ) -> None:
+        """Seed this runner's per-system caches with externally owned
+        state — a shared kernel and a compiled batch engine (or the
+        cached :class:`ModelError` of a failed compilation), so
+        :class:`~repro.markov.montecarlo.MonteCarloRunner` and repeated
+        sweeps never recompile what the caller already owns."""
+        if kernel is not None:
+            self._kernels[id(system)] = kernel
+        if batch_engine is not None:
+            self._engines[id(system)] = batch_engine
+
+    def _kernel_for(self, system: System) -> TransitionKernel:
+        kernel = self._kernels.get(id(system))
+        if kernel is None:
+            kernel = TransitionKernel(system)
+            self._kernels[id(system)] = kernel
+        return kernel
+
+    def _batch_engine_for(self, system: System) -> BatchEngine | ModelError:
+        """The compiled batch engine, or the cached compilation failure."""
+        cached = self._engines.get(id(system))
+        if cached is None:
+            try:
+                cached = BatchEngine(
+                    self._kernel_for(system), self.table_budget
+                )
+            except ModelError as error:
+                cached = error
+            self._engines[id(system)] = cached
+        return cached
+
+    def _runner_for(self, system: System) -> MonteCarloRunner:
+        runner = self._runners.get(id(system))
+        if runner is None:
+            engine = self._engines.get(id(system))
+            runner = MonteCarloRunner(
+                system,
+                kernel=self._kernel_for(system),
+                batch_engine=engine if isinstance(engine, BatchEngine) else None,
+            )
+            self._runners[id(system)] = runner
+        return runner
+
+    # ------------------------------------------------------------------
+    # the front door
+    # ------------------------------------------------------------------
+    def run(
+        self, points: Sequence[SweepPointSpec]
+    ) -> list[MonteCarloResult]:
+        """Execute every sweep point; results align with input order."""
+        self._validate(points)
+        plan: dict[int, PointExecution] = {}
+        results: dict[int, MonteCarloResult] = {}
+
+        # Group by (algorithm, topology) family, preserving first-seen
+        # order; fusion blocks inside a group are keyed by the concrete
+        # system object (the owner of one kernel/table set).
+        groups: dict[tuple[str, str], dict[int, list[int]]] = {}
+        systems: dict[int, System] = {}
+        for index, spec in enumerate(points):
+            key = (
+                type(spec.system.algorithm).__name__,
+                type(spec.system.topology).__name__,
+            )
+            blocks = groups.setdefault(key, {})
+            blocks.setdefault(id(spec.system), []).append(index)
+            systems[id(spec.system)] = spec.system
+
+        for group_key, blocks in groups.items():
+            for system_id, indices in blocks.items():
+                system = systems[system_id]
+                fused: list[tuple[int, SweepPointSpec]] = []
+                for index in indices:
+                    spec = points[index]
+                    engine = self._resolve_engine(spec)
+                    if engine == "fused":
+                        fused.append((index, spec))
+                    else:
+                        results[index] = self._run_point(spec, engine)
+                    plan[index] = PointExecution(
+                        index=index,
+                        label=spec.label,
+                        group=group_key,
+                        engine=engine,
+                        fused_rows=0,
+                    )
+                if fused:
+                    engine_obj = self._batch_engine_for(system)
+                    assert isinstance(engine_obj, BatchEngine)
+                    block_results = self._run_fused(engine_obj, fused)
+                    rows = sum(spec.trials for _, spec in fused)
+                    for index, _ in fused:
+                        results[index] = block_results[index]
+                        plan[index] = PointExecution(
+                            index=index,
+                            label=points[index].label,
+                            group=group_key,
+                            engine="fused",
+                            fused_rows=rows,
+                        )
+
+        self.last_plan = [plan[index] for index in range(len(points))]
+        return [results[index] for index in range(len(points))]
+
+    # ------------------------------------------------------------------
+    # validation and engine resolution
+    # ------------------------------------------------------------------
+    def _validate(self, points: Sequence[SweepPointSpec]) -> None:
+        if not points:
+            raise MarkovError("need at least one sweep point")
+        seen: list[SweepPointSpec] = []
+        for position, spec in enumerate(points):
+            if not isinstance(spec, SweepPointSpec):
+                raise MarkovError(
+                    f"sweep point {position} is {type(spec).__name__},"
+                    " expected SweepPointSpec"
+                )
+            if spec.trials < 1:
+                raise MarkovError(
+                    f"sweep point {position}: need at least one trial"
+                )
+            if spec.max_steps < 0:
+                raise MarkovError(
+                    f"sweep point {position}: max_steps must be >= 0"
+                )
+            if (
+                spec.initial_configurations is not None
+                and not spec.initial_configurations
+            ):
+                raise MarkovError(
+                    f"sweep point {position}: need at least one initial"
+                    " configuration"
+                )
+            for earlier in seen:
+                if earlier is spec or earlier == spec:
+                    raise MarkovError(
+                        f"duplicate sweep point at position {position}"
+                        f" (label {spec.label!r}); give repeated points"
+                        " distinct seeds or labels"
+                    )
+            seen.append(spec)
+
+    def _resolve_engine(self, spec: SweepPointSpec) -> str:
+        """The engine one point will actually run on."""
+        if self.engine in ("batch", "scalar"):
+            return self.engine
+        require = self.engine == "fused"
+        if self.engine == "auto" and not default_fusion():
+            # Pre-fusion behavior: per-point MonteCarloRunner "auto",
+            # which itself picks batch or scalar per point.
+            return "per-point-auto"
+        if batch_strategy_for(spec.sampler) is None:
+            if require:
+                raise MarkovError(
+                    f"sampler {type(spec.sampler).__name__} has no"
+                    " vectorized strategy; register one or use"
+                    " engine='scalar'"
+                )
+            return "scalar"
+        engine = self._batch_engine_for(spec.system)
+        if isinstance(engine, ModelError):
+            if require:
+                raise engine
+            return "scalar"
+        return "fused"
+
+    def _run_point(self, spec: SweepPointSpec, engine: str) -> MonteCarloResult:
+        """Per-point fallback through the shared-kernel runner."""
+        runner = self._runner_for(spec.system)
+        return runner.estimate(
+            spec.sampler,
+            spec.legitimate,
+            trials=spec.trials,
+            max_steps=spec.max_steps,
+            rng=RandomSource(spec.seed),
+            initial_configurations=spec.initial_configurations,
+            engine="auto" if engine == "per-point-auto" else engine,
+            batch_legitimate=spec.batch_legitimate,
+        )
+
+    # ------------------------------------------------------------------
+    # the fused engine
+    # ------------------------------------------------------------------
+    def _run_fused(
+        self,
+        engine: BatchEngine,
+        members: Sequence[tuple[int, SweepPointSpec]],
+    ) -> dict[int, MonteCarloResult]:
+        """Advance all member points in one lockstep code matrix.
+
+        Per-trial semantics match :meth:`BatchEngine.run` exactly —
+        legitimacy tested at time 0 and after every step, illegitimate
+        terminal rows retire as censored — with two generalizations:
+        a per-row *step budget* (rows retire censored when their own
+        point's ``max_steps`` is exhausted) and per-point dispatch of
+        legitimacy predicates and scheduler strategies over row slices
+        of the shared matrix.
+        """
+        tables = engine.tables
+        encoding = engine.encoding
+        system = engine.kernel.system
+        specs = [spec for _, spec in members]
+        counts = np.array([spec.trials for spec in specs], dtype=np.int64)
+
+        blocks = []
+        for spec in specs:
+            if spec.initial_configurations is not None:
+                blocks.append(
+                    encode_initials(
+                        encoding, spec.initial_configurations, spec.trials
+                    )
+                )
+            else:
+                blocks.append(
+                    encoding.encode_batch(
+                        random_configurations(
+                            system, RandomSource(spec.seed), spec.trials
+                        )
+                    )
+                )
+        codes = np.concatenate(blocks, axis=0)
+        total_rows = int(counts.sum())
+        point = np.repeat(np.arange(len(specs)), counts)
+        budget = np.repeat(
+            np.array([spec.max_steps for spec in specs], dtype=np.int64),
+            counts,
+        )
+
+        # Dispatch groups: member mask per distinct legitimacy/strategy
+        # signature — one vectorized call per signature per step.
+        legit_groups: list[tuple[BatchLegitimacy, np.ndarray]] = []
+        signature_rows: dict[tuple, list[int]] = {}
+        for member, spec in enumerate(specs):
+            signature_rows.setdefault(
+                _legitimacy_signature(spec), []
+            ).append(member)
+        for signature, group_members in signature_rows.items():
+            spec = specs[group_members[0]]
+            legitimacy = compile_legitimacy(
+                spec.batch_legitimate
+                if spec.batch_legitimate is not None
+                else spec.legitimate
+            )
+            mask = np.zeros(len(specs), dtype=bool)
+            mask[group_members] = True
+            legit_groups.append((legitimacy, mask))
+
+        strategy_groups = []
+        signature_rows = {}
+        for member, spec in enumerate(specs):
+            signature_rows.setdefault(
+                _strategy_signature(spec.sampler), []
+            ).append(member)
+        for signature, group_members in signature_rows.items():
+            strategy = batch_strategy_for(specs[group_members[0]].sampler)
+            assert strategy is not None  # vetted by _resolve_engine
+            mask = np.zeros(len(specs), dtype=bool)
+            mask[group_members] = True
+            strategy_groups.append((strategy, mask))
+
+        generator = RandomSource(
+            _fold_seeds([spec.seed for spec in specs])
+        ).numpy_generator()
+
+        times = np.zeros(total_rows, dtype=np.int64)
+        converged = np.zeros(total_rows, dtype=bool)
+        active = np.arange(total_rows)
+
+        def retire(keep: np.ndarray) -> None:
+            nonlocal active, codes, point, budget
+            active = active[keep]
+            codes = codes[keep]
+            point = point[keep]
+            budget = budget[keep]
+
+        step = 0
+        while active.size:
+            keys = tables.pack(codes)
+            enabled = tables.enabled(keys)
+            # Homogeneous sweeps (one legitimacy/sampler signature — the
+            # Q1/Q2 shape) skip the row masking entirely: dispatch cost
+            # is only paid when points actually differ.
+            if len(legit_groups) == 1:
+                legit = legit_groups[0][0].evaluate(codes, enabled, engine)
+            else:
+                legit = np.zeros(active.size, dtype=bool)
+                for legitimacy, mask in legit_groups:
+                    rows = mask[point]
+                    if rows.any():
+                        legit[rows] = legitimacy.evaluate(
+                            codes[rows], enabled[rows], engine
+                        )
+            if legit.any():
+                retired = active[legit]
+                times[retired] = step
+                converged[retired] = True
+                keep = ~legit
+                retire(keep)
+                if not active.size:
+                    break
+                keys = keys[keep]
+                enabled = enabled[keep]
+            # Illegitimate terminal rows can never converge: censored,
+            # exactly as the scalar path and BatchEngine.run count them.
+            terminal = ~enabled.any(axis=1)
+            if terminal.any():
+                keep = ~terminal
+                retire(keep)
+                if not active.size:
+                    break
+                keys = keys[keep]
+                enabled = enabled[keep]
+            over = budget <= step
+            if over.any():
+                keep = ~over
+                retire(keep)
+                if not active.size:
+                    break
+                keys = keys[keep]
+                enabled = enabled[keep]
+            if len(strategy_groups) == 1:
+                movers = strategy_groups[0][0].choose(enabled, generator)
+            else:
+                movers = np.zeros_like(enabled)
+                for strategy, mask in strategy_groups:
+                    rows = mask[point]
+                    if rows.any():
+                        movers[rows] = strategy.choose(
+                            enabled[rows], generator
+                        )
+            codes = tables.sample(codes, keys, movers, generator)
+            step += 1
+
+        results: dict[int, MonteCarloResult] = {}
+        start = 0
+        for (index, spec), count in zip(members, counts.tolist()):
+            rows = slice(start, start + count)
+            start += count
+            row_converged = converged[rows]
+            samples = [float(t) for t in times[rows][row_converged]]
+            results[index] = MonteCarloResult(
+                trials=count,
+                converged=len(samples),
+                censored=count - len(samples),
+                stats=summarize(samples) if samples else None,
+                round_stats=None,
+                samples=tuple(samples),
+            )
+        return results

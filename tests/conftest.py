@@ -1,9 +1,14 @@
-"""Shared fixtures: small systems used across the test-suite."""
+"""Shared fixtures: small systems used across the test-suite, plus the
+system/sampler registry behind the cross-engine conformance matrix
+(``tests/conformance_registry.py``, consumed by
+``tests/test_engine_conformance.py`` — run with ``pytest -m
+conformance``)."""
 
 from __future__ import annotations
 
 import pytest
 
+import conformance_registry
 from repro.algorithms.coloring import make_coloring_system
 from repro.algorithms.leader_tree import make_leader_tree_system
 from repro.algorithms.token_ring import make_token_ring_system
@@ -61,3 +66,10 @@ def path4_graph():
 @pytest.fixture
 def ring6_graph():
     return ring(6)
+
+
+@pytest.fixture
+def conformance():
+    """The shared conformance registry module (systems, samplers,
+    matrix, KS helpers) — see ``tests/conformance_registry.py``."""
+    return conformance_registry

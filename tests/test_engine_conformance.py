@@ -1,0 +1,260 @@
+"""Cross-engine conformance tier (``pytest -m conformance``).
+
+One parametrized matrix — algorithms (token ring, leader tree, Herman
+ring, Israeli–Jalfon, coloring) × topologies (ring/chain/star/tree) ×
+schedulers (central/distributed/synchronous/Bernoulli) — drawn from the
+shared fixture registry in ``tests/conformance_registry.py`` (exposed
+as the ``conformance`` fixture by ``tests/conftest.py``), asserting
+every execution tier against its oracle:
+
+* **Monte-Carlo**: seeded scalar-vs-batch-vs-fused equivalence.
+  Stochastic cells must fully converge on every engine and agree under
+  a two-sample Kolmogorov–Smirnov bound; deterministic cells (a
+  deterministic algorithm under the synchronous sampler consumes no
+  randomness, so all engines see identical initial draws) must be
+  *identical*, censored trials included.
+* **Exact analysis**: compiled-vs-scalar chain building bit-equality
+  and sharded-vs-sequential exploration bit-equality over the same
+  registry systems.
+
+This module replaces the need for future per-PR ad-hoc equivalence
+files: a new engine or a new algorithm/topology/scheduler combination
+earns a row in the shared registry and inherits the whole tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conformance_registry import (
+    CONFORMANCE_SAMPLERS,
+    CONFORMANCE_SYSTEMS,
+    conformance_entry,
+    conformance_matrix,
+    conformance_system,
+    ks_bound,
+    ks_statistic,
+)
+from repro.markov.builder import build_chain
+from repro.markov.montecarlo import random_configurations
+from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
+from repro.random_source import RandomSource
+from repro.schedulers.distributions import (
+    CentralRandomizedDistribution,
+    DistributedRandomizedDistribution,
+    SynchronousDistribution,
+)
+from repro.schedulers.relations import CentralRelation, SynchronousRelation
+from repro.stabilization.statespace import StateSpace
+
+pytestmark = pytest.mark.conformance
+
+MATRIX = conformance_matrix()
+MATRIX_IDS = [
+    f"{system}-{sampler}-{mode}" for system, sampler, mode in MATRIX
+]
+
+
+#: Step budget for "exact"-mode cells: deterministic livelocks burn the
+#: whole budget on every engine, so it stays small.
+EXACT_MAX_STEPS = 200
+
+
+def _point(entry, system, sampler_key, seed, mode="ks"):
+    if mode == "exact":
+        # Deterministic dynamics with *explicit* initial configurations:
+        # every engine cycles the same list the same way, so outcomes
+        # must be identical (the scalar engine's lazy initial draws
+        # would otherwise interleave with its action-selection draws).
+        initials = tuple(
+            random_configurations(system, RandomSource(seed), entry.trials)
+        )
+        return SweepPointSpec(
+            system=system,
+            sampler=CONFORMANCE_SAMPLERS[sampler_key](),
+            legitimate=entry.legitimate(system),
+            trials=entry.trials,
+            max_steps=EXACT_MAX_STEPS,
+            seed=seed,
+            batch_legitimate=entry.batch_legitimate,
+            initial_configurations=initials,
+            label=f"{entry.name}-{sampler_key}",
+        )
+    return SweepPointSpec(
+        system=system,
+        sampler=CONFORMANCE_SAMPLERS[sampler_key](),
+        legitimate=entry.legitimate(system),
+        trials=entry.trials,
+        max_steps=entry.max_steps,
+        seed=seed,
+        batch_legitimate=entry.batch_legitimate,
+        label=f"{entry.name}-{sampler_key}",
+    )
+
+
+def _run(entry, system, sampler_key, engine, seed, mode="ks"):
+    runner = SweepRunner(engine=engine)
+    (result,) = runner.run(
+        [_point(entry, system, sampler_key, seed, mode)]
+    )
+    assert runner.last_plan[0].engine == engine
+    return result
+
+
+@pytest.mark.parametrize(
+    "system_name,sampler_key,mode", MATRIX, ids=MATRIX_IDS
+)
+def test_montecarlo_engines_agree(system_name, sampler_key, mode):
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    seed = 977
+    scalar = _run(entry, system, sampler_key, "scalar", seed, mode)
+    batch = _run(entry, system, sampler_key, "batch", seed, mode)
+    fused = _run(entry, system, sampler_key, "fused", seed, mode)
+
+    if mode == "exact":
+        # Deterministic dynamics: identical initial draws, identical
+        # trajectories — the three engines must agree bit-for-bit,
+        # censored (livelocked) trials included.
+        assert scalar == batch == fused
+        return
+
+    # Stochastic dynamics: structural outcomes are exact, per-trial
+    # stabilization times distributional.
+    for result in (scalar, batch, fused):
+        assert result.trials == entry.trials
+        assert result.censored == 0, (
+            f"{system_name}/{sampler_key}: engine failed to converge"
+        )
+    for name, result in (("batch", batch), ("fused", fused)):
+        statistic = ks_statistic(scalar.samples, result.samples)
+        bound = ks_bound(len(scalar.samples), len(result.samples))
+        assert statistic < bound, (
+            f"{system_name}/{sampler_key}: scalar-vs-{name} KS statistic"
+            f" {statistic:.4f} exceeds bound {bound:.4f}"
+        )
+        scalar_mean = float(np.mean(scalar.samples))
+        other_mean = float(np.mean(result.samples))
+        scalar_sem = float(
+            np.std(scalar.samples) / np.sqrt(len(scalar.samples))
+        )
+        assert other_mean == pytest.approx(
+            scalar_mean, abs=max(5.0 * scalar_sem, 0.5)
+        )
+
+
+@pytest.mark.parametrize(
+    "system_name,sampler_key,mode",
+    [cell for cell in MATRIX if cell[2] == "ks"][::3],
+    ids=[
+        f"{system}-{sampler}"
+        for system, sampler, mode in MATRIX
+        if mode == "ks"
+    ][::3],
+)
+def test_fused_multi_seed_replications_match_scalar(
+    system_name, sampler_key, mode
+):
+    """Fusing several seed replications of one cell into one matrix
+    leaves each replication distribution-equivalent to its own scalar
+    oracle run (pooled comparison over the whole fused group)."""
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    seeds = (11, 22, 33)
+    points = [
+        _point(entry, system, sampler_key, seed) for seed in seeds
+    ]
+    fused_runner = SweepRunner(engine="fused")
+    fused = fused_runner.run(points)
+    assert all(
+        execution.engine == "fused"
+        and execution.fused_rows == entry.trials * len(seeds)
+        for execution in fused_runner.last_plan
+    )
+    scalar = SweepRunner(engine="scalar").run(points)
+    pooled_fused = [t for result in fused for t in result.samples]
+    pooled_scalar = [t for result in scalar for t in result.samples]
+    assert len(pooled_fused) == len(pooled_scalar) == entry.trials * 3
+    statistic = ks_statistic(pooled_scalar, pooled_fused)
+    assert statistic < ks_bound(len(pooled_scalar), len(pooled_fused))
+
+
+# ----------------------------------------------------------------------
+# exact tier: compiled chains and sharded exploration, bit-equality
+# ----------------------------------------------------------------------
+#: Registry systems with full spaces small enough for exact analysis.
+CHAIN_SYSTEMS = (
+    "token-ring5",
+    "herman-ring5",
+    "israeli-jalfon-ring6",
+    "leader-path5",
+    "coloring-star4",
+)
+
+CHAIN_DISTRIBUTIONS = {
+    "central": CentralRandomizedDistribution,
+    "synchronous": SynchronousDistribution,
+    "distributed": DistributedRandomizedDistribution,
+}
+
+
+@pytest.mark.parametrize("distribution_key", sorted(CHAIN_DISTRIBUTIONS))
+@pytest.mark.parametrize("system_name", CHAIN_SYSTEMS)
+def test_compiled_chain_bit_equal_to_scalar(system_name, distribution_key):
+    system = conformance_system(system_name)
+    make_distribution = CHAIN_DISTRIBUTIONS[distribution_key]
+    scalar = build_chain(system, make_distribution(), engine="scalar")
+    compiled = build_chain(system, make_distribution(), engine="compiled")
+    assert scalar.states == compiled.states
+    assert scalar.scheduler_name == compiled.scheduler_name
+    scalar_data, scalar_indices, scalar_indptr = scalar.transition_arrays()
+    data, indices, indptr = compiled.transition_arrays()
+    assert (scalar_indptr == indptr).all()
+    assert (scalar_indices == indices).all()
+    # Bit-equality, not approximation: the compiled builder accumulates
+    # in the oracle's emission order (see docs/architecture.md).
+    assert (scalar_data == data).all()
+
+
+@pytest.mark.parametrize(
+    "relation_key,make_relation",
+    [("central", CentralRelation), ("synchronous", SynchronousRelation)],
+)
+@pytest.mark.parametrize("system_name", CHAIN_SYSTEMS)
+def test_sharded_exploration_bit_equal_to_sequential(
+    system_name, relation_key, make_relation
+):
+    system = conformance_system(system_name)
+    sequential = StateSpace.explore(system, make_relation(), shards=1)
+    sharded = StateSpace.explore(system, make_relation(), shards=2)
+    assert sequential.configurations == sharded.configurations
+    assert sequential.index == sharded.index
+    assert sequential.edges == sharded.edges
+    assert sequential.enabled == sharded.enabled
+
+
+def test_matrix_covers_required_axes():
+    """The registry spans the algorithms, topologies, and schedulers the
+    conformance tier promises to cover."""
+    algorithms = {entry.algorithm for entry in CONFORMANCE_SYSTEMS}
+    topologies = {entry.topology for entry in CONFORMANCE_SYSTEMS}
+    samplers = {
+        sampler_key
+        for entry in CONFORMANCE_SYSTEMS
+        for sampler_key, _ in entry.sampler_modes
+    }
+    assert {
+        "token-ring",
+        "leader-tree",
+        "herman",
+        "israeli-jalfon",
+        "coloring",
+    } <= algorithms
+    assert {"ring", "chain", "star", "tree"} <= topologies
+    assert samplers == {
+        "synchronous",
+        "central",
+        "distributed",
+        "bernoulli",
+    }

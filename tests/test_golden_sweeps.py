@@ -1,0 +1,101 @@
+"""Golden-output regression: seeded fused Q1/Q2/Q3 sweep tables.
+
+Small-N parameterizations of the quantitative experiments, run through
+``engine="fused"``, pinned row-for-row under ``tests/golden/``.  The
+fused engine is fully deterministic for a fixed seed (initials from
+``RandomSource(seed)``, lockstep draws from the fold-seeded NumPy
+generator), so any change to its grouping, seeding, retirement order,
+or dispatch logic — or to the exact tiers feeding the same tables —
+shows up as a golden diff instead of a silent distribution shift.
+
+Regenerate after an *intentional* engine change with::
+
+    PYTHONPATH=src python tests/test_golden_sweeps.py --regenerate
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.q1 import run_q1
+from repro.experiments.q2 import run_q2
+from repro.experiments.q3 import run_q3
+
+pytestmark = pytest.mark.conformance
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: Small-N fused configurations — cheap enough for tier-1, rich enough
+#: to cover exact + Monte-Carlo rows of all three sweeps.
+GOLDEN_SWEEPS = {
+    "q1_small": lambda: run_q1(
+        exact_sizes=(3, 4),
+        monte_carlo_sizes=(8,),
+        trials=60,
+        engine="fused",
+    ),
+    "q2_small": lambda: run_q2(
+        monte_carlo_sizes=(8,), trials=60, engine="fused"
+    ),
+    "q3_small": lambda: run_q3(trials=40, engine="fused"),
+}
+
+
+def _normalize(rows):
+    """Round-trip through JSON so committed and fresh rows compare with
+    identical types (tuples→lists, float formatting)."""
+    return json.loads(json.dumps(rows))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SWEEPS))
+def test_fused_sweep_reproduces_golden_rows(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with"
+        " PYTHONPATH=src python tests/test_golden_sweeps.py --regenerate"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    result = GOLDEN_SWEEPS[name]()
+    assert result.passed, result.render()
+    fresh = _normalize(result.rows)
+    assert len(fresh) == len(golden["rows"]), (
+        f"{name}: row count changed"
+    )
+    for position, (fresh_row, golden_row) in enumerate(
+        zip(fresh, golden["rows"])
+    ):
+        assert fresh_row == golden_row, (
+            f"{name}: row {position} diverged from the golden table\n"
+            f"  golden: {golden_row}\n"
+            f"  fresh : {fresh_row}"
+        )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, runner in sorted(GOLDEN_SWEEPS.items()):
+        result = runner()
+        payload = {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "rows": _normalize(result.rows),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path} ({len(payload['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -290,7 +290,9 @@ def test_run_until_and_montecarlo_identical_across_paths():
     assert result.stats is not None and result.stats.mean > 0
 
 
-def test_montecarlo_runner_batch_matches_separate_estimates():
+def test_montecarlo_runner_batch_scalar_matches_separate_estimates():
+    """The oracle escape hatch: a scalar-engine ``batch`` is bit-equal
+    to sequential estimates (same kernel, same random streams)."""
     system = make_leader_tree_system(path(6))
     cases = [
         dict(
@@ -308,17 +310,60 @@ def test_montecarlo_runner_batch_matches_separate_estimates():
             rng=RandomSource(32),
         ),
     ]
-    runner = MonteCarloRunner(system)
+    runner = MonteCarloRunner(system, engine="scalar")
     batched = runner.batch([dict(case, rng=RandomSource(case["rng"].seed))
                             for case in cases])
     separate = [
-        estimate_stabilization_time(system, **case) for case in cases
+        estimate_stabilization_time(system, engine="scalar", **case)
+        for case in cases
     ]
     assert len(batched) == len(separate)
     for fast, reference in zip(batched, separate):
         assert fast == reference
     # The batch shared one kernel: its tables saturated, not re-resolved.
     assert runner.kernel.resolutions == runner.kernel.table_size
+
+
+def test_montecarlo_runner_batch_fuses_through_sweep_runner():
+    """Default-engine ``batch`` routes fusable cases through the fused
+    sweep engine: full convergence, structural outcomes matching the
+    per-case estimates, input order preserved."""
+    system = make_leader_tree_system(path(6))
+    cases = [
+        dict(
+            sampler=DistributedRandomizedSampler(),
+            legitimate=system.is_terminal,
+            trials=10,
+            max_steps=10_000,
+            rng=RandomSource(31),
+        ),
+        dict(
+            sampler=DistributedRandomizedSampler(),
+            legitimate=system.is_terminal,
+            trials=12,
+            max_steps=10_000,
+            rng=RandomSource(32),
+        ),
+        # Round measurement cannot fuse: the oracle escape hatch keeps
+        # the sequential path (and its exact random stream) for it.
+        dict(
+            sampler=DistributedRandomizedSampler(),
+            legitimate=system.is_terminal,
+            trials=5,
+            max_steps=10_000,
+            rng=RandomSource(33),
+            measure_rounds=True,
+        ),
+    ]
+    runner = MonteCarloRunner(system)
+    batched = runner.batch([dict(case) for case in cases])
+    assert [result.trials for result in batched] == [10, 12, 5]
+    assert all(result.censored == 0 for result in batched)
+    assert batched[2].round_stats is not None
+    sequential = MonteCarloRunner(system).estimate(
+        **dict(cases[2], rng=RandomSource(33))
+    )
+    assert batched[2] == sequential
 
 
 def test_kernel_rejects_disabled_and_empty_subsets():
