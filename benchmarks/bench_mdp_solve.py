@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the MDP tier (robustness tier).
+
+``mdp_build_ring8_central`` times :func:`repro.markov.mdp.build_mdp` on
+the 8-process token ring under the central daemon family — 6 561 states
+with up to eight actions each, the mid-size shape ADV1-style brackets
+solve.  ``mdp_solve_worst_hitting`` and ``mdp_solve_reachability`` time
+the value-iteration solvers on the prebuilt wire format, i.e. the pure
+CSR-array sweep cost with the enumeration already paid.
+
+These are trajectory benchmarks (tracked by ``run_benchmarks.py``
+against ``BENCH_kernel.json``); the correctness of the optimized values
+is pinned by ``tests/test_mdp.py``'s synchronous pin and sandwich
+tests, so the assertions here are shape-level sanity only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.token_ring import (
+    TokenCirculationSpec,
+    make_token_ring_system,
+)
+from repro.markov.mdp import build_mdp
+
+RING_SIZE = 8
+
+_SYSTEM = make_token_ring_system(RING_SIZE)
+_TSPEC = TokenCirculationSpec()
+
+#: Built once at import: the solver benches measure value iteration
+#: alone, not the enumeration + compilation they ride on.
+_MDP = build_mdp(_SYSTEM, daemon="central")
+_TARGET = _MDP.mark(
+    lambda system, configuration: _TSPEC.legitimate(system, configuration)
+)
+
+
+def _build():
+    return build_mdp(_SYSTEM, daemon="central")
+
+
+def test_mdp_build_ring8_central(benchmark):
+    """Enumerate + compile the central-daemon MDP for the 8-ring."""
+    mdp = benchmark.pedantic(_build, rounds=3, iterations=1)
+    assert mdp.num_states == 3**RING_SIZE  # m_8 = 3 (smallest non-divisor)
+    assert _TARGET.any() and not _TARGET.all()
+
+
+def test_mdp_solve_worst_hitting(benchmark):
+    """Value iteration for the max expected hitting time (worst daemon)."""
+    worst = benchmark.pedantic(
+        lambda: _MDP.expected_hitting_times(_TARGET, "max"),
+        rounds=3,
+        iterations=1,
+    )
+    best = _MDP.expected_hitting_times(_TARGET, "min")
+    assert worst.shape == best.shape == (_MDP.num_states,)
+    both = np.isfinite(best) & np.isfinite(worst)
+    assert (best[both] <= worst[both] + 1e-6).all()
+
+
+def test_mdp_solve_reachability(benchmark):
+    """Value iteration for the min reach probability (worst daemon)."""
+    reach = benchmark.pedantic(
+        lambda: _MDP.reachability(_TARGET, "min"),
+        rounds=3,
+        iterations=1,
+    )
+    assert reach.shape == (_MDP.num_states,)
+    assert (reach >= -1e-12).all() and (reach <= 1.0 + 1e-12).all()

@@ -1,13 +1,15 @@
 """Entry point: run the infrastructure micro-benchmarks, persist results.
 
 Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
-``bench_sharded_explore.py``, ``bench_chain_build.py``, and
-``bench_sweep_fusion.py`` through pytest-benchmark and appends a
+``bench_sharded_explore.py``, ``bench_chain_build.py``,
+``bench_sweep_fusion.py``, ``bench_fault_injection.py``, and
+``bench_mdp_solve.py`` through pytest-benchmark and appends a
 condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
 so the performance trajectory of the execution engine (state-space
 exploration — sequential and sharded — chain building and hitting
 solves, simulation throughput, batch Monte-Carlo throughput, fused
-multi-point sweeps) is tracked across PRs.  Usage::
+multi-point sweeps, fault-injection overhead, MDP value iteration) is
+tracked across PRs.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
     PYTHONPATH=src python benchmarks/run_benchmarks.py --check-regressions
@@ -60,6 +62,8 @@ SUITE = (
     BENCH_DIR / "bench_sharded_explore.py",
     BENCH_DIR / "bench_chain_build.py",
     BENCH_DIR / "bench_sweep_fusion.py",
+    BENCH_DIR / "bench_fault_injection.py",
+    BENCH_DIR / "bench_mdp_solve.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 

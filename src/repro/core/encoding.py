@@ -329,6 +329,14 @@ class ExpansionContext:
         #: First outcome code of each action row — the whole transition
         #: when the row is deterministic (arity 1).
         self.first_outcome = tables.outcome_code[:, 0].astype(np.int64)
+        #: Outcome probabilities per action row, trimmed like
+        #: ``outcome_codes`` — the probability substrate shared by the
+        #: chain builder (:mod:`repro.markov.builder`) and the MDP
+        #: builder (:mod:`repro.markov.mdp`).
+        self.outcome_probs: tuple[tuple[float, ...], ...] = tuple(
+            tuple(float(p) for p in tables.outcome_prob[row, :count])
+            for row, count in enumerate(self.arity.tolist())
+        )
         self.weights_row = (
             np.array(self.config_weights, dtype=np.int64)
             if self.int64_safe

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from repro.errors import ExperimentError
 from repro.experiments.abl1 import run_abl1
+from repro.experiments.adv1 import run_adv1
 from repro.experiments.alg3 import run_alg3
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.fig1 import run_fig1
+from repro.experiments.ft1 import run_ft1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.q1 import run_q1
@@ -161,6 +163,27 @@ EXPERIMENTS: dict[str, Experiment] = {
             "design-choice ablation (extension)",
             run_abl1,
             {"biases": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)},
+        ),
+        Experiment(
+            "FT1",
+            "FT1: re-convergence after transient corruption",
+            "robustness tier (extension)",
+            run_ft1,
+            {
+                "ring_size": 8,
+                "fault_step": 25,
+                "trials": 400,
+                "seed": 2008,
+                "max_steps": 50_000,
+                "engine": "auto",
+            },
+        ),
+        Experiment(
+            "ADV1",
+            "ADV1: best/expected/worst daemon bracket",
+            "robustness tier (extension)",
+            run_adv1,
+            {"max_states": 500_000},
         ),
     )
 }

@@ -19,10 +19,16 @@ from repro.markov.hitting import (
     hitting_summary,
 )
 from repro.markov.lumping import lumped_synchronous_transformed_chain
+from repro.markov.mdp import (
+    MDP_DAEMONS,
+    MarkovDecisionProcess,
+    build_mdp,
+)
 from repro.markov.montecarlo import (
     MonteCarloResult,
     MonteCarloRunner,
     estimate_stabilization_time,
+    fault_result_from_arrays,
     random_configuration,
     random_configurations,
 )
@@ -46,9 +52,13 @@ __all__ = [
     "HittingSummary",
     "ABSORPTION_TOLERANCE",
     "lumped_synchronous_transformed_chain",
+    "MDP_DAEMONS",
+    "MarkovDecisionProcess",
+    "build_mdp",
     "MonteCarloResult",
     "MonteCarloRunner",
     "estimate_stabilization_time",
+    "fault_result_from_arrays",
     "random_configuration",
     "random_configurations",
     "BatchEngine",

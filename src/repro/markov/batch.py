@@ -67,6 +67,7 @@ __all__ = [
     "register_batch_sampler",
     "BatchEngine",
     "BatchRunResult",
+    "FaultRunResult",
 ]
 
 
@@ -259,6 +260,52 @@ class BatchRunResult:
         return [float(t) for t in self.times[self.converged]]
 
 
+class FaultRunResult:
+    """Per-trial outcome and re-convergence vectors of one faulted batch.
+
+    Extends :class:`BatchRunResult`'s retirement vectors with the
+    robustness metrics of the fault timeline (see
+    :mod:`repro.stabilization.faults`): ``fault_times[t]`` is the step
+    at which trial ``t``'s fault fired (``-1`` if it never did),
+    ``legit_counts``/``observations`` feed the availability fraction,
+    ``max_runs[t]`` is the longest contiguous run of illegitimate
+    observations (the *maximum excursion*), and ``timed_out`` separates
+    budget-exhausted trials from illegitimate-terminal (``hit_terminal``)
+    ones.
+    """
+
+    __slots__ = (
+        "times",
+        "converged",
+        "hit_terminal",
+        "timed_out",
+        "fault_times",
+        "legit_counts",
+        "observations",
+        "max_runs",
+    )
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        converged: np.ndarray,
+        hit_terminal: np.ndarray,
+        timed_out: np.ndarray,
+        fault_times: np.ndarray,
+        legit_counts: np.ndarray,
+        observations: np.ndarray,
+        max_runs: np.ndarray,
+    ) -> None:
+        self.times = times
+        self.converged = converged
+        self.hit_terminal = hit_terminal
+        self.timed_out = timed_out
+        self.fault_times = fault_times
+        self.legit_counts = legit_counts
+        self.observations = observations
+        self.max_runs = max_runs
+
+
 class BatchEngine:
     """Compiled encoding + tables for one system, reusable across runs.
 
@@ -338,6 +385,181 @@ class BatchEngine:
             codes = tables.sample(codes, keys, movers, generator)
             step += 1
         return BatchRunResult(times, converged, hit_terminal)
+
+    def run_with_fault(
+        self,
+        strategy: BatchSamplerStrategy,
+        legitimacy: BatchLegitimacy,
+        initial_codes: np.ndarray,
+        max_steps: int,
+        generator: np.random.Generator,
+        fault,
+    ) -> FaultRunResult:
+        """Lockstep batch with one transient corruption event per trial.
+
+        ``fault`` is a :class:`repro.stabilization.faults.CompiledFault`.
+        The corruption itself is *one extra scatter* into the active code
+        matrix; the loop otherwise follows the fault timeline documented
+        in :mod:`repro.stabilization.faults`: a pending fault blocks
+        convergence retirement, a pending fixed-step fault parks terminal
+        rows in place (the corruption may re-enable them), and legitimacy
+        observations feed the availability/excursion counters every step.
+        The scalar oracle (:class:`~repro.markov.montecarlo
+        .MonteCarloRunner` ``engine="scalar"``) implements the identical
+        timeline, so deterministic cells agree bit-for-bit.
+        """
+        trials = initial_codes.shape[0]
+        times = np.zeros(trials, dtype=np.int64)
+        converged = np.zeros(trials, dtype=bool)
+        hit_terminal = np.zeros(trials, dtype=bool)
+        timed_out = np.zeros(trials, dtype=bool)
+        fault_times = np.full(trials, -1, dtype=np.int64)
+        legit_counts = np.zeros(trials, dtype=np.int64)
+        observations = np.zeros(trials, dtype=np.int64)
+        max_runs = np.zeros(trials, dtype=np.int64)
+
+        active = np.arange(trials)
+        codes = np.array(initial_codes, copy=True)
+        # Aligned with ``active`` and compacted together with it.  The
+        # availability/excursion counters stay active-aligned too and
+        # are scattered into the global arrays only when rows retire,
+        # keeping the per-step bookkeeping free of fancy indexing (the
+        # fault path must stay within a few percent of the plain loop —
+        # see ``benchmarks/bench_fault_injection.py``).
+        pending = np.ones(trials, dtype=bool)
+        cur_run = np.zeros(trials, dtype=np.int64)
+        obs = np.zeros(trials, dtype=np.int64)
+        legit_seen = np.zeros(trials, dtype=np.int64)
+        run_peak = np.zeros(trials, dtype=np.int64)
+        tables = self.tables
+        at_convergence = fault.at_convergence
+        # Scalar mirror of ``pending.sum()``: once every fault has
+        # fired, the trigger/freeze machinery short-circuits and each
+        # step runs the plain loop plus the aligned counters above.
+        pending_count = trials
+
+        step = 0
+        while active.size:
+            keys = tables.pack(codes)
+            enabled = tables.enabled(keys)
+            legit = legitimacy.evaluate(codes, enabled, self)
+            if pending_count:
+                if at_convergence:
+                    fire = pending & legit
+                elif step == fault.step:
+                    fire = pending.copy()
+                else:
+                    fire = None
+                if fire is not None and fire.any():
+                    rows = np.flatnonzero(fire)
+                    trial_ids = active[rows]
+                    fault.scatter(codes, rows, trial_ids)
+                    fault_times[trial_ids] = step
+                    pending[rows] = False
+                    pending_count -= rows.size
+                    # The corrupted rows' neighborhood keys, enabledness,
+                    # and legitimacy are re-derived post-corruption.
+                    keys[rows] = tables.pack(codes[rows])
+                    enabled[rows] = tables.enabled(keys[rows])
+                    legit[rows] = legitimacy.evaluate(
+                        codes[rows], enabled[rows], self
+                    )
+            obs += 1
+            legit_seen += legit
+            cur_run = np.where(legit, 0, cur_run + 1)
+            np.maximum(run_peak, cur_run, out=run_peak)
+            done = legit & ~pending if pending_count else legit
+            if done.any():
+                retired = active[done]
+                times[retired] = step
+                converged[retired] = True
+                observations[retired] = obs[done]
+                legit_counts[retired] = legit_seen[done]
+                max_runs[retired] = run_peak[done]
+                keep = ~done
+                active, codes, keys, enabled, pending, cur_run = (
+                    active[keep],
+                    codes[keep],
+                    keys[keep],
+                    enabled[keep],
+                    pending[keep],
+                    cur_run[keep],
+                )
+                obs, legit_seen, run_peak = (
+                    obs[keep],
+                    legit_seen[keep],
+                    run_peak[keep],
+                )
+                if not active.size:
+                    break
+            terminal = ~enabled.any(axis=1)
+            if at_convergence or not pending_count:
+                # A pending at-convergence fault on a terminal row can
+                # never fire (the row is illegitimate, else it would
+                # have fired above) — every terminal row retires; ditto
+                # once every fault already fired.
+                frozen = None
+                retire_terminal = terminal
+            else:
+                frozen = terminal & pending
+                retire_terminal = terminal & ~frozen
+            if retire_terminal.any():
+                retired = active[retire_terminal]
+                hit_terminal[retired] = True
+                observations[retired] = obs[retire_terminal]
+                legit_counts[retired] = legit_seen[retire_terminal]
+                max_runs[retired] = run_peak[retire_terminal]
+                keep = ~retire_terminal
+                active, codes, keys, enabled, pending, cur_run = (
+                    active[keep],
+                    codes[keep],
+                    keys[keep],
+                    enabled[keep],
+                    pending[keep],
+                    cur_run[keep],
+                )
+                obs, legit_seen, run_peak = (
+                    obs[keep],
+                    legit_seen[keep],
+                    run_peak[keep],
+                )
+                if frozen is not None:
+                    frozen = frozen[keep]
+                if pending_count:
+                    # At-convergence plans can retire rows whose fault
+                    # never fired (illegitimate terminal).
+                    pending_count = int(pending.sum())
+                if not active.size:
+                    break
+            if step >= max_steps:
+                timed_out[active] = True
+                observations[active] = obs
+                legit_counts[active] = legit_seen
+                max_runs[active] = run_peak
+                break
+            if frozen is not None and frozen.any():
+                # Terminal rows waiting for a fixed-step fault idle in
+                # place (no scheduler draw — nothing is enabled); time
+                # still passes for them.
+                move = ~frozen
+                movers = strategy.choose(enabled[move], generator)
+                codes[move] = tables.sample(
+                    codes[move], keys[move], movers, generator
+                )
+            else:
+                movers = strategy.choose(enabled, generator)
+                codes = tables.sample(codes, keys, movers, generator)
+            step += 1
+        return FaultRunResult(
+            times,
+            converged,
+            hit_terminal,
+            timed_out,
+            fault_times,
+            legit_counts,
+            observations,
+            max_runs,
+        )
 
 
 def encode_initials(

@@ -218,20 +218,16 @@ def _row(
 class _ChainContext(ExpansionContext):
     """Expansion lookups plus the probability structure of one builder run.
 
-    Extends the sharded explorer's :class:`ExpansionContext` with the raw
-    outcome probabilities of every compiled action row and a per-enabled-
-    tuple cache of the distribution's weighted subsets (the distribution
-    is a pure function of the enabled set, so each distinct enabled tuple
-    is enumerated once per build).
+    Extends the sharded explorer's :class:`ExpansionContext` (which
+    already carries the per-action outcome codes *and* probabilities)
+    with a per-enabled-tuple cache of the distribution's weighted
+    subsets (the distribution is a pure function of the enabled set, so
+    each distinct enabled tuple is enumerated once per build).
     """
 
     def __init__(self, tables, distribution: SchedulerDistribution) -> None:
         super().__init__(tables)
         self.distribution = distribution
-        self.outcome_probs: tuple[tuple[float, ...], ...] = tuple(
-            tuple(float(p) for p in tables.outcome_prob[row, :count])
-            for row, count in enumerate(self.arity.tolist())
-        )
         self.plan_cache: dict[
             tuple[int, ...], list[tuple[float, tuple[int, ...]]]
         ] = {}
@@ -470,33 +466,40 @@ def _expand_chain_block(
 
 
 def _csr_from_wire(
-    num_states: int,
+    num_rows: int,
     edge_counts: np.ndarray,
     targets: np.ndarray,
     probs: np.ndarray,
+    num_cols: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Accumulate flat (source-grouped) wire edges into CSR arrays.
+    """Accumulate flat (row-grouped) wire edges into CSR arrays.
 
     Duplicate targets within a row are summed **in emission order**
     (stable sort + sequential segment reduction), reproducing the scalar
     oracle's dict-accumulation order bit-for-bit.
+
+    For a square chain matrix ``num_rows == num_cols`` (the default);
+    the MDP builder (:mod:`repro.markov.mdp`) reuses this with rows =
+    *actions* and columns = states, so ``num_cols`` is independent.
     """
+    if num_cols is None:
+        num_cols = num_rows
     if targets.size == 0:
         return (
             np.zeros(0, dtype=float),
             np.zeros(0, dtype=np.int64),
-            np.zeros(num_states + 1, dtype=np.int64),
+            np.zeros(num_rows + 1, dtype=np.int64),
         )
     row_of_edge = np.repeat(
-        np.arange(num_states, dtype=np.int64), edge_counts
+        np.arange(num_rows, dtype=np.int64), edge_counts
     )
-    keys = row_of_edge * np.int64(num_states) + targets
+    keys = row_of_edge * np.int64(num_cols) + targets
     order = np.argsort(keys, kind="stable")
     keys_sorted = keys[order]
     boundaries = np.diff(keys_sorted) != 0
     group_starts = np.concatenate(([0], np.flatnonzero(boundaries) + 1))
     if group_starts.size == keys_sorted.size:
-        # No duplicate (source, target) pairs — nothing to accumulate.
+        # No duplicate (row, target) pairs — nothing to accumulate.
         data = probs[order]
     else:
         # ``np.add.at`` applies strictly sequentially in index order, so
@@ -508,11 +511,11 @@ def _csr_from_wire(
         data = np.zeros(group_starts.size, dtype=float)
         np.add.at(data, group_of_edge, probs[order])
     unique_keys = keys_sorted[group_starts]
-    indices = unique_keys % num_states
-    indptr = np.zeros(num_states + 1, dtype=np.int64)
+    indices = unique_keys % num_cols
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
     np.cumsum(
         np.bincount(
-            unique_keys // num_states, minlength=num_states
+            unique_keys // num_cols, minlength=num_rows
         ),
         out=indptr[1:],
     )

@@ -1,0 +1,432 @@
+"""Markov decision processes: the scheduler as an *adversary*.
+
+The chain builder (:mod:`repro.markov.builder`) fixes a randomized
+daemon — a probability distribution over activation subsets — and
+collapses each configuration's outgoing structure into one probability
+row.  This module keeps the structure *open*: each configuration keeps
+one **action** per daemon choice (an enabled subset the daemon may
+activate), and only the probabilistic layers below the daemon — uniform
+action choice per mover and the actions' outcome distributions — stay
+probabilistic.  The result is a finite MDP whose strategies are exactly
+the daemons of the chosen family, so optimizing over strategies answers
+the adversarial questions the paper's definitions pose:
+
+* **min/max reachability** — the best/worst probability any daemon can
+  force for eventually reaching the legitimate set (``1 − min`` is the
+  adversary's probability of non-convergence);
+* **min/max expected hitting time** — the best-case / worst-case
+  expected stabilization time over daemons.
+
+A randomized daemon of the same family (e.g. the central-randomized
+distribution versus the ``"central"`` daemon) is one probabilistic
+strategy inside the MDP's strategy space, so for every state::
+
+    min value  ≤  chain expected value  ≤  max value
+
+— the bracket invariant ``tests/test_mdp.py`` pins against the PR 4
+compiled chains.
+
+Wire format (flat CSR, two levels)::
+
+    action_indptr : (S + 1,)  state s owns actions
+                              action_indptr[s] : action_indptr[s + 1]
+    edge_indptr   : (A + 1,)  action a owns edges
+                              edge_indptr[a] : edge_indptr[a + 1]
+    edge_target   : (E,)      successor state ids
+    edge_prob     : (E,)      successor probabilities (sum to 1 per action)
+
+States are full-space mixed-radix enumeration ranks — identical ids to
+``build_chain(system, distribution, initial=None)`` — and edges are
+accumulated through the same emission-order CSR reduction
+(:func:`repro.markov.builder._csr_from_wire`), so cross-checks against
+the chain tier compare array-to-array.  Terminal configurations get a
+single self-loop action, so every state has at least one action and
+every action at least one edge (``reduceat`` over the segment starts is
+always well-formed).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.encoding import ExpansionContext, compile_tables
+from repro.core.kernel import TransitionKernel
+from repro.core.system import System
+from repro.errors import MarkovError
+from repro.markov.batch import BatchLegitimacy
+from repro.markov.builder import DEFAULT_MAX_STATES, _csr_from_wire
+from repro.schedulers.distributions import daemon_action_subsets
+
+__all__ = [
+    "MDP_DAEMONS",
+    "MDP_OBJECTIVES",
+    "MarkovDecisionProcess",
+    "build_mdp",
+]
+
+#: Daemon families a :func:`build_mdp` adversary may range over.
+MDP_DAEMONS = ("central", "distributed", "synchronous")
+
+#: Accepted optimization directions.
+MDP_OBJECTIVES = ("min", "max")
+
+#: Sources are expanded in blocks of this many ranks (matches the chain
+#: builder's block size).
+_MDP_BLOCK = 8192
+
+#: Reachability within this tolerance of one counts as certain — the
+#: same contract as :data:`repro.markov.hitting.ABSORPTION_TOLERANCE`.
+REACH_TOLERANCE = 1e-8
+
+#: Value-iteration convergence threshold and sweep cap.
+_VI_TOLERANCE = 1e-12
+_VI_MAX_SWEEPS = 1_000_000
+
+
+def _require_objective(objective: str) -> None:
+    if objective not in MDP_OBJECTIVES:
+        raise MarkovError(
+            f"unknown objective {objective!r}; known: {MDP_OBJECTIVES}"
+        )
+
+
+class MarkovDecisionProcess:
+    """One system's transition structure under an adversarial daemon.
+
+    Construct through :func:`build_mdp`.  ``states`` are the full
+    configuration space in enumeration order; the action/edge arrays
+    follow the two-level flat CSR wire format of the module docstring.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        states: list[Configuration],
+        daemon: str,
+        action_indptr: np.ndarray,
+        edge_indptr: np.ndarray,
+        edge_target: np.ndarray,
+        edge_prob: np.ndarray,
+        encoding,
+        codes: np.ndarray,
+    ) -> None:
+        self.system = system
+        self.states = states
+        self.daemon = daemon
+        self.action_indptr = action_indptr
+        self.edge_indptr = edge_indptr
+        self.edge_target = edge_target
+        self.edge_prob = edge_prob
+        self.encoding = encoding
+        self._codes = codes
+        self._enabled: np.ndarray | None = None
+        self._tables = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states (the full configuration space)."""
+        return len(self.states)
+
+    @property
+    def num_actions(self) -> int:
+        """Total daemon choices across all states."""
+        return int(self.edge_indptr.shape[0] - 1)
+
+    def state_codes(self) -> np.ndarray:
+        """``(S, N)`` local-state code matrix, state order."""
+        return self._codes
+
+    def mark(
+        self,
+        predicate: (
+            "Callable[[System, Configuration], bool] | BatchLegitimacy"
+        ),
+    ) -> np.ndarray:
+        """Boolean array evaluating a predicate on every state.
+
+        Same contract as :meth:`repro.markov.chain.MarkovChain.mark`:
+        either a scalar ``predicate(system, configuration)`` or a
+        vectorized :class:`~repro.markov.batch.BatchLegitimacy`.
+        """
+        if isinstance(predicate, BatchLegitimacy):
+            tables = self._tables
+            codes = self._codes
+            enabled = tables.enabled_flat[tables.pack(codes)]
+            return np.asarray(
+                predicate.evaluate(codes, enabled, self), dtype=bool
+            )
+        return np.array(
+            [predicate(self.system, state) for state in self.states],
+            dtype=bool,
+        )
+
+    # ------------------------------------------------------------------
+    # solvers
+    # ------------------------------------------------------------------
+    def _action_values(self, x: np.ndarray) -> np.ndarray:
+        """One Bellman backup: expected ``x`` over each action's edges.
+
+        ``inf`` state values propagate as ``inf`` (zero-probability
+        edges are dropped at build time, so ``0 · inf`` never occurs).
+        """
+        return np.add.reduceat(
+            self.edge_prob * x[self.edge_target], self.edge_indptr[:-1]
+        )
+
+    def _optimize(self, values: np.ndarray, objective: str) -> np.ndarray:
+        """Per-state min/max over the state's action segment."""
+        reduce = np.minimum if objective == "min" else np.maximum
+        return reduce.reduceat(values, self.action_indptr[:-1])
+
+    def reachability(
+        self, target: np.ndarray, objective: str
+    ) -> np.ndarray:
+        """Optimal probability of eventually reaching ``target``.
+
+        ``objective="min"`` is the probability the *most hostile* daemon
+        cannot push below; ``1 −`` it is the adversary's best probability
+        of non-convergence.  ``objective="max"`` is the most helpful
+        daemon's probability.  Computed as the least fixed point of the
+        Bellman operator (value iteration from zero), which is the
+        correct semantics for finite MDP reachability.
+        """
+        _require_objective(objective)
+        target = np.asarray(target, dtype=bool)
+        x = np.zeros(self.num_states, dtype=float)
+        x[target] = 1.0
+        for _ in range(_VI_MAX_SWEEPS):
+            new = self._optimize(self._action_values(x), objective)
+            new[target] = 1.0
+            if np.abs(new - x).max() <= _VI_TOLERANCE:
+                return new
+            x = new
+        raise MarkovError(
+            "reachability value iteration did not converge within"
+            f" {_VI_MAX_SWEEPS} sweeps"
+        )
+
+    def expected_hitting_times(
+        self, target: np.ndarray, objective: str
+    ) -> np.ndarray:
+        """Optimal expected steps to reach ``target`` from every state.
+
+        ``objective="min"`` is the best-case daemon (it may steer the
+        system home), ``objective="max"`` the worst-case one.  A state's
+        value is ``inf`` when the optimizing daemon cannot guarantee
+        convergence with probability one — for ``"max"`` that is any
+        state where *some* daemon achieves reach probability below one
+        (it will play that daemon), for ``"min"`` any state where *no*
+        daemon reaches with probability one.
+        """
+        _require_objective(objective)
+        target = np.asarray(target, dtype=bool)
+        # Certainty pre-pass: expected times are finite exactly on the
+        # region where the optimizing player still converges almost
+        # surely.  max E needs min-reach = 1; min E needs max-reach = 1.
+        guard = "min" if objective == "max" else "max"
+        reach = self.reachability(target, guard)
+        certain = reach >= 1.0 - REACH_TOLERANCE
+        x = np.full(self.num_states, np.inf)
+        x[certain] = 0.0
+        x[target] = 0.0
+        finite = certain | target
+        if not (~target & finite).any():
+            return x
+        for _ in range(_VI_MAX_SWEEPS):
+            new = 1.0 + self._optimize(self._action_values(x), objective)
+            new[target] = 0.0
+            # ``inf`` entries are fixed points by construction; compare
+            # on the mutually finite region (inf − inf is nan).
+            both = np.isfinite(new) & np.isfinite(x)
+            stable = (np.isfinite(new) == np.isfinite(x)).all()
+            if stable and (
+                not both.any() or np.abs(new[both] - x[both]).max() <= 1e-9
+            ):
+                return new
+            x = new
+        raise MarkovError(
+            "expected-time value iteration did not converge within"
+            f" {_VI_MAX_SWEEPS} sweeps"
+        )
+
+
+def build_mdp(
+    system: System,
+    daemon: str = "distributed",
+    max_states: int = DEFAULT_MAX_STATES,
+    kernel: TransitionKernel | None = None,
+    max_enabled: int = 16,
+) -> MarkovDecisionProcess:
+    """Build the full-space MDP of ``system`` under a daemon family.
+
+    ``daemon`` selects the adversary's choice space per configuration
+    (see :func:`repro.schedulers.distributions.daemon_action_subsets`):
+    ``"central"`` activates one enabled process, ``"distributed"`` any
+    non-empty enabled subset, ``"synchronous"`` has no choice (useful
+    for pinning the solvers against the synchronous chain).  Below the
+    daemon the edges reproduce the chain builder's probability
+    expression with subset weight one: uniform choice among a mover's
+    enabled actions, times the outcome distribution.
+    """
+    if daemon not in MDP_DAEMONS:
+        raise MarkovError(
+            f"unknown daemon {daemon!r}; known: {MDP_DAEMONS}"
+        )
+    total = system.num_configurations()
+    if total > max_states:
+        raise MarkovError(
+            f"configuration space has {total} states, budget is"
+            f" {max_states}"
+        )
+    if kernel is None:
+        kernel = TransitionKernel(system)
+    tables = compile_tables(kernel)
+    context = ExpansionContext(tables)
+    if not context.int64_safe:
+        raise MarkovError(
+            "configuration ranks exceed int64; the MDP tier requires"
+            " an int64-rankable configuration space"
+        )
+    num_states = int(total)
+
+    action_counts: list[int] = []
+    edge_counts: list[int] = []
+    edge_targets: list[int] = []
+    edge_probs: list[float] = []
+    subset_cache: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    outcome_codes = context.outcome_codes
+    outcome_probs = context.outcome_probs
+    weights = context.config_weights
+
+    for block_start in range(0, num_states, _MDP_BLOCK):
+        block = range(
+            block_start, min(block_start + _MDP_BLOCK, num_states)
+        )
+        codes = context.codes_of_ranks(block)
+        keys = tables.pack(codes)
+        enabled_matrix = tables.enabled_flat[keys]
+        counts_matrix = tables.action_count[keys].tolist()
+        bases_matrix = tables.action_base[keys].tolist()
+        per_row = enabled_matrix.sum(axis=1, dtype=np.int64).tolist()
+        flat_enabled = np.nonzero(enabled_matrix)[1].tolist()
+        rows = codes.tolist()
+
+        cursor = 0
+        for index, source_rank in enumerate(block):
+            count = per_row[index]
+            enabled = tuple(flat_enabled[cursor : cursor + count])
+            cursor += count
+            if not enabled:
+                # Terminal: one self-loop action with probability one.
+                action_counts.append(1)
+                edge_counts.append(1)
+                edge_targets.append(source_rank)
+                edge_probs.append(1.0)
+                continue
+            row = rows[index]
+            row_counts = counts_matrix[index]
+            row_bases = bases_matrix[index]
+            subsets = subset_cache.get(enabled)
+            if subsets is None:
+                subsets = daemon_action_subsets(
+                    daemon, enabled, max_enabled
+                )
+                subset_cache[enabled] = subsets
+            action_counts.append(len(subsets))
+            for subset in subsets:
+                emitted = 0
+                action_choices = 1
+                for process in subset:
+                    action_choices *= row_counts[process]
+                if len(subset) == 1:
+                    process = subset[0]
+                    base = row_bases[process]
+                    config_weight = weights[process]
+                    old = row[process] * config_weight
+                    for action_row in range(
+                        base, base + row_counts[process]
+                    ):
+                        for code, branch in zip(
+                            outcome_codes[action_row],
+                            outcome_probs[action_row],
+                        ):
+                            if branch <= 0.0:
+                                continue
+                            edge_targets.append(
+                                source_rank + code * config_weight - old
+                            )
+                            edge_probs.append(branch / action_choices)
+                            emitted += 1
+                    edge_counts.append(emitted)
+                    continue
+                choice_lists = [
+                    [
+                        (
+                            weights[process],
+                            row[process] * weights[process],
+                            outcome_codes[action_row],
+                            outcome_probs[action_row],
+                        )
+                        for action_row in range(
+                            row_bases[process],
+                            row_bases[process] + row_counts[process],
+                        )
+                    ]
+                    for process in subset
+                ]
+                for assignment in product(*choice_lists):
+                    outcome_spaces = [
+                        tuple(zip(codes_, probs_))
+                        for _, _, codes_, probs_ in assignment
+                    ]
+                    for combo in product(*outcome_spaces):
+                        branch = 1.0
+                        target = source_rank
+                        for (config_weight, old, _, _), (code, p) in zip(
+                            assignment, combo
+                        ):
+                            branch *= p
+                            target += code * config_weight - old
+                        if branch <= 0.0:
+                            continue
+                        edge_targets.append(target)
+                        edge_probs.append(branch / action_choices)
+                        emitted += 1
+                edge_counts.append(emitted)
+
+    num_actions = len(edge_counts)
+    edge_prob, edge_target, edge_indptr = _csr_from_wire(
+        num_actions,
+        np.fromiter(edge_counts, dtype=np.int64, count=num_actions),
+        np.fromiter(
+            edge_targets, dtype=np.int64, count=len(edge_targets)
+        ),
+        np.fromiter(edge_probs, dtype=float, count=len(edge_probs)),
+        num_cols=num_states,
+    )
+    action_indptr = np.zeros(num_states + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter(action_counts, dtype=np.int64, count=num_states),
+        out=action_indptr[1:],
+    )
+    states = list(system.all_configurations())
+    mdp = MarkovDecisionProcess(
+        system,
+        states,
+        daemon,
+        action_indptr,
+        edge_indptr,
+        edge_target,
+        edge_prob,
+        tables.encoding,
+        context.codes_of_ranks(range(num_states)),
+    )
+    mdp._tables = tables
+    return mdp

@@ -25,11 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.analysis.rounds import count_rounds
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.configuration import Configuration
-from repro.core.kernel import TransitionKernel
-from repro.core.simulate import SchedulerSampler, run_until
+from repro.core.kernel import KernelCursor, TransitionKernel
+from repro.core.simulate import SchedulerSampler, _validate_subset, run_until
 from repro.core.system import System
 from repro.errors import MarkovError, ModelError
 from repro.markov.batch import (
@@ -40,10 +42,11 @@ from repro.markov.batch import (
     encode_initials,
 )
 from repro.random_source import RandomSource
+from repro.stabilization.faults import CompiledFault, FaultPlan, compile_fault
 
 __all__ = ["MonteCarloResult", "MonteCarloRunner",
-           "estimate_stabilization_time", "random_configuration",
-           "random_configurations"]
+           "estimate_stabilization_time", "fault_result_from_arrays",
+           "random_configuration", "random_configurations"]
 
 #: Accepted ``engine`` values.
 ENGINES = ("auto", "batch", "scalar")
@@ -91,15 +94,28 @@ def random_configuration(system: System, rng: RandomSource) -> Configuration:
 class MonteCarloResult:
     """Stabilization-time sample summary.
 
-    ``censored`` counts trials that hit ``max_steps`` without converging;
-    their (unknown, larger) times are *not* included in ``stats`` — a
-    non-zero censored count therefore flags an unreliable estimate.
-    ``round_stats`` (when round counting was requested) summarizes the
-    *rounds* to stabilization, the scheduler-independent time measure.
-    ``samples`` holds the converged trials' raw stabilization times in
-    trial order — the cross-engine conformance tier
-    (``tests/test_engine_conformance.py``) feeds them to its KS tests;
-    ``row()`` deliberately leaves them out of tables.
+    ``censored`` counts trials that did *not* converge; their (unknown,
+    larger) times are not included in ``stats`` — a non-zero censored
+    count therefore flags an unreliable estimate.  Censoring splits into
+    ``timed_out`` (the trial exhausted ``max_steps``; surfaced as
+    :attr:`timeout_rate` in :meth:`row` so budget exhaustion is never
+    silently folded into the mean) and the remainder, trials retired in
+    an illegitimate *terminal* configuration (which no budget could
+    save).  ``round_stats`` (when round counting was requested)
+    summarizes the *rounds* to stabilization, the scheduler-independent
+    time measure.  ``samples`` holds the converged trials' raw
+    stabilization times in trial order — the cross-engine conformance
+    tier (``tests/test_engine_conformance.py``) feeds them to its KS
+    tests; ``row()`` deliberately leaves them out of tables.
+
+    Fault-injected runs (:class:`~repro.stabilization.faults.FaultPlan`)
+    additionally report the re-convergence metrics: ``faulted`` counts
+    trials whose fault actually fired, ``recovery_stats``/
+    ``recovery_samples`` summarize post-fault recovery times
+    (retirement step − fault step, converged faulted trials only),
+    ``availability`` is the mean per-trial fraction of *legitimate*
+    observations over the whole run, and ``max_excursion`` the longest
+    contiguous run of illegitimate observations seen in any trial.
     """
 
     trials: int
@@ -108,18 +124,31 @@ class MonteCarloResult:
     stats: SummaryStats | None
     round_stats: SummaryStats | None = None
     samples: tuple[float, ...] | None = None
+    timed_out: int = 0
+    faulted: int = 0
+    recovery_stats: SummaryStats | None = None
+    recovery_samples: tuple[float, ...] | None = None
+    availability: float | None = None
+    max_excursion: int | None = None
 
     @property
     def convergence_rate(self) -> float:
         """Fraction of trials that converged within the budget."""
         return self.converged / self.trials if self.trials else 0.0
 
+    @property
+    def timeout_rate(self) -> float:
+        """Fraction of trials that exhausted ``max_steps`` unconverged."""
+        return self.timed_out / self.trials if self.trials else 0.0
+
     def row(self) -> dict[str, object]:
-        """Dict form for tables (round statistics prefixed ``round_``)."""
+        """Dict form for tables (round statistics prefixed ``round_``,
+        re-convergence statistics prefixed ``recovery_``)."""
         base: dict[str, object] = {
             "trials": self.trials,
             "converged": self.converged,
             "censored": self.censored,
+            "timeout_rate": round(self.timeout_rate, 4),
         }
         if self.stats is not None:
             base.update(self.stats.row())
@@ -130,7 +159,57 @@ class MonteCarloResult:
                     for key, value in self.round_stats.row().items()
                 }
             )
+        if self.availability is not None:
+            base["faulted"] = self.faulted
+            base["availability"] = round(self.availability, 4)
+            base["max_excursion"] = self.max_excursion
+        if self.recovery_stats is not None:
+            base.update(
+                {
+                    f"recovery_{key}": value
+                    for key, value in self.recovery_stats.row().items()
+                }
+            )
         return base
+
+
+def fault_result_from_arrays(
+    trials: int,
+    times: np.ndarray,
+    converged: np.ndarray,
+    hit_terminal: np.ndarray,
+    timed_out: np.ndarray,
+    fault_times: np.ndarray,
+    legit_counts: np.ndarray,
+    observations: np.ndarray,
+    max_runs: np.ndarray,
+) -> MonteCarloResult:
+    """Assemble a fault-injected :class:`MonteCarloResult` from the
+    per-trial outcome vectors of the fault timeline.
+
+    Every engine — scalar oracle, lockstep batch, fused sweep — reduces
+    its per-trial integers through *this* function, so the derived
+    floating-point metrics (availability, recovery statistics) are
+    bit-identical whenever the integer vectors are.
+    """
+    samples = [float(t) for t in times[converged]]
+    fired = fault_times >= 0
+    recovered = converged & fired
+    recovery = [float(t) for t in (times - fault_times)[recovered]]
+    return MonteCarloResult(
+        trials=trials,
+        converged=len(samples),
+        censored=trials - len(samples),
+        stats=summarize(samples) if samples else None,
+        round_stats=None,
+        samples=tuple(samples),
+        timed_out=int(timed_out.sum()),
+        faulted=int(fired.sum()),
+        recovery_stats=summarize(recovery) if recovery else None,
+        recovery_samples=tuple(recovery),
+        availability=float(np.mean(legit_counts / observations)),
+        max_excursion=int(max_runs.max()) if max_runs.size else 0,
+    )
 
 
 class MonteCarloRunner:
@@ -212,6 +291,7 @@ class MonteCarloRunner:
         measure_rounds: bool = False,
         engine: str | None = None,
         batch_legitimate: BatchLegitimacy | None = None,
+        fault: FaultPlan | None = None,
     ) -> MonteCarloResult:
         """Sample stabilization times over random starts/scheduler draws.
 
@@ -225,6 +305,12 @@ class MonteCarloRunner:
         the batch engine (e.g.
         :class:`~repro.markov.batch.EnabledCountLegitimacy`); without it
         the batch path falls back to decoding rows through ``legitimate``.
+
+        ``fault`` injects one seeded transient corruption per trial (see
+        :class:`~repro.stabilization.faults.FaultPlan`); the result then
+        carries the re-convergence metrics.  Both engines implement the
+        same fault timeline, so cross-engine equivalence holds under
+        corruption too.
         """
         if trials < 1:
             raise MarkovError("need at least one trial")
@@ -235,6 +321,13 @@ class MonteCarloRunner:
             raise MarkovError(
                 f"unknown engine {engine!r}; known: {ENGINES}"
             )
+        compiled_fault: CompiledFault | None = None
+        if fault is not None:
+            if measure_rounds:
+                raise MarkovError(
+                    "round counting is not supported with fault injection"
+                )
+            compiled_fault = compile_fault(fault, self.system, trials)
         if engine != "scalar" and self._batch_supported(
             sampler, measure_rounds, require=engine == "batch"
         ):
@@ -246,6 +339,17 @@ class MonteCarloRunner:
                 rng,
                 initial_configurations,
                 batch_legitimate,
+                compiled_fault,
+            )
+        if compiled_fault is not None:
+            return self._estimate_scalar_fault(
+                sampler,
+                legitimate,
+                trials,
+                max_steps,
+                rng,
+                initial_configurations,
+                compiled_fault,
             )
         return self._estimate_scalar(
             sampler,
@@ -306,6 +410,7 @@ class MonteCarloRunner:
         rng: RandomSource,
         initial_configurations: Sequence[Configuration] | None,
         batch_legitimate: BatchLegitimacy | None,
+        fault: CompiledFault | None = None,
     ) -> MonteCarloResult:
         engine = self.batch_engine()
         if initial_configurations is not None:
@@ -321,6 +426,26 @@ class MonteCarloRunner:
         )
         strategy = batch_strategy_for(sampler)
         assert strategy is not None  # _batch_supported vetted it
+        if fault is not None:
+            outcome = engine.run_with_fault(
+                strategy,
+                legitimacy,
+                codes,
+                max_steps,
+                rng.numpy_generator(),
+                fault,
+            )
+            return fault_result_from_arrays(
+                trials,
+                outcome.times,
+                outcome.converged,
+                outcome.hit_terminal,
+                outcome.timed_out,
+                outcome.fault_times,
+                outcome.legit_counts,
+                outcome.observations,
+                outcome.max_runs,
+            )
         outcome = engine.run(
             strategy,
             legitimacy,
@@ -336,6 +461,7 @@ class MonteCarloRunner:
             stats=summarize(times) if times else None,
             round_stats=None,
             samples=tuple(times),
+            timed_out=trials - len(times) - int(outcome.hit_terminal.sum()),
         )
 
     def _estimate_scalar(
@@ -352,6 +478,7 @@ class MonteCarloRunner:
         times: list[float] = []
         rounds: list[float] = []
         censored = 0
+        timed_out = 0
         domains = (
             _domain_table(system) if initial_configurations is None else None
         )
@@ -385,6 +512,7 @@ class MonteCarloRunner:
                 censored += 1
             else:
                 censored += 1
+                timed_out += 1
         stats = summarize(times) if times else None
         round_stats = summarize(rounds) if rounds else None
         return MonteCarloResult(
@@ -394,6 +522,106 @@ class MonteCarloRunner:
             stats=stats,
             round_stats=round_stats,
             samples=tuple(times),
+            timed_out=timed_out,
+        )
+
+    def _estimate_scalar_fault(
+        self,
+        sampler: SchedulerSampler,
+        legitimate: Callable[[Configuration], bool],
+        trials: int,
+        max_steps: int,
+        rng: RandomSource,
+        initial_configurations: Sequence[Configuration] | None,
+        fault: CompiledFault,
+    ) -> MonteCarloResult:
+        """The loop-per-trial oracle form of the fault timeline.
+
+        Mirrors :meth:`BatchEngine.run_with_fault` observation-for-
+        observation (trigger → bookkeeping → retire-converged → terminal
+        → budget → step), so a deterministic sampler with explicit
+        initials produces bit-identical per-trial outcome vectors.
+        """
+        system = self.system
+        kernel = self.kernel
+        at_convergence = fault.at_convergence
+        times = np.zeros(trials, dtype=np.int64)
+        converged = np.zeros(trials, dtype=bool)
+        hit_terminal = np.zeros(trials, dtype=bool)
+        timed_out = np.zeros(trials, dtype=bool)
+        fault_times = np.full(trials, -1, dtype=np.int64)
+        legit_counts = np.zeros(trials, dtype=np.int64)
+        observations = np.zeros(trials, dtype=np.int64)
+        max_runs = np.zeros(trials, dtype=np.int64)
+        domains = (
+            _domain_table(system) if initial_configurations is None else None
+        )
+        for trial in range(trials):
+            if initial_configurations is not None:
+                initial = initial_configurations[
+                    trial % len(initial_configurations)
+                ]
+            else:
+                initial = _draw_configuration(domains, rng)
+            cursor = KernelCursor(kernel, initial)
+            pending = True
+            cur_run = 0
+            step = 0
+            while True:
+                configuration = cursor.configuration
+                legit = bool(legitimate(configuration))
+                if pending and (
+                    (not at_convergence and step == fault.step)
+                    or (at_convergence and legit)
+                ):
+                    configuration = fault.corrupt(configuration, trial)
+                    cursor.reset(configuration)
+                    fault_times[trial] = step
+                    pending = False
+                    legit = bool(legitimate(configuration))
+                observations[trial] += 1
+                if legit:
+                    legit_counts[trial] += 1
+                    cur_run = 0
+                else:
+                    cur_run += 1
+                    if cur_run > max_runs[trial]:
+                        max_runs[trial] = cur_run
+                if legit and not pending:
+                    converged[trial] = True
+                    times[trial] = step
+                    break
+                enabled = cursor.enabled
+                if not enabled:
+                    if pending and not at_convergence:
+                        # A pending fixed-step fault may re-enable the
+                        # system: idle in place (time still passes).
+                        if step >= max_steps:
+                            timed_out[trial] = True
+                            break
+                        step += 1
+                        continue
+                    hit_terminal[trial] = True
+                    break
+                if step >= max_steps:
+                    timed_out[trial] = True
+                    break
+                subset = list(
+                    sampler.choose(kernel, configuration, enabled, rng)
+                )
+                _validate_subset(subset, enabled)
+                cursor.advance(subset, rng)
+                step += 1
+        return fault_result_from_arrays(
+            trials,
+            times,
+            converged,
+            hit_terminal,
+            timed_out,
+            fault_times,
+            legit_counts,
+            observations,
+            max_runs,
         )
 
     def batch(self, cases: Sequence[dict]) -> list[MonteCarloResult]:
@@ -465,6 +693,7 @@ class MonteCarloRunner:
                         # legal pre-fusion input) distinct under the
                         # sweep runner's duplicate-point check.
                         label=f"batch-case-{index}",
+                        fault=case.get("fault"),
                     ),
                 )
             )
@@ -503,6 +732,7 @@ def estimate_stabilization_time(
     kernel: TransitionKernel | None = None,
     engine: str = "auto",
     batch_legitimate: BatchLegitimacy | None = None,
+    fault: FaultPlan | None = None,
 ) -> MonteCarloResult:
     """Sample stabilization times over random starts and scheduler draws.
 
@@ -519,4 +749,5 @@ def estimate_stabilization_time(
         measure_rounds=measure_rounds,
         engine=engine,
         batch_legitimate=batch_legitimate,
+        fault=fault,
     )

@@ -63,6 +63,7 @@ from repro.markov.batch import (
 from repro.markov.montecarlo import (
     MonteCarloResult,
     MonteCarloRunner,
+    fault_result_from_arrays,
     random_configurations,
 )
 from repro.random_source import RandomSource
@@ -72,6 +73,7 @@ from repro.schedulers.samplers import (
     DistributedRandomizedSampler,
     SynchronousSampler,
 )
+from repro.stabilization.faults import FaultPlan, compile_fault
 
 __all__ = [
     "SWEEP_ENGINES",
@@ -118,6 +120,11 @@ class SweepPointSpec:
     :class:`~repro.random_source.RandomSource` argument so a spec is a
     pure value: the scalar oracle for this point is
     ``estimate(..., rng=RandomSource(seed), engine="scalar")``.
+
+    ``fault`` attaches one seeded transient corruption per trial (see
+    :class:`~repro.stabilization.faults.FaultPlan`): the fused matrix
+    carries per-point fault plans, so a robustness sweep mixes faulted
+    and fault-free points in one lockstep run.
     """
 
     system: System
@@ -129,6 +136,7 @@ class SweepPointSpec:
     batch_legitimate: BatchLegitimacy | None = None
     initial_configurations: tuple[Configuration, ...] | None = None
     label: str | None = None
+    fault: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -369,6 +377,13 @@ class SweepRunner:
                     f"sweep point {position}: need at least one initial"
                     " configuration"
                 )
+            if spec.fault is not None and not isinstance(
+                spec.fault, FaultPlan
+            ):
+                raise MarkovError(
+                    f"sweep point {position}: fault is"
+                    f" {type(spec.fault).__name__}, expected FaultPlan"
+                )
             for earlier in seen:
                 if earlier is spec or earlier == spec:
                     raise MarkovError(
@@ -414,6 +429,7 @@ class SweepRunner:
             initial_configurations=spec.initial_configurations,
             engine="auto" if engine == "per-point-auto" else engine,
             batch_legitimate=spec.batch_legitimate,
+            fault=spec.fault,
         )
 
     # ------------------------------------------------------------------
@@ -432,7 +448,13 @@ class SweepRunner:
         a per-row *step budget* (rows retire censored when their own
         point's ``max_steps`` is exhausted) and per-point dispatch of
         legitimacy predicates and scheduler strategies over row slices
-        of the shared matrix.
+        of the shared matrix.  Points carrying a
+        :class:`~repro.stabilization.faults.FaultPlan` additionally run
+        the fault timeline of :meth:`BatchEngine.run_with_fault` on
+        their row slices (pending faults block retirement, fixed-step
+        faults park terminal rows, availability/excursion bookkeeping
+        per observation); a fault-free sweep takes the exact pre-fault
+        instruction path, consuming an identical random stream.
         """
         tables = engine.tables
         encoding = engine.encoding
@@ -500,80 +522,190 @@ class SweepRunner:
             _fold_seeds([spec.seed for spec in specs])
         ).numpy_generator()
 
+        # Per-point fault plans, compiled against the shared encoding.
+        # ``step_of_point`` encodes each member's trigger: -2 no fault,
+        # -1 at-convergence, >= 0 fixed step.
+        faults = [
+            compile_fault(spec.fault, encoding, spec.trials)
+            if spec.fault is not None
+            else None
+            for spec in specs
+        ]
+        any_fault = any(fault is not None for fault in faults)
+        step_of_point = np.array(
+            [
+                -2
+                if fault is None
+                else (-1 if fault.at_convergence else fault.step)
+                for fault in faults
+            ],
+            dtype=np.int64,
+        )
+        offsets = np.cumsum(counts) - counts
+
         times = np.zeros(total_rows, dtype=np.int64)
         converged = np.zeros(total_rows, dtype=bool)
+        hit_terminal = np.zeros(total_rows, dtype=bool)
+        timed_out = np.zeros(total_rows, dtype=bool)
+        fault_times = np.full(total_rows, -1, dtype=np.int64)
+        legit_counts = np.zeros(total_rows, dtype=np.int64)
+        observations = np.zeros(total_rows, dtype=np.int64)
+        max_runs = np.zeros(total_rows, dtype=np.int64)
         active = np.arange(total_rows)
+        # Aligned with ``active`` and compacted together with it.
+        pending = step_of_point[point] != -2
+        cur_run = np.zeros(total_rows, dtype=np.int64)
 
         def retire(keep: np.ndarray) -> None:
-            nonlocal active, codes, point, budget
+            nonlocal active, codes, point, budget, pending, cur_run
             active = active[keep]
             codes = codes[keep]
             point = point[keep]
             budget = budget[keep]
+            if any_fault:
+                pending = pending[keep]
+                cur_run = cur_run[keep]
+
+        def evaluate_legit(
+            codes_m: np.ndarray, enabled_m: np.ndarray, point_m: np.ndarray
+        ) -> np.ndarray:
+            # Homogeneous sweeps (one legitimacy/sampler signature — the
+            # Q1/Q2 shape) skip the row masking entirely: dispatch cost
+            # is only paid when points actually differ.
+            if len(legit_groups) == 1:
+                return legit_groups[0][0].evaluate(
+                    codes_m, enabled_m, engine
+                )
+            legit_m = np.zeros(len(point_m), dtype=bool)
+            for legitimacy, mask in legit_groups:
+                rows = mask[point_m]
+                if rows.any():
+                    legit_m[rows] = legitimacy.evaluate(
+                        codes_m[rows], enabled_m[rows], engine
+                    )
+            return legit_m
+
+        def choose(
+            enabled_m: np.ndarray, point_m: np.ndarray
+        ) -> np.ndarray:
+            if len(strategy_groups) == 1:
+                return strategy_groups[0][0].choose(enabled_m, generator)
+            movers_m = np.zeros_like(enabled_m)
+            for strategy, mask in strategy_groups:
+                rows = mask[point_m]
+                if rows.any():
+                    movers_m[rows] = strategy.choose(
+                        enabled_m[rows], generator
+                    )
+            return movers_m
 
         step = 0
         while active.size:
             keys = tables.pack(codes)
             enabled = tables.enabled(keys)
-            # Homogeneous sweeps (one legitimacy/sampler signature — the
-            # Q1/Q2 shape) skip the row masking entirely: dispatch cost
-            # is only paid when points actually differ.
-            if len(legit_groups) == 1:
-                legit = legit_groups[0][0].evaluate(codes, enabled, engine)
+            legit = evaluate_legit(codes, enabled, point)
+            if any_fault and pending.any():
+                spt = step_of_point[point]
+                fire = pending & ((spt == step) | ((spt == -1) & legit))
+                if fire.any():
+                    for member, fault in enumerate(faults):
+                        if fault is None:
+                            continue
+                        rows = np.flatnonzero(fire & (point == member))
+                        if not rows.size:
+                            continue
+                        trial_ids = active[rows] - offsets[member]
+                        fault.scatter(codes, rows, trial_ids)
+                        fault_times[active[rows]] = step
+                    pending[fire] = False
+                    # Re-derive the corrupted rows' state post-corruption.
+                    rows = np.flatnonzero(fire)
+                    keys[rows] = tables.pack(codes[rows])
+                    enabled[rows] = tables.enabled(keys[rows])
+                    legit[rows] = evaluate_legit(
+                        codes[rows], enabled[rows], point[rows]
+                    )
+            if any_fault:
+                observations[active] += 1
+                legit_counts[active] += legit
+                cur_run = np.where(legit, 0, cur_run + 1)
+                max_runs[active] = np.maximum(max_runs[active], cur_run)
+                done = legit & ~pending
             else:
-                legit = np.zeros(active.size, dtype=bool)
-                for legitimacy, mask in legit_groups:
-                    rows = mask[point]
-                    if rows.any():
-                        legit[rows] = legitimacy.evaluate(
-                            codes[rows], enabled[rows], engine
-                        )
-            if legit.any():
-                retired = active[legit]
+                done = legit
+            if done.any():
+                retired = active[done]
                 times[retired] = step
                 converged[retired] = True
-                keep = ~legit
+                keep = ~done
                 retire(keep)
                 if not active.size:
                     break
                 keys = keys[keep]
                 enabled = enabled[keep]
             # Illegitimate terminal rows can never converge: censored,
-            # exactly as the scalar path and BatchEngine.run count them.
+            # exactly as the scalar path and BatchEngine.run count them
+            # — unless a pending fixed-step fault may re-enable them, in
+            # which case they idle in place (time still passes).
             terminal = ~enabled.any(axis=1)
-            if terminal.any():
-                keep = ~terminal
+            if any_fault:
+                frozen = terminal & pending & (step_of_point[point] >= 0)
+                retire_terminal = terminal & ~frozen
+            else:
+                frozen = None
+                retire_terminal = terminal
+            if retire_terminal.any():
+                hit_terminal[active[retire_terminal]] = True
+                keep = ~retire_terminal
                 retire(keep)
+                if frozen is not None:
+                    frozen = frozen[keep]
                 if not active.size:
                     break
                 keys = keys[keep]
                 enabled = enabled[keep]
             over = budget <= step
             if over.any():
+                timed_out[active[over]] = True
                 keep = ~over
                 retire(keep)
+                if frozen is not None:
+                    frozen = frozen[keep]
                 if not active.size:
                     break
                 keys = keys[keep]
                 enabled = enabled[keep]
-            if len(strategy_groups) == 1:
-                movers = strategy_groups[0][0].choose(enabled, generator)
+            if frozen is not None and frozen.any():
+                move = ~frozen
+                movers = choose(enabled[move], point[move])
+                codes[move] = tables.sample(
+                    codes[move], keys[move], movers, generator
+                )
             else:
-                movers = np.zeros_like(enabled)
-                for strategy, mask in strategy_groups:
-                    rows = mask[point]
-                    if rows.any():
-                        movers[rows] = strategy.choose(
-                            enabled[rows], generator
-                        )
-            codes = tables.sample(codes, keys, movers, generator)
+                movers = choose(enabled, point)
+                codes = tables.sample(codes, keys, movers, generator)
             step += 1
 
         results: dict[int, MonteCarloResult] = {}
         start = 0
-        for (index, spec), count in zip(members, counts.tolist()):
+        for (index, spec), count, fault in zip(
+            members, counts.tolist(), faults
+        ):
             rows = slice(start, start + count)
             start += count
+            if fault is not None:
+                results[index] = fault_result_from_arrays(
+                    count,
+                    times[rows],
+                    converged[rows],
+                    hit_terminal[rows],
+                    timed_out[rows],
+                    fault_times[rows],
+                    legit_counts[rows],
+                    observations[rows],
+                    max_runs[rows],
+                )
+                continue
             row_converged = converged[rows]
             samples = [float(t) for t in times[rows][row_converged]]
             results[index] = MonteCarloResult(
@@ -583,5 +715,6 @@ class SweepRunner:
                 stats=summarize(samples) if samples else None,
                 round_stats=None,
                 samples=tuple(samples),
+                timed_out=int(timed_out[rows].sum()),
             )
         return results

@@ -1,7 +1,20 @@
 """Stabilization definitions, model checker, and witness construction."""
 
+from repro.stabilization.adversarial import (
+    AdversarialVerdict,
+    DaemonBracket,
+    best_case_convergence,
+    daemon_bracket,
+    worst_case_convergence,
+)
 from repro.stabilization.classify import StabilizationVerdict, classify
 from repro.stabilization.closure import ClosureViolation, check_strong_closure
+from repro.stabilization.faults import (
+    FAULT_MODES,
+    CompiledFault,
+    FaultPlan,
+    compile_fault,
+)
 from repro.stabilization.convergence import (
     CertainConvergenceReport,
     backward_reachable,
@@ -88,4 +101,13 @@ __all__ = [
     "convergence_profile",
     "ProbabilisticVerdict",
     "classify_probabilistic",
+    "AdversarialVerdict",
+    "DaemonBracket",
+    "best_case_convergence",
+    "daemon_bracket",
+    "worst_case_convergence",
+    "FAULT_MODES",
+    "FaultPlan",
+    "CompiledFault",
+    "compile_fault",
 ]

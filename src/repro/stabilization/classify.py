@@ -4,6 +4,13 @@
 strong closure, possible convergence and certain convergence, and returns
 a :class:`StabilizationVerdict` that names the stabilization class
 (deterministically self-stabilizing / weak-stabilizing only / neither).
+
+The quantitative counterparts live next door: Definition 2's
+probability-1 convergence under a *randomized* daemon in
+:mod:`repro.stabilization.probabilistic`, and the best-/worst-case
+daemons of the same family — the MDP view that separates weak from
+self stabilization quantitatively — in
+:mod:`repro.stabilization.adversarial`.
 """
 
 from __future__ import annotations

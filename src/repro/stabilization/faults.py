@@ -1,0 +1,219 @@
+"""Transient-fault plans: seeded mid-run corruption of running trials.
+
+Self-stabilization (Definition 1 of the paper) is *recovery from
+transient faults*: the arbitrary initial configuration stands in for
+"whatever the last fault left behind".  The Monte-Carlo tiers sample
+exactly that — but only at time 0.  This module makes the fault an
+explicit, replayable event so re-convergence can be measured mid-run:
+
+* :class:`FaultPlan` — a pure value describing one transient corruption
+  event: corrupt ``processes`` distinct processes either at a fixed
+  ``step`` or *at convergence* (``step=None``: the instant the run first
+  satisfies the specification — the re-convergence protocol of the
+  fault-injection literature), with a value mode:
+
+  - ``"random"`` — each victim gets a uniformly random local state;
+  - ``"adversarial-reset"`` — each victim is forced to local-state code
+    0 (the all-defaults state, the classic "power-glitch" reset);
+  - ``"stuck-at"`` — each victim is forced to one caller-chosen local
+    state code (``value``), modeling a stuck register.
+
+* :func:`compile_fault` — resolves a plan against a system into
+  per-trial victim/value arrays drawn from a *dedicated*
+  :class:`~repro.random_source.RandomSource` stream (``plan.seed``), so
+  every engine — scalar oracle, lockstep batch, fused sweep — applies
+  bit-identical corruption to trial ``t``.  The corruption is **one
+  extra scatter** into the ``(trials × processes)`` code matrix for the
+  vectorized engines, and a cursor reset for the scalar oracle.
+
+The shared per-trial observation protocol all engines implement (the
+"fault timeline"; tested bit-for-bit by the conformance tier):
+
+1. at each time index, if the fault is pending and its trigger fires,
+   apply the corruption and record the fault time;
+2. evaluate legitimacy on the (post-corruption) configuration; feed the
+   availability and excursion counters;
+3. a legitimate observation retires the trial as converged *only when
+   no fault is pending* — a pending at-convergence fault fires instead,
+   and a pending fixed-step fault blocks retirement until it has fired;
+4. a terminal observation retires the trial as ``hit_terminal`` unless
+   a fixed-step fault is still pending (the corruption may re-enable
+   the system, so the trial idles in place — time still passes);
+5. exhausting ``max_steps`` retires the trial as timed out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.encoding import CODE_DTYPE, StateEncoding
+from repro.errors import ModelError
+from repro.random_source import RandomSource
+
+__all__ = ["FAULT_MODES", "FaultPlan", "CompiledFault", "compile_fault"]
+
+#: Accepted corruption value modes.
+FAULT_MODES = ("random", "adversarial-reset", "stuck-at")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One transient corruption event, as a pure (hashable) value.
+
+    ``step=None`` means *at convergence*: the fault fires the first time
+    the trial's configuration satisfies the specification, which turns
+    the run into a re-convergence measurement.  ``value`` is only read
+    in ``"stuck-at"`` mode (the forced local-state code).  ``seed``
+    feeds the dedicated corruption stream of :func:`compile_fault` —
+    independent of the trial's scheduler stream, so scalar and batch
+    engines corrupt identically.
+    """
+
+    processes: int
+    step: int | None = None
+    mode: str = "random"
+    value: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ModelError(
+                f"fault plan must corrupt at least one process,"
+                f" got {self.processes}"
+            )
+        if self.step is not None and self.step < 0:
+            raise ModelError(
+                f"fault step must be >= 0 (or None for at-convergence),"
+                f" got {self.step}"
+            )
+        if self.mode not in FAULT_MODES:
+            raise ModelError(
+                f"unknown fault mode {self.mode!r}; known: {FAULT_MODES}"
+            )
+        if self.mode == "stuck-at" and self.value < 0:
+            raise ModelError(
+                f"stuck-at value must be a local-state code >= 0,"
+                f" got {self.value}"
+            )
+
+    @property
+    def at_convergence(self) -> bool:
+        """Whether the trigger is *first legitimacy* instead of a step."""
+        return self.step is None
+
+
+class CompiledFault:
+    """A fault plan resolved against one system for a fixed trial count.
+
+    ``targets[t]`` are trial ``t``'s victim processes (sorted, distinct)
+    and ``codes[t]`` the local-state codes forced onto them — the same
+    arrays drive every engine, so corruption is bit-reproducible across
+    scalar, batch, and fused execution.
+    """
+
+    __slots__ = ("plan", "encoding", "targets", "codes")
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        encoding: StateEncoding,
+        targets: np.ndarray,
+        codes: np.ndarray,
+    ) -> None:
+        self.plan = plan
+        self.encoding = encoding
+        self.targets = targets
+        self.codes = codes
+
+    @property
+    def trials(self) -> int:
+        """Number of trials this compilation covers."""
+        return int(self.targets.shape[0])
+
+    @property
+    def at_convergence(self) -> bool:
+        """Whether the trigger is *first legitimacy* instead of a step."""
+        return self.plan.at_convergence
+
+    @property
+    def step(self) -> int | None:
+        """The fixed trigger step (``None`` for at-convergence plans)."""
+        return self.plan.step
+
+    def scatter(
+        self, codes: np.ndarray, rows: np.ndarray, trial_ids: np.ndarray
+    ) -> None:
+        """Corrupt ``codes[rows]`` in place with the trials' fault values.
+
+        ``rows`` are positions in the active code matrix; ``trial_ids``
+        the corresponding original trial indices (they diverge once
+        retired rows have been compacted away).
+        """
+        codes[rows[:, None], self.targets[trial_ids]] = self.codes[trial_ids]
+
+    def corrupt(self, configuration: Configuration, trial: int) -> Configuration:
+        """The scalar-engine form of the same corruption: a new tuple."""
+        replaced = list(configuration)
+        encoding = self.encoding
+        for process, code in zip(self.targets[trial], self.codes[trial]):
+            replaced[int(process)] = encoding.decode_local(
+                int(process), int(code)
+            )
+        return tuple(replaced)
+
+
+def compile_fault(
+    plan: FaultPlan,
+    system_or_encoding,
+    trials: int,
+) -> CompiledFault:
+    """Resolve a :class:`FaultPlan` into per-trial victim/value arrays.
+
+    Draws are trial-major from ``RandomSource(plan.seed)`` — victims by
+    sampling without replacement, then (``"random"`` mode only) one
+    uniform local-state code per victim — so a given ``(plan, trials)``
+    pair compiles to identical arrays in every engine and process.
+    """
+    encoding = (
+        system_or_encoding
+        if isinstance(system_or_encoding, StateEncoding)
+        else StateEncoding(system_or_encoding)
+    )
+    num_processes = encoding.num_processes
+    if plan.processes > num_processes:
+        raise ModelError(
+            f"fault plan corrupts {plan.processes} processes but the"
+            f" system has only {num_processes}"
+        )
+    if trials < 1:
+        raise ModelError("need at least one trial to compile a fault plan")
+    sizes = encoding.sizes
+    if plan.mode == "stuck-at":
+        smallest = int(sizes.min())
+        if plan.value >= smallest:
+            raise ModelError(
+                f"stuck-at value {plan.value} is out of range: the"
+                f" smallest local-state space has {smallest} codes"
+            )
+    rng = RandomSource(plan.seed)
+    count = plan.processes
+    targets = np.empty((trials, count), dtype=np.int64)
+    codes = np.empty((trials, count), dtype=CODE_DTYPE)
+    for trial in range(trials):
+        pool = list(range(num_processes))
+        victims = sorted(
+            pool.pop(rng.randrange(len(pool))) for _ in range(count)
+        )
+        targets[trial] = victims
+        if plan.mode == "random":
+            codes[trial] = [
+                rng.randrange(int(sizes[victim])) for victim in victims
+            ]
+        elif plan.mode == "adversarial-reset":
+            codes[trial] = 0
+        else:  # stuck-at
+            codes[trial] = plan.value
+    return CompiledFault(plan, encoding, targets, codes)

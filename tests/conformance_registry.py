@@ -45,6 +45,7 @@ from repro.schedulers.samplers import (
     DistributedRandomizedSampler,
     SynchronousSampler,
 )
+from repro.stabilization.faults import FaultPlan
 from repro.transformer.coin_toss import TransformedSpec, make_transformed_system
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "CONFORMANCE_SYSTEMS",
     "conformance_system",
     "conformance_entry",
+    "conformance_fault_plan",
     "conformance_matrix",
     "ks_statistic",
     "ks_bound",
@@ -285,6 +287,25 @@ def conformance_entry(name: str) -> ConformanceSystem:
         if entry.name == name:
             return entry
     raise KeyError(f"unknown conformance system {name!r}")
+
+
+def conformance_fault_plan(system: System, mode: str) -> FaultPlan:
+    """The fault axis: one seeded transient corruption per matrix cell.
+
+    ``"ks"`` cells converge on every engine, so the fault strikes *at
+    convergence* — the canonical self-stabilization scenario — and the
+    engines are compared on recovery as well as total stabilization
+    times.  ``"exact"`` cells are deterministic (and may livelock, so an
+    at-convergence trigger would never fire): the fault strikes at a
+    fixed step instead, and the engines must stay bit-identical through
+    the corruption.
+    """
+    processes = min(2, system.num_processes)
+    if mode == "exact":
+        return FaultPlan(
+            processes=processes, step=7, mode="adversarial-reset", seed=1312
+        )
+    return FaultPlan(processes=processes, step=None, mode="random", seed=1312)
 
 
 def conformance_matrix() -> list[tuple[str, str, str]]:

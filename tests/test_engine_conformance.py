@@ -31,6 +31,7 @@ from conformance_registry import (
     CONFORMANCE_SAMPLERS,
     CONFORMANCE_SYSTEMS,
     conformance_entry,
+    conformance_fault_plan,
     conformance_matrix,
     conformance_system,
     ks_bound,
@@ -61,7 +62,7 @@ MATRIX_IDS = [
 EXACT_MAX_STEPS = 200
 
 
-def _point(entry, system, sampler_key, seed, mode="ks"):
+def _point(entry, system, sampler_key, seed, mode="ks", fault=None):
     if mode == "exact":
         # Deterministic dynamics with *explicit* initial configurations:
         # every engine cycles the same list the same way, so outcomes
@@ -80,6 +81,7 @@ def _point(entry, system, sampler_key, seed, mode="ks"):
             batch_legitimate=entry.batch_legitimate,
             initial_configurations=initials,
             label=f"{entry.name}-{sampler_key}",
+            fault=fault,
         )
     return SweepPointSpec(
         system=system,
@@ -90,13 +92,14 @@ def _point(entry, system, sampler_key, seed, mode="ks"):
         seed=seed,
         batch_legitimate=entry.batch_legitimate,
         label=f"{entry.name}-{sampler_key}",
+        fault=fault,
     )
 
 
-def _run(entry, system, sampler_key, engine, seed, mode="ks"):
+def _run(entry, system, sampler_key, engine, seed, mode="ks", fault=None):
     runner = SweepRunner(engine=engine)
     (result,) = runner.run(
-        [_point(entry, system, sampler_key, seed, mode)]
+        [_point(entry, system, sampler_key, seed, mode, fault)]
     )
     assert runner.last_plan[0].engine == engine
     return result
@@ -142,6 +145,50 @@ def test_montecarlo_engines_agree(system_name, sampler_key, mode):
         assert other_mean == pytest.approx(
             scalar_mean, abs=max(5.0 * scalar_sem, 0.5)
         )
+
+
+@pytest.mark.parametrize(
+    "system_name,sampler_key,mode", MATRIX, ids=MATRIX_IDS
+)
+def test_montecarlo_engines_agree_under_fault(system_name, sampler_key, mode):
+    """The fault axis: every matrix cell re-run under transient
+    corruption (see ``conformance_fault_plan``).  Deterministic cells
+    must stay bit-identical through the corruption; stochastic cells
+    must recover on every engine and agree on both the total
+    stabilization-time and the post-fault recovery-time distributions."""
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    seed = 1409
+    fault = conformance_fault_plan(system, mode)
+    scalar = _run(entry, system, sampler_key, "scalar", seed, mode, fault)
+    batch = _run(entry, system, sampler_key, "batch", seed, mode, fault)
+    fused = _run(entry, system, sampler_key, "fused", seed, mode, fault)
+
+    if mode == "exact":
+        assert scalar == batch == fused
+        return
+
+    for result in (scalar, batch, fused):
+        assert result.trials == entry.trials
+        assert result.faulted == entry.trials, (
+            f"{system_name}/{sampler_key}: at-convergence fault"
+            " failed to fire on every trial"
+        )
+        assert result.censored == 0, (
+            f"{system_name}/{sampler_key}: engine failed to recover"
+        )
+        assert result.recovery_samples is not None
+    for name, result in (("batch", batch), ("fused", fused)):
+        for metric in ("samples", "recovery_samples"):
+            reference = getattr(scalar, metric)
+            candidate = getattr(result, metric)
+            statistic = ks_statistic(reference, candidate)
+            bound = ks_bound(len(reference), len(candidate))
+            assert statistic < bound, (
+                f"{system_name}/{sampler_key}: scalar-vs-{name}"
+                f" {metric} KS statistic {statistic:.4f} exceeds"
+                f" bound {bound:.4f}"
+            )
 
 
 @pytest.mark.parametrize(

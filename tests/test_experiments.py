@@ -27,9 +27,9 @@ from repro.experiments.q1 import run_q1
 
 class TestRegistry:
     def test_all_targets_registered(self):
-        assert len(all_ids()) == 18
+        assert len(all_ids()) == 20
         assert all_ids()[0] == "FIG1"
-        assert all_ids()[-1] == "ABL1"
+        assert all_ids()[-1] == "ADV1"
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("fig1").experiment_id == "FIG1"
