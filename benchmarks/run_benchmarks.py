@@ -2,14 +2,15 @@
 
 Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
 ``bench_sharded_explore.py``, ``bench_chain_build.py``,
-``bench_sweep_fusion.py``, ``bench_fault_injection.py``, and
-``bench_mdp_solve.py`` through pytest-benchmark and appends a
-condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
-so the performance trajectory of the execution engine (state-space
-exploration — sequential and sharded — chain building and hitting
-solves, simulation throughput, batch Monte-Carlo throughput, fused
-multi-point sweeps, fault-injection overhead, MDP value iteration) is
-tracked across PRs.  Usage::
+``bench_sweep_fusion.py``, ``bench_fault_injection.py``,
+``bench_mdp_solve.py``, and ``bench_step_backend.py`` through
+pytest-benchmark and appends a condensed, machine-readable record to
+``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
+execution engine (state-space exploration — sequential and sharded —
+chain building and hitting solves, simulation throughput, batch
+Monte-Carlo throughput, fused multi-point sweeps, fault-injection
+overhead, MDP value iteration, step-backend fast paths) is tracked
+across PRs.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
     PYTHONPATH=src python benchmarks/run_benchmarks.py --check-regressions
@@ -36,6 +37,23 @@ were recorded with.  ``--check-regressions`` additionally fails the
 invocation with a non-zero exit when the fresh run regressed, so a CI
 hook or a pre-merge run catches performance regressions the
 correctness suite cannot see.
+
+Records are taken on whatever machine happens to run them, so every
+run first times a pinned calibration probe (a fixed numpy gather +
+pure-Python loop workload that exercises no repro code and therefore
+never changes across PRs) and stores it as ``"calibration_seconds"``.
+When both records carry a calibration time, the regression threshold is
+scaled by the measured host-drift factor — a machine that runs the
+*unchanging* probe 1.6× slower is allowed to run the benchmarks 1.6×
+slower before anything is called a regression.  The factor is clamped
+to ``[1.0, DRIFT_CAP]``: a *faster* host never loosens the bar, and a
+pathological probe cannot mask a real slowdown beyond the cap.
+
+Each record also carries a ``"step_profile"`` section: per-phase
+(gather / draw / legitimacy / retire) millisecond totals from one
+profiled lockstep batch run (``BatchEngine.run(..., profile=True)``),
+so shifts in where step time goes are visible alongside shifts in how
+much there is.
 
 Before benchmarking, the runner doctests ``README.md`` and every
 markdown file under ``docs/`` (the same check as
@@ -64,12 +82,19 @@ SUITE = (
     BENCH_DIR / "bench_sweep_fusion.py",
     BENCH_DIR / "bench_fault_injection.py",
     BENCH_DIR / "bench_mdp_solve.py",
+    BENCH_DIR / "bench_step_backend.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 
 #: ``--check-regressions`` fails on a hot path slower than the previous
-#: record by more than this fraction (min-of-rounds vs min-of-rounds).
+#: record by more than this fraction (min-of-rounds vs min-of-rounds),
+#: after scaling by the measured host-drift factor.
 REGRESSION_TOLERANCE = 0.25
+
+#: Host-drift scaling never loosens the threshold beyond this factor —
+#: a slow host explains a 2× slowdown at most; anything past that is
+#: surfaced as a regression regardless of what the probe measured.
+DRIFT_CAP = 2.0
 
 
 def _bench_env() -> dict:
@@ -79,6 +104,75 @@ def _bench_env() -> dict:
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
     return env
+
+
+def measure_calibration(rounds: int = 5) -> float:
+    """Best-of-``rounds`` seconds for a pinned probe workload.
+
+    The probe never touches repro code, so across PRs its runtime moves
+    only when the *host* does (CPU contention, frequency scaling, a
+    different machine).  It mixes a vectorized numpy gather-reduce with
+    a pure-Python accumulation loop so both memory-bandwidth drift and
+    interpreter-speed drift register.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    table = rng.random(1_000_000)
+    index = rng.integers(0, table.size, size=400_000)
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        gathered = 0.0
+        for _ in range(20):
+            gathered += float(table[index].sum())
+        looped = 0
+        for value in range(200_000):
+            looped += value ^ (value >> 3)
+        best = min(best, time.perf_counter() - started)
+    assert gathered and looped  # keep both workloads live
+    return best
+
+
+def collect_step_profile() -> dict:
+    """Per-phase millisecond totals from one profiled lockstep run.
+
+    Runs in a subprocess with ``PYTHONPATH=src`` (this script itself may
+    be launched without it) and returns the
+    ``BatchRunResult.profile`` dict of a fixed central-daemon point.
+    """
+    script = (
+        "import json;"
+        "from repro.algorithms.token_ring import make_token_ring_system;"
+        "from repro.core.kernel import TransitionKernel;"
+        "from repro.markov.batch import (BatchEngine,"
+        " EnabledCountLegitimacy, batch_strategy_for, compile_legitimacy,"
+        " encode_initials);"
+        "from repro.markov.montecarlo import random_configurations;"
+        "from repro.random_source import RandomSource;"
+        "from repro.schedulers.samplers import CentralRandomizedSampler;"
+        "system = make_token_ring_system(9);"
+        "engine = BatchEngine(TransitionKernel(system));"
+        "codes = encode_initials(engine.encoding,"
+        " random_configurations(system, RandomSource(8), 32), 4000);"
+        "result = engine.run(batch_strategy_for("
+        "CentralRandomizedSampler()),"
+        " compile_legitimacy(EnabledCountLegitimacy(1)), codes, 200,"
+        " RandomSource(8).numpy_generator(), profile=True);"
+        "print(json.dumps(result.profile))"
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=REPO_ROOT,
+        env=_bench_env(),
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        raise SystemExit(
+            "step-profile collection failed:\n" + completed.stderr
+        )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
 
 
 def run_docs_check() -> None:
@@ -114,13 +208,20 @@ def run_suite(raw_json_path: pathlib.Path) -> None:
         raise SystemExit(completed.returncode)
 
 
-def condense(raw: dict, label: str | None) -> dict:
+def condense(
+    raw: dict,
+    label: str | None,
+    calibration_seconds: float | None = None,
+    step_profile: dict | None = None,
+) -> dict:
     """Reduce pytest-benchmark's verbose JSON to the trajectory record."""
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "label": label,
         "machine": raw.get("machine_info", {}).get("node"),
         "python": raw.get("machine_info", {}).get("python_version"),
+        "calibration_seconds": calibration_seconds,
+        "step_profile": step_profile,
         "benchmarks": [
             {
                 "name": bench["name"],
@@ -134,6 +235,19 @@ def condense(raw: dict, label: str | None) -> dict:
     }
 
 
+def drift_factor(previous: dict, current: dict) -> float:
+    """Host-drift multiplier from the pinned calibration probes.
+
+    ``current_probe / previous_probe`` clamped to ``[1.0, DRIFT_CAP]``;
+    ``1.0`` (no scaling) when either record predates calibration.
+    """
+    before = previous.get("calibration_seconds")
+    now = current.get("calibration_seconds")
+    if not before or not now:
+        return 1.0
+    return min(max(now / before, 1.0), DRIFT_CAP)
+
+
 def find_regressions(
     previous: dict, current: dict, tolerance: float = REGRESSION_TOLERANCE
 ) -> list[tuple[str, float, float]]:
@@ -141,19 +255,22 @@ def find_regressions(
 
     Compares min-of-rounds (the least noisy statistic) for every
     benchmark name present in *both* runs; returns
-    ``(name, previous_min, current_min)`` triples.
+    ``(name, previous_min, current_min)`` triples.  The threshold is
+    scaled by :func:`drift_factor`, so a uniformly slower host does not
+    flag every hot path as regressed.
     """
     baseline = {
         bench["name"]: bench["min_seconds"]
         for bench in previous.get("benchmarks", [])
     }
+    drift = drift_factor(previous, current)
     regressions = []
     for bench in current.get("benchmarks", []):
         before = baseline.get(bench["name"])
         if before is None:
             continue
         now = bench["min_seconds"]
-        if now > before * (1.0 + tolerance):
+        if now > before * (1.0 + tolerance) * drift:
             regressions.append((bench["name"], before, now))
     return regressions
 
@@ -181,12 +298,14 @@ def main(argv: list[str] | None = None) -> None:
     if not args.skip_docs:
         run_docs_check()
 
+    calibration = measure_calibration()
+    step_profile = collect_step_profile()
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = pathlib.Path(tmp) / "raw.json"
         run_suite(raw_path)
         raw = json.loads(raw_path.read_text(encoding="utf-8"))
 
-    record = condense(raw, args.label)
+    record = condense(raw, args.label, calibration, step_profile)
     history = (
         json.loads(OUTPUT.read_text(encoding="utf-8"))
         if OUTPUT.exists()
@@ -208,6 +327,14 @@ def main(argv: list[str] | None = None) -> None:
     history.append(record)
     OUTPUT.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
     print(f"recorded {len(record['benchmarks'])} benchmarks -> {OUTPUT}")
+    print(f"  calibration probe: {calibration * 1000:.2f} ms")
+    print(
+        "  step profile (ms): "
+        + ", ".join(
+            f"{phase}={value:.1f}"
+            for phase, value in sorted(step_profile.items())
+        )
+    )
     for bench in record["benchmarks"]:
         print(f"  {bench['name']}: {bench['mean_seconds'] * 1000:.2f} ms mean")
 
@@ -215,6 +342,8 @@ def main(argv: list[str] | None = None) -> None:
         if baseline is None:
             print("no previous record; nothing to compare against")
             return
+        drift = drift_factor(baseline, record)
+        print(f"host-drift factor vs baseline: {drift:.2f}x")
         if regressions:
             print(
                 f"PERFORMANCE REGRESSIONS vs {baseline.get('label')!r}"

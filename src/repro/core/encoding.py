@@ -47,6 +47,7 @@ __all__ = [
     "CompiledKernelTables",
     "ExpansionContext",
     "compile_tables",
+    "expansion_context",
 ]
 
 #: Code dtype: local state spaces are tiny, 32 bits is generous.
@@ -214,6 +215,7 @@ class CompiledKernelTables:
         "outcome_code",
         "outcome_prob",
         "num_entries",
+        "_expansion_memo",
     )
 
     def __init__(
@@ -342,11 +344,24 @@ class ExpansionContext:
             if self.int64_safe
             else None
         )
+        #: True when every neighborhood has at most one action and every
+        #: action row has exactly one outcome: the synchronous (and
+        #: single-enabled central) step is then a pure function of the
+        #: configuration, which is what licenses rank-space
+        #: super-stepping (:mod:`repro.markov.backends`).
+        self.deterministic = bool(
+            (tables.action_count <= 1).all() and (self.arity == 1).all()
+        )
 
     def codes_of_ranks(self, ranks: Sequence[int]) -> np.ndarray:
         """``(M, N)`` code matrix of configuration ranks (mixed radix)."""
         if self.int64_safe:
-            rank_array = np.fromiter(ranks, dtype=np.int64, count=len(ranks))
+            if isinstance(ranks, np.ndarray):
+                rank_array = ranks.astype(np.int64, copy=False)
+            else:
+                rank_array = np.fromiter(
+                    ranks, dtype=np.int64, count=len(ranks)
+                )
             matrix = np.empty(
                 (len(rank_array), self.num_processes), dtype=CODE_DTYPE
             )
@@ -379,6 +394,34 @@ class ExpansionContext:
                 zip(self.config_weights, self.sizes)
             )
         )
+
+    def deterministic_successor_ranks(
+        self, ranks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Synchronous-successor ranks + enabled counts of rank batch.
+
+        Every enabled process fires its (unique, single-outcome) action
+        at once; disabled processes keep their codes.  Valid only on
+        :attr:`deterministic` + :attr:`int64_safe` tables — the central
+        daemon coincides with this map exactly on configurations with at
+        most one enabled process, which the super-stepping planner checks
+        per explored state.
+        """
+        if not (self.deterministic and self.int64_safe):
+            raise ModelError(
+                "deterministic_successor_ranks requires deterministic"
+                " tables and an int64-safe configuration space"
+            )
+        tables = self.tables
+        codes = self.codes_of_ranks(ranks)
+        keys = tables.pack(codes)
+        enabled = tables.enabled(keys)
+        rows = tables.action_base[keys]
+        old = codes.astype(np.int64)
+        new = np.where(enabled, self.first_outcome[rows], old)
+        delta = ((new - old) * self.weights_row).sum(axis=1)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        return ranks + delta, enabled.sum(axis=1)
 
 
 def compile_tables(
@@ -499,3 +542,18 @@ def compile_tables(
     if default_call:
         kernel._compiled_tables_memo = tables
     return tables
+
+
+def expansion_context(tables: CompiledKernelTables) -> ExpansionContext:
+    """Memoized :class:`ExpansionContext` for one set of compiled tables.
+
+    The context is pure derived structure, so every consumer sharing a
+    table object (batch step backends, chain builders, sharded
+    exploration) can share one instance; the memo lives on the tables so
+    it dies with them.
+    """
+    cached = getattr(tables, "_expansion_memo", None)
+    if cached is None:
+        cached = ExpansionContext(tables)
+        tables._expansion_memo = cached
+    return cached

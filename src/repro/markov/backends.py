@@ -1,0 +1,1032 @@
+"""Pluggable step backends for the lockstep Monte-Carlo batch loop.
+
+:class:`~repro.markov.batch.BatchEngine` owns *what* a batch run means
+(the code matrix, retirement semantics, result vectors); this module owns
+*how* the inner step kernel executes.  A :class:`StepBackend` advances a
+:class:`TrialBlock` through ``advance(block, k)`` — one entry point that
+fuses the per-step gather → scheduler draw → legitimacy → retirement
+sequence over up to ``k`` steps — and backends register by name in
+:data:`STEP_BACKENDS` so engines, runners, and the experiments CLI can
+select them with ``backend="numpy" | "numba" | "auto"``.
+
+The mandatory ``"numpy"`` backend re-expresses the reference loop
+verbatim (``NumpyStepBackend(block_draw=False, superstep=False)`` is the
+pre-backend engine, step for step and draw for draw) and layers two
+compounding fast paths on top, both stream- and bit-preserving:
+
+**Block-drawn scheduler randomness.**  For samplers with a fixed draw
+budget per step (synchronous: two uniforms per (trial, process) cell;
+central: one mover uniform per trial plus the two cells), ``k`` steps of
+randomness are pre-drawn in one ``Generator.random`` call and replayed
+through a buffered shim.  NumPy's ``Generator.random`` consumes the
+underlying bitstream sequentially, so slicing one big draw reproduces the
+per-step draws *exactly* — even as retirement shrinks the active matrix
+mid-block, because consumption only ever decreases.  At block end the
+generator is rewound (state restore) and fast-forwarded by the consumed
+count, so the stream position matches the sequential loop bit-for-bit.
+
+**Rank-space super-stepping.**  When the step is a pure function of the
+configuration — deterministic tables (every neighborhood ≤ 1 action,
+every action 1 outcome) under the synchronous daemon, or the central
+daemon on runs where every reachable state has ≤ 1 enabled process — the
+run consumes no randomness at all and the whole block can advance in
+*rank space*: configurations are interned to dense ids over their
+mixed-radix ranks, a successor array ``succ`` and legitimate/terminal
+event bitmaps are compiled over the trial-reachable closure (bounded by
+``superstep_budget`` states and ``max_steps`` depth; over budget falls
+back to the plain loop), and trials jump via pointer-doubling composition
+``succ_{2k} = succ_k[succ_k]``.  Exact first-hit times come from the
+binary-lifting descent: a jump of size ``2^j`` is taken only when the
+reach bitmap proves no event occurs within the window, which bisects the
+last jump down to the exact step of the first legitimate/terminal hit —
+recorded convergence times stay bit-identical to the reference loop.
+
+The optional ``"numba"`` backend JIT-compiles the same fused step over
+the same pre-drawn buffers (identical draw layout ⇒ identical streams).
+numba is *not* a dependency of this package: the registration is guarded,
+``available()`` reflects the import probe, ``backend="auto"`` falls back
+to ``"numpy"``, and tests/benchmarks skip cleanly when it is absent.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.encoding import expansion_context
+from repro.errors import MarkovError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.markov.batch import (
+        BatchEngine,
+        BatchLegitimacy,
+        BatchSamplerStrategy,
+    )
+
+__all__ = [
+    "TrialBlock",
+    "StepBackend",
+    "NumpyStepBackend",
+    "NumbaStepBackend",
+    "STEP_BACKENDS",
+    "register_step_backend",
+    "get_step_backend",
+    "available_backends",
+    "backend_names",
+    "resolve_backend",
+    "set_default_backend",
+    "default_backend",
+    "DEFAULT_SUPERSTEP_BUDGET",
+    "PROFILE_PHASES",
+]
+
+#: Per-phase keys of a profiled per-step run (seconds internally,
+#: milliseconds on :class:`~repro.markov.batch.BatchRunResult.profile`).
+PROFILE_PHASES = ("gather", "legitimacy", "retire", "draw")
+
+#: Maximum interned states of a super-stepping plan before it falls back
+#: to the plain loop.  Sized so a 10⁵-trial deterministic ring-30 block
+#: (≈ 6 × 10⁶ reachable states) compiles while pathological spaces abort
+#: before exhausting memory.
+DEFAULT_SUPERSTEP_BUDGET = 8_000_000
+
+# Pre-drawn randomness per block is capped at ~16 MB of doubles, and the
+# adaptive driver doubles the block length on clean (retirement-free)
+# blocks up to this many steps.
+_BLOCK_TARGET_DOUBLES = 2_000_000
+_MAX_BLOCK_STEPS = 64
+
+# Pointer-doubling ladder height: top jumps cover 2^(levels-1) steps.
+_MAX_LADDER_LEVELS = 7
+
+
+# ----------------------------------------------------------------------
+# the unit of work
+# ----------------------------------------------------------------------
+class TrialBlock:
+    """Mutable lockstep state of one batch run, advanced by a backend.
+
+    Owns the active code matrix, the trial-indexed result vectors, and
+    the retirement bookkeeping that
+    :meth:`~repro.markov.batch.BatchEngine.run` previously kept in local
+    variables.  Backends mutate it in place; the engine reads the result
+    vectors once ``done``.
+    """
+
+    __slots__ = (
+        "engine",
+        "strategy",
+        "legitimacy",
+        "max_steps",
+        "generator",
+        "tables",
+        "codes",
+        "active",
+        "times",
+        "converged",
+        "hit_terminal",
+        "step",
+        "done",
+        "profile",
+        "used_superstep",
+    )
+
+    def __init__(
+        self,
+        engine: "BatchEngine",
+        strategy: "BatchSamplerStrategy",
+        legitimacy: "BatchLegitimacy",
+        initial_codes: np.ndarray,
+        max_steps: int,
+        generator: np.random.Generator,
+        profile: bool = False,
+    ) -> None:
+        trials = initial_codes.shape[0]
+        self.engine = engine
+        self.strategy = strategy
+        self.legitimacy = legitimacy
+        self.max_steps = int(max_steps)
+        self.generator = generator
+        self.tables = engine.tables
+        self.codes = np.array(initial_codes, copy=True)
+        self.active = np.arange(trials)
+        self.times = np.zeros(trials, dtype=np.int64)
+        self.converged = np.zeros(trials, dtype=bool)
+        self.hit_terminal = np.zeros(trials, dtype=bool)
+        self.step = 0
+        self.done = trials == 0
+        self.profile = (
+            {phase: 0.0 for phase in PROFILE_PHASES} if profile else None
+        )
+        self.used_superstep = False
+
+    def profile_milliseconds(self) -> dict[str, float] | None:
+        """Per-phase totals in milliseconds, or ``None`` if unprofiled."""
+        if self.profile is None:
+            return None
+        return {key: value * 1000.0 for key, value in self.profile.items()}
+
+
+class _BufferedDraws:
+    """Duck-typed ``Generator`` stand-in replaying one pre-drawn buffer.
+
+    Strategies and tables only ever call ``generator.random(size)``;
+    slicing a single large draw sequentially is bit-identical to making
+    the individual calls (NumPy fills ``random`` output from the
+    bitstream in order), so consumers cannot tell the difference.
+    """
+
+    __slots__ = ("_buffer", "position")
+
+    def __init__(self, buffer: np.ndarray) -> None:
+        self._buffer = buffer
+        self.position = 0
+
+    def random(self, size=None):
+        if size is None:
+            value = self._buffer[self.position]
+            self.position += 1
+            return float(value)
+        if isinstance(size, tuple):
+            count = 1
+            for dim in size:
+                count *= int(dim)
+        else:
+            count = int(size)
+            size = (count,)
+        start = self.position
+        self.position = start + count
+        return self._buffer[start : self.position].reshape(size)
+
+
+# ----------------------------------------------------------------------
+# backend interface + registry
+# ----------------------------------------------------------------------
+class StepBackend:
+    """Strategy interface: advance a :class:`TrialBlock` in place.
+
+    ``advance(block, k)`` is the single entry point — it owns the fused
+    gather → draw → legitimacy → retire sequence for up to ``k`` steps
+    and returns the number of loop iterations executed.  ``run`` is the
+    shared adaptive driver: block length doubles while no trial retires
+    (retirement invalidates nothing, but resetting keeps pre-drawn
+    buffers small near the end of a run) and is capped by the remaining
+    step budget.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+    #: True when the backend consumes the ``Generator`` bitstream exactly
+    #: like the reference loop (bit-identical results *and* final
+    #: generator state).  All built-in backends are stream-exact.
+    stream_exact = True
+
+    def available(self) -> bool:
+        """Whether the backend can run on this host (deps installed)."""
+        return True
+
+    def advance(self, block: TrialBlock, k: int) -> int:
+        """Advance ``block`` by up to ``k`` steps; return iterations."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def run(self, block: TrialBlock) -> None:
+        """Drive ``advance`` until every trial retires or the budget ends."""
+        k = 1
+        while not block.done:
+            rows = block.codes.shape[0]
+            taken = self.advance(block, k)
+            if taken == 0 and not block.done:  # pragma: no cover - guard
+                raise MarkovError(
+                    f"step backend {self.name!r} made no progress"
+                )
+            retired = block.codes.shape[0] != rows
+            k = 1 if retired else min(k * 2, _MAX_BLOCK_STEPS)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Name → zero-argument factory.  ``get_step_backend`` memoizes one
+#: instance per name; ``register_step_backend`` is the only writer.
+STEP_BACKENDS: dict[str, Callable[[], StepBackend]] = {}
+_INSTANCES: dict[str, StepBackend] = {}
+
+#: Probe order of ``backend="auto"``: fastest available wins.
+_AUTO_ORDER = ("numba", "numpy")
+_DEFAULT_SPEC: str | StepBackend = "auto"
+
+
+def register_step_backend(
+    name: str,
+    factory: Callable[[], StepBackend],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Duplicate names raise unless ``replace=True`` (guards against two
+    extensions silently shadowing each other); ``"auto"`` is reserved
+    for the detection pseudo-backend.
+    """
+    if name == "auto":
+        raise MarkovError("'auto' is a reserved step-backend name")
+    if name in STEP_BACKENDS and not replace:
+        raise MarkovError(
+            f"step backend {name!r} is already registered;"
+            " pass replace=True to override"
+        )
+    STEP_BACKENDS[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, available or not."""
+    return tuple(STEP_BACKENDS)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names whose dependencies import on this host."""
+    names = []
+    for name, factory in STEP_BACKENDS.items():
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = factory()
+            _INSTANCES[name] = instance
+        if instance.available():
+            names.append(name)
+    return tuple(names)
+
+
+def get_step_backend(name: str) -> StepBackend:
+    """The memoized backend instance registered under ``name``.
+
+    Raises :class:`~repro.errors.MarkovError` for unknown names and for
+    registered backends whose optional dependency is missing.
+    """
+    factory = STEP_BACKENDS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(STEP_BACKENDS))
+        raise MarkovError(
+            f"unknown step backend {name!r} (registered: {known})"
+        )
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        backend = factory()
+        _INSTANCES[name] = backend
+    if not backend.available():
+        raise MarkovError(
+            f"step backend {name!r} is not available on this host"
+            " (optional dependency missing); available backends: "
+            + ", ".join(available_backends())
+        )
+    return backend
+
+
+def resolve_backend(spec: str | StepBackend | None = None) -> StepBackend:
+    """Resolve a backend spec to an instance.
+
+    ``None`` uses the process default (see :func:`set_default_backend`);
+    ``"auto"`` probes :data:`_AUTO_ORDER` and takes the first available
+    backend (``"numpy"`` always is); instances pass through unchanged.
+    """
+    if spec is None:
+        spec = _DEFAULT_SPEC
+    if isinstance(spec, StepBackend):
+        return spec
+    if spec == "auto":
+        for name in _AUTO_ORDER:
+            if name not in STEP_BACKENDS:
+                continue
+            try:
+                return get_step_backend(name)
+            except MarkovError:
+                continue
+        return get_step_backend("numpy")
+    return get_step_backend(spec)
+
+
+def set_default_backend(spec: str | StepBackend | None) -> str:
+    """Set the process-wide default backend; returns the resolved name.
+
+    Validates eagerly — unknown or unavailable names raise here, not at
+    the first run.  This is the hook the experiments CLI's ``--backend``
+    flag uses; library callers usually pass ``backend=`` explicitly.
+    """
+    if spec is None:
+        spec = "auto"
+    if isinstance(spec, str):
+        if spec != "auto":
+            get_step_backend(spec)
+    elif not isinstance(spec, StepBackend):
+        raise MarkovError(
+            "backend spec must be a registered name, 'auto', or a"
+            f" StepBackend instance, not {type(spec).__name__}"
+        )
+    global _DEFAULT_SPEC
+    _DEFAULT_SPEC = spec
+    return resolve_backend(spec).name
+
+
+def default_backend() -> str | StepBackend:
+    """The current process-wide default backend spec."""
+    return _DEFAULT_SPEC
+
+
+# ----------------------------------------------------------------------
+# rank-space super-stepping
+# ----------------------------------------------------------------------
+class _RankInterner:
+    """Vectorized open-addressing set interning int64 ranks to dense ids.
+
+    Insertion-ordered: ids are assigned in first-seen order and the
+    id → rank log is kept as chunks (one per insertion round) so the
+    super-stepping planner can walk its BFS frontier without re-hashing.
+    Ranks are non-negative, so ``-1`` is a free empty-slot sentinel; the
+    table never deletes, which keeps linear-probe chains valid forever.
+    """
+
+    __slots__ = ("_capacity", "_mask", "_keys", "_values", "chunks", "count")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        self._capacity = capacity
+        self._mask = capacity - 1
+        self._keys = np.full(capacity, -1, dtype=np.int64)
+        self._values = np.zeros(capacity, dtype=np.int64)
+        self.chunks: list[np.ndarray] = []
+        self.count = 0
+
+    def _home_slots(self, ranks: np.ndarray) -> np.ndarray:
+        # splitmix64-style scramble; uint64 arithmetic wraps silently.
+        mixed = ranks.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        mixed ^= mixed >> np.uint64(29)
+        return (mixed & np.uint64(self._mask)).astype(np.int64)
+
+    def intern(self, ranks: np.ndarray) -> np.ndarray:
+        """Ids of ``ranks`` (aligned), assigning fresh ids to new ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if not ranks.size:
+            return np.empty(0, dtype=np.int64)
+        unique, inverse = np.unique(ranks, return_inverse=True)
+        while (self.count + unique.size) * 5 > self._capacity * 3:
+            self._grow()
+        keys, values = self._keys, self._values
+        ids = np.empty(unique.size, dtype=np.int64)
+        slots = self._home_slots(unique)
+        pending = np.arange(unique.size)
+        fresh_ranks: list[np.ndarray] = []
+        while pending.size:
+            probe = slots[pending]
+            found = keys[probe]
+            hit = found == unique[pending]
+            if hit.any():
+                ids[pending[hit]] = values[probe[hit]]
+            empty = found == -1
+            if empty.any():
+                # Claim empty slots by write-then-verify: colliding rows
+                # targeting one slot race, the surviving write wins and
+                # the losers keep probing.
+                claimers = pending[empty]
+                cslots = probe[empty]
+                keys[cslots] = unique[claimers]
+                won = keys[cslots] == unique[claimers]
+                winners = claimers[won]
+                new_ids = self.count + np.arange(
+                    winners.size, dtype=np.int64
+                )
+                values[cslots[won]] = new_ids
+                ids[winners] = new_ids
+                fresh_ranks.append(unique[winners])
+                self.count += winners.size
+                miss = np.zeros(pending.size, dtype=bool)
+                miss[empty] = ~won
+                unresolved = miss
+            else:
+                unresolved = np.zeros(pending.size, dtype=bool)
+            unresolved |= ~hit & (found != -1) & (found != unique[pending])
+            pending = pending[unresolved]
+            slots[pending] = (slots[pending] + 1) & self._mask
+        for chunk in fresh_ranks:
+            if chunk.size:
+                self.chunks.append(chunk)
+        return ids[inverse]
+
+    def _grow(self) -> None:
+        self._capacity *= 4
+        self._mask = self._capacity - 1
+        self._keys = np.full(self._capacity, -1, dtype=np.int64)
+        self._values = np.zeros(self._capacity, dtype=np.int64)
+        if not self.count:
+            return
+        all_ranks = np.concatenate(self.chunks)
+        all_ids = np.arange(self.count, dtype=np.int64)
+        keys, values = self._keys, self._values
+        slots = self._home_slots(all_ranks)
+        pending = np.arange(all_ranks.size)
+        while pending.size:
+            probe = slots[pending]
+            keys[probe] = all_ranks[pending]
+            won = keys[probe] == all_ranks[pending]
+            values[probe[won]] = all_ids[pending[won]]
+            pending = pending[~won]
+            slots[pending] = (slots[pending] + 1) & self._mask
+
+
+class _SuperstepPlan:
+    """Compiled rank-space successor structure of one deterministic run.
+
+    ``succ[i]`` is the dense id of state ``i``'s unique successor over
+    the trial-reachable closure, ``legit``/``event`` mark legitimate and
+    legitimate-or-terminal states, and ``init_ids`` are the trials' start
+    states.  Built per run (the closure depends on the initial codes and
+    the ``max_steps`` depth cap) and discarded afterwards.
+    """
+
+    __slots__ = ("succ", "event", "legit", "init_ids")
+
+    def __init__(
+        self,
+        succ: np.ndarray,
+        event: np.ndarray,
+        legit: np.ndarray,
+        init_ids: np.ndarray,
+    ) -> None:
+        self.succ = succ
+        self.event = event
+        self.legit = legit
+        self.init_ids = init_ids
+
+    @classmethod
+    def build(cls, block: TrialBlock, budget: int) -> "_SuperstepPlan | None":
+        """Compile the closure, or ``None`` when ineligible/over budget.
+
+        Eligible runs are exactly the ones whose trajectory is a pure
+        function of the configuration: deterministic tables under the
+        synchronous daemon, or under the central daemon when every
+        explored state has ≤ 1 enabled process (checked during the BFS;
+        a violation aborts to the plain loop).  Legitimacy must be the
+        gather-free enabled-count form — decoding predicates would have
+        to run per interned state, defeating the point.
+        """
+        from repro.markov.batch import (
+            EnabledCountLegitimacy,
+            _CentralRandomizedBatch,
+            _SynchronousBatch,
+        )
+
+        strategy_type = type(block.strategy)
+        if strategy_type not in (_SynchronousBatch, _CentralRandomizedBatch):
+            return None
+        if type(block.legitimacy) is not EnabledCountLegitimacy:
+            return None
+        if block.max_steps <= 0:
+            return None
+        context = expansion_context(block.tables)
+        if not (context.int64_safe and context.deterministic):
+            return None
+        central = strategy_type is _CentralRandomizedBatch
+
+        init_ranks = block.codes.astype(np.int64) @ context.weights_row
+        interner = _RankInterner()
+        init_ids = interner.intern(init_ranks)
+        if interner.count > budget:
+            return None
+
+        succ_chunks: list[np.ndarray] = []
+        count_chunks: list[np.ndarray] = []
+        chunk_cursor = 0
+        processed = 0
+        depth = 0
+        while processed < interner.count:
+            frontier = np.concatenate(interner.chunks[chunk_cursor:])
+            chunk_cursor = len(interner.chunks)
+            succ_ranks, counts = context.deterministic_successor_ranks(
+                frontier
+            )
+            if central and counts.size and int(counts.max()) > 1:
+                # The central daemon has a real choice here; the run is
+                # not deterministic after all.
+                return None
+            count_chunks.append(counts)
+            if depth >= block.max_steps:
+                # Depth-capped tail: states first reached at the final
+                # step can be *occupied* but never stepped from, so
+                # their successors are irrelevant — self-loop them
+                # instead of growing the closure further.
+                succ_chunks.append(
+                    np.arange(
+                        processed,
+                        processed + frontier.size,
+                        dtype=np.int64,
+                    )
+                )
+                processed += frontier.size
+                break
+            succ_ids = interner.intern(succ_ranks)
+            if interner.count > budget:
+                return None
+            succ_chunks.append(succ_ids)
+            processed += frontier.size
+            depth += 1
+
+        succ = np.concatenate(succ_chunks)
+        counts_all = np.concatenate(count_chunks)
+        legit = counts_all == block.legitimacy.count
+        event = legit | (counts_all == 0)
+        if interner.count < 2**31:
+            succ = succ.astype(np.int32)
+        return cls(succ, event, legit, init_ids)
+
+    def execute(self, block: TrialBlock) -> None:
+        """Jump every trial to its exact first event or the step budget.
+
+        Pointer-doubling ladder + binary-lifting descent.  The reach
+        bitmap of level ``j`` answers "is there an event within the next
+        ``2^j`` steps?", so taking a jump exactly when the answer is *no*
+        bisects the last jump and lands each surviving trial one step
+        short of its first event — the final single step then hits it,
+        making recorded times bit-identical to the per-step loop.
+        Trials whose remaining budget is exhausted first drain ``rem``
+        to zero through the same jumps and retire as timeouts (vectors
+        left at defaults), matching the reference budget break.
+        """
+        succ0 = self.succ
+        event = self.event
+        legit = self.legit
+        max_steps = block.max_steps
+        levels = min(_MAX_LADDER_LEVELS, max(max_steps.bit_length(), 1))
+        succ_pows = [succ0]
+        reach_pows = [event[succ0]]
+        for _ in range(1, levels):
+            succ_k = succ_pows[-1]
+            reach_k = reach_pows[-1]
+            succ_pows.append(succ_k[succ_k])
+            reach_pows.append(reach_k | reach_k[succ_k])
+        top = levels - 1
+        top_jump = 1 << top
+        succ_top = succ_pows[top]
+        reach_top = reach_pows[top]
+        reach_one = reach_pows[0]
+
+        cur = self.init_ids.copy()
+        t = np.zeros(cur.size, dtype=np.int64)
+        while cur.size:
+            ev = event[cur]
+            if ev.any():
+                conv = legit[cur]  # conv ⊆ ev, and legitimacy wins over
+                term = ev & ~conv  # terminal, as in the reference loop
+                ids = block.active
+                converged_ids = ids[conv]
+                block.times[converged_ids] = t[conv]
+                block.converged[converged_ids] = True
+                block.hit_terminal[ids[term]] = True
+                keep = ~ev
+                block.active = ids[keep]
+                cur = cur[keep]
+                t = t[keep]
+                if not cur.size:
+                    break
+            over = t >= max_steps
+            if over.any():
+                keep = ~over
+                block.active = block.active[keep]
+                cur = cur[keep]
+                t = t[keep]
+                if not cur.size:
+                    break
+            rem = max_steps - t
+            while True:
+                jump = (rem >= top_jump) & ~reach_top[cur]
+                if not jump.any():
+                    break
+                cur[jump] = succ_top[cur[jump]]
+                t[jump] += top_jump
+                rem[jump] -= top_jump
+            for level in range(top - 1, -1, -1):
+                size = 1 << level
+                jump = (rem >= size) & ~reach_pows[level][cur]
+                if jump.any():
+                    cur[jump] = succ_pows[level][cur[jump]]
+                    t[jump] += size
+                    rem[jump] -= size
+            final = (rem >= 1) & reach_one[cur]
+            if final.any():
+                cur[final] = succ0[cur[final]]
+                t[final] += 1
+        block.codes = block.codes[:0]
+        block.step = max_steps
+        block.done = True
+
+
+# ----------------------------------------------------------------------
+# the reference backend
+# ----------------------------------------------------------------------
+class NumpyStepBackend(StepBackend):
+    """The mandatory reference backend: the pre-backend loop, plus the
+    two stream-preserving fast paths (block-drawn randomness, rank-space
+    super-stepping), each individually switchable for oracle runs."""
+
+    name = "numpy"
+    stream_exact = True
+
+    def __init__(
+        self,
+        *,
+        block_draw: bool = True,
+        superstep: bool = True,
+        superstep_budget: int = DEFAULT_SUPERSTEP_BUDGET,
+    ) -> None:
+        self.block_draw = block_draw
+        self.superstep = superstep
+        self.superstep_budget = superstep_budget
+        #: Introspection: whether the last ``run`` took the rank-space
+        #: super-stepping path (also on ``TrialBlock.used_superstep``).
+        self.last_superstep = False
+
+    def run(self, block: TrialBlock) -> None:
+        self.last_superstep = False
+        if block.done:
+            return
+        if self.superstep:
+            timed = block.profile is not None
+            start = time.perf_counter() if timed else 0.0
+            plan = _SuperstepPlan.build(block, self.superstep_budget)
+            if plan is not None:
+                if timed:
+                    block.profile["superstep_build"] = (
+                        time.perf_counter() - start
+                    )
+                    start = time.perf_counter()
+                self.last_superstep = True
+                block.used_superstep = True
+                plan.execute(block)
+                if timed:
+                    block.profile["superstep_execute"] = (
+                        time.perf_counter() - start
+                    )
+                return
+        super().run(block)
+
+    # -- per-step reference path ---------------------------------------
+    def _per_row_draws(self, block: TrialBlock) -> int | None:
+        """Uniform doubles one step consumes per trial row, or ``None``
+        when the strategy's budget is data-dependent (rejection redraws
+        in the independent-coin sampler) and cannot be pre-drawn."""
+        from repro.markov.batch import (
+            _CentralRandomizedBatch,
+            _SynchronousBatch,
+        )
+
+        processes = block.codes.shape[1]
+        strategy_type = type(block.strategy)
+        if strategy_type is _SynchronousBatch:
+            return 2 * processes
+        if strategy_type is _CentralRandomizedBatch:
+            return 1 + 2 * processes
+        return None
+
+    def advance(self, block: TrialBlock, k: int) -> int:
+        if block.done:
+            return 0
+        generator = block.generator
+        per_row = self._per_row_draws(block) if self.block_draw else None
+        budget_left = block.max_steps - block.step
+        if per_row is None or budget_left <= 0:
+            taken = 0
+            while taken < k and not block.done:
+                self._one_step(block, generator)
+                taken += 1
+            return taken
+        rows = block.codes.shape[0]
+        per_step = per_row * rows
+        steps = min(
+            k, budget_left, max(_BLOCK_TARGET_DOUBLES // per_step, 1)
+        )
+        saved_state = generator.bit_generator.state
+        buffer = generator.random(steps * per_step)
+        shim = _BufferedDraws(buffer)
+        taken = 0
+        while taken < steps and not block.done:
+            self._one_step(block, shim)
+            taken += 1
+        if shim.position < buffer.size:
+            # Rewind and fast-forward by the consumed count so the
+            # generator ends exactly where the sequential loop would.
+            generator.bit_generator.state = saved_state
+            if shim.position:
+                generator.random(shim.position)
+        return taken
+
+    def _one_step(self, block: TrialBlock, draws) -> None:
+        """One reference iteration: gather → legitimacy → retire → draw.
+
+        Order and retirement semantics are a verbatim port of the
+        pre-backend ``BatchEngine.run`` loop body (legitimacy wins over
+        terminal retirement; the budget break happens after retirement,
+        before the scheduler draw).
+        """
+        tables = block.tables
+        profile = block.profile
+        tick = time.perf_counter if profile is not None else None
+        if tick:
+            t0 = tick()
+        keys = tables.pack(block.codes)
+        enabled = tables.enabled(keys)
+        if tick:
+            t1 = tick()
+            profile["gather"] += t1 - t0
+        legit = block.legitimacy.evaluate(block.codes, enabled, block.engine)
+        if tick:
+            t2 = tick()
+            profile["legitimacy"] += t2 - t1
+        if legit.any():
+            retired = block.active[legit]
+            block.times[retired] = block.step
+            block.converged[retired] = True
+            keep = ~legit
+            block.active = block.active[keep]
+            block.codes = block.codes[keep]
+            keys = keys[keep]
+            enabled = enabled[keep]
+            if not block.active.size:
+                block.done = True
+                if tick:
+                    profile["retire"] += tick() - t2
+                return
+        terminal = ~enabled.any(axis=1)
+        if terminal.any():
+            block.hit_terminal[block.active[terminal]] = True
+            keep = ~terminal
+            block.active = block.active[keep]
+            block.codes = block.codes[keep]
+            keys = keys[keep]
+            enabled = enabled[keep]
+            if not block.active.size:
+                block.done = True
+                if tick:
+                    profile["retire"] += tick() - t2
+                return
+        if tick:
+            t3 = tick()
+            profile["retire"] += t3 - t2
+        if block.step >= block.max_steps:
+            block.done = True
+            return
+        movers = block.strategy.choose(enabled, draws)
+        block.codes = tables.sample(block.codes, keys, movers, draws)
+        block.step += 1
+        if tick:
+            profile["draw"] += tick() - t3
+
+
+# ----------------------------------------------------------------------
+# the optional numba backend
+# ----------------------------------------------------------------------
+def _numba_installed() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic hosts
+        return False
+
+
+_NUMBA_KERNEL: object = None  # None = unbuilt, False = build failed
+
+
+def _numba_kernel():
+    """Lazily JIT-compile the fused step kernel; ``None`` on failure."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+        try:  # pragma: no cover - requires numba
+            _NUMBA_KERNEL = _build_numba_kernel()
+        except Exception:
+            _NUMBA_KERNEL = False
+    return _NUMBA_KERNEL or None
+
+
+def _build_numba_kernel():  # pragma: no cover - requires numba
+    import numba
+
+    @numba.njit(cache=False)
+    def kernel(
+        codes,
+        neighbor_index,
+        neighbor_weight,
+        key_offset,
+        enabled_flat,
+        action_count,
+        action_base,
+        outcome_cum,
+        outcome_code,
+        draws,
+        central,
+        legit_count,
+        steps,
+    ):
+        rows, processes = codes.shape
+        width = neighbor_index.shape[1]
+        out_width = outcome_cum.shape[1]
+        keys = np.empty((rows, processes), np.int64)
+        enabled = np.empty((rows, processes), np.bool_)
+        position = 0
+        for step in range(steps):
+            stop = False
+            for r in range(rows):
+                count = 0
+                for p in range(processes):
+                    key = key_offset[p]
+                    for w in range(width):
+                        key += (
+                            np.int64(codes[r, neighbor_index[p, w]])
+                            * neighbor_weight[p, w]
+                        )
+                    keys[r, p] = key
+                    bit = enabled_flat[key]
+                    enabled[r, p] = bit
+                    if bit:
+                        count += 1
+                if count == legit_count or count == 0:
+                    stop = True
+            if stop:
+                # An event row needs the reference retirement pass; the
+                # host rewinds the unconsumed draws and replays this
+                # iteration through the numpy path.
+                return step, position
+            # Draw layout mirrors _BufferedDraws consumption order:
+            # central mover uniforms (rows), then action-choice and
+            # outcome matrices (rows × processes each, row-major).
+            mover_base = position
+            if central:
+                position += rows
+            choice_base = position
+            position += rows * processes
+            out_base = position
+            position += rows * processes
+            for r in range(rows):
+                if central:
+                    count = 0
+                    for p in range(processes):
+                        if enabled[r, p]:
+                            count += 1
+                    target = int(draws[mover_base + r] * count)
+                    if target > count - 1:
+                        target = count - 1
+                    if target < 0:
+                        target = 0
+                    mover = -1
+                    seen = 0
+                    for p in range(processes):
+                        if enabled[r, p]:
+                            if seen == target:
+                                mover = p
+                            seen += 1
+                for p in range(processes):
+                    if central:
+                        moves = p == mover
+                    else:
+                        moves = enabled[r, p]
+                    if moves:
+                        key = keys[r, p]
+                        actions = action_count[key]
+                        u = draws[choice_base + r * processes + p]
+                        choice = int(u * actions)
+                        if choice > actions - 1:
+                            choice = actions - 1
+                        if choice < 0:
+                            choice = 0
+                        row = action_base[key] + choice
+                        d = draws[out_base + r * processes + p]
+                        outcome = 0
+                        for j in range(out_width):
+                            if d >= outcome_cum[row, j]:
+                                outcome += 1
+                        codes[r, p] = outcome_code[row, outcome]
+        return steps, position
+
+    return kernel
+
+
+class NumbaStepBackend(NumpyStepBackend):
+    """Optional JIT backend: the fused step compiled by numba.
+
+    Consumes the *same* pre-drawn uniform buffers in the same layout as
+    the numpy backend's block-draw path, so streams and results stay
+    bit-identical; event steps (any row legitimate or terminal) rewind
+    to the reference path for the retirement pass.  Falls back to the
+    inherited numpy ``advance`` for unsupported strategies/legitimacies,
+    profiled runs, and JIT build failures.  numba is not a dependency:
+    ``available()`` probes the import and ``"auto"`` skips it cleanly.
+    """
+
+    name = "numba"
+
+    def available(self) -> bool:
+        return _numba_installed()
+
+    def _kernel_eligible(self, block: TrialBlock) -> bool:
+        from repro.markov.batch import (
+            EnabledCountLegitimacy,
+            _CentralRandomizedBatch,
+            _SynchronousBatch,
+        )
+
+        return (
+            block.profile is None
+            and type(block.strategy)
+            in (_SynchronousBatch, _CentralRandomizedBatch)
+            and type(block.legitimacy) is EnabledCountLegitimacy
+        )
+
+    def advance(self, block: TrialBlock, k: int) -> int:
+        if block.done:
+            return 0
+        kernel = _numba_kernel() if self.available() else None
+        if kernel is None or not self._kernel_eligible(block):
+            return super().advance(block, k)
+        budget_left = block.max_steps - block.step
+        if budget_left <= 0:
+            return super().advance(block, k)
+        from repro.markov.batch import _CentralRandomizedBatch
+
+        generator = block.generator
+        tables = block.tables
+        rows, processes = block.codes.shape
+        central = type(block.strategy) is _CentralRandomizedBatch
+        per_step = (1 if central else 0) * rows + 2 * rows * processes
+        steps = min(
+            k, budget_left, max(_BLOCK_TARGET_DOUBLES // per_step, 1)
+        )
+        saved_state = generator.bit_generator.state
+        draws = generator.random(steps * per_step)
+        steps_done, consumed = kernel(
+            block.codes,
+            tables.neighbor_index,
+            tables.neighbor_weight,
+            tables.key_offset,
+            tables.enabled_flat,
+            tables.action_count,
+            tables.action_base,
+            tables.outcome_cum,
+            tables.outcome_code,
+            draws,
+            central,
+            block.legitimacy.count,
+            steps,
+        )
+        block.step += steps_done
+        if consumed < draws.size:
+            generator.bit_generator.state = saved_state
+            if consumed:
+                generator.random(consumed)
+        taken = steps_done
+        if steps_done < steps:
+            # Stopped at an event: replay this iteration (retirement
+            # included) through the reference path, drawing sequentially.
+            self._one_step(block, generator)
+            taken += 1
+        return taken
+
+
+register_step_backend("numpy", NumpyStepBackend)
+register_step_backend("numba", NumbaStepBackend)

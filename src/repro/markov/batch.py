@@ -34,6 +34,17 @@ strategy:
   decodes each active row (memoized per code vector) and calls the Python
   predicate.  Correct for everything, slower, still leaves the stepping
   itself vectorized.
+
+**Step backends.**  The inner stepping of :meth:`BatchEngine.run` is
+delegated to a pluggable :class:`repro.markov.backends.StepBackend`
+(``backend="numpy" | "numba" | "auto"``): the reference numpy loop plus
+stream-preserving fast paths (block-drawn scheduler randomness,
+rank-space super-stepping for deterministic synchronous/central blocks)
+and an optional numba JIT.  All built-in backends are bit-exact against
+the reference loop, including the consumed random stream, so the choice
+is pure throughput.  :meth:`BatchEngine.run_with_fault` keeps the
+reference per-step loop on every backend — the fault timeline needs the
+step-granular trigger/freeze machinery below.
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ from repro.core.encoding import (
 )
 from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
 from repro.errors import MarkovError
+from repro.markov.backends import StepBackend, TrialBlock, resolve_backend
 from repro.schedulers.samplers import (
     BernoulliSampler,
     CentralRandomizedSampler,
@@ -239,20 +251,25 @@ class BatchRunResult:
     ``times[t]`` is meaningful only where ``converged[t]``;
     ``hit_terminal`` marks trials retired in an illegitimate terminal
     configuration (they can never converge — the scalar path counts them
-    as censored, and so do we).
+    as censored, and so do we).  ``profile`` is ``None`` unless the run
+    was profiled, in which case it maps phase name → milliseconds (see
+    :data:`repro.markov.backends.PROFILE_PHASES`, plus the superstep
+    build/execute timers when that path ran).
     """
 
-    __slots__ = ("times", "converged", "hit_terminal")
+    __slots__ = ("times", "converged", "hit_terminal", "profile")
 
     def __init__(
         self,
         times: np.ndarray,
         converged: np.ndarray,
         hit_terminal: np.ndarray,
+        profile: dict[str, float] | None = None,
     ) -> None:
         self.times = times
         self.converged = converged
         self.hit_terminal = hit_terminal
+        self.profile = profile
 
     @property
     def stabilization_times(self) -> list[float]:
@@ -321,10 +338,14 @@ class BatchEngine:
         self,
         kernel: TransitionKernel,
         max_entries: int = DEFAULT_TABLE_BUDGET,
+        backend: str | StepBackend | None = None,
     ) -> None:
         self.kernel = kernel
         self.encoding = StateEncoding(kernel)
         self.tables = compile_tables(kernel, self.encoding, max_entries)
+        #: Step-backend spec (name, instance, or ``None`` for the process
+        #: default) used by :meth:`run` unless overridden per call.
+        self.backend = backend
 
     def run(
         self,
@@ -333,6 +354,9 @@ class BatchEngine:
         initial_codes: np.ndarray,
         max_steps: int,
         generator: np.random.Generator,
+        *,
+        backend: str | StepBackend | None = None,
+        profile: bool = False,
     ) -> BatchRunResult:
         """Advance all trials in lockstep until retirement or budget.
 
@@ -340,51 +364,35 @@ class BatchEngine:
         legitimacy is tested on the initial configuration (time 0) and
         after every step; an illegitimate terminal configuration retires
         the trial as censored; ``max_steps`` bounds the sampler calls.
-        """
-        trials = initial_codes.shape[0]
-        times = np.zeros(trials, dtype=np.int64)
-        converged = np.zeros(trials, dtype=bool)
-        hit_terminal = np.zeros(trials, dtype=bool)
-        active = np.arange(trials)
-        codes = np.array(initial_codes, copy=True)
-        tables = self.tables
 
-        step = 0
-        while active.size:
-            keys = tables.pack(codes)
-            enabled = tables.enabled(keys)
-            legit = legitimacy.evaluate(codes, enabled, self)
-            if legit.any():
-                retired = active[legit]
-                times[retired] = step
-                converged[retired] = True
-                keep = ~legit
-                active, codes, keys, enabled = (
-                    active[keep],
-                    codes[keep],
-                    keys[keep],
-                    enabled[keep],
-                )
-                if not active.size:
-                    break
-            terminal = ~enabled.any(axis=1)
-            if terminal.any():
-                hit_terminal[active[terminal]] = True
-                keep = ~terminal
-                active, codes, keys, enabled = (
-                    active[keep],
-                    codes[keep],
-                    keys[keep],
-                    enabled[keep],
-                )
-                if not active.size:
-                    break
-            if step >= max_steps:
-                break
-            movers = strategy.choose(enabled, generator)
-            codes = tables.sample(codes, keys, movers, generator)
-            step += 1
-        return BatchRunResult(times, converged, hit_terminal)
+        The stepping itself is delegated to a pluggable
+        :class:`~repro.markov.backends.StepBackend` (``backend=`` here
+        overrides the engine-level spec; both default to the process
+        default, normally ``"auto"``).  Every built-in backend is
+        stream-exact, so results do not depend on the choice.
+        ``profile=True`` attaches per-phase millisecond totals to the
+        result: gather/legitimacy/retire/draw for per-step execution,
+        superstep build/execute when the rank-space path runs.
+        """
+        backend_obj = resolve_backend(
+            backend if backend is not None else self.backend
+        )
+        block = TrialBlock(
+            self,
+            strategy,
+            legitimacy,
+            initial_codes,
+            max_steps,
+            generator,
+            profile=profile,
+        )
+        backend_obj.run(block)
+        return BatchRunResult(
+            block.times,
+            block.converged,
+            block.hit_terminal,
+            profile=block.profile_milliseconds(),
+        )
 
     def run_with_fault(
         self,

@@ -251,6 +251,7 @@ class MonteCarloRunner:
         kernel: TransitionKernel | None = None,
         engine: str = "auto",
         batch_engine: BatchEngine | None = None,
+        backend: str | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise MarkovError(
@@ -259,6 +260,12 @@ class MonteCarloRunner:
         self.system = system
         self.kernel = kernel if kernel is not None else TransitionKernel(system)
         self.engine = engine
+        # Step-backend spec for lockstep runs (see
+        # :mod:`repro.markov.backends`); ``None`` keeps the process
+        # default.  Orthogonal to ``engine``: the engine picks the
+        # execution tier (scalar vs batch), the backend picks how the
+        # batch tier steps.
+        self.backend = backend
         # ``batch_engine`` lets a multi-system driver (SweepRunner)
         # share one compiled engine instead of recompiling here.
         self._batch_engine: BatchEngine | None = batch_engine
@@ -274,7 +281,9 @@ class MonteCarloRunner:
             if self._batch_compile_error is not None:
                 raise self._batch_compile_error
             try:
-                self._batch_engine = BatchEngine(self.kernel)
+                self._batch_engine = BatchEngine(
+                    self.kernel, backend=self.backend
+                )
             except ModelError as error:
                 self._batch_compile_error = error
                 raise
@@ -292,6 +301,7 @@ class MonteCarloRunner:
         engine: str | None = None,
         batch_legitimate: BatchLegitimacy | None = None,
         fault: FaultPlan | None = None,
+        backend: str | None = None,
     ) -> MonteCarloResult:
         """Sample stabilization times over random starts/scheduler draws.
 
@@ -311,6 +321,12 @@ class MonteCarloRunner:
         carries the re-convergence metrics.  Both engines implement the
         same fault timeline, so cross-engine equivalence holds under
         corruption too.
+
+        ``backend`` overrides the runner-wide step backend for this
+        estimate's lockstep run (see :mod:`repro.markov.backends`); all
+        built-in backends are stream-exact, so this is a throughput
+        knob, never a semantics knob.  Fault runs always execute the
+        reference per-step path.
         """
         if trials < 1:
             raise MarkovError("need at least one trial")
@@ -340,6 +356,7 @@ class MonteCarloRunner:
                 initial_configurations,
                 batch_legitimate,
                 compiled_fault,
+                backend,
             )
         if compiled_fault is not None:
             return self._estimate_scalar_fault(
@@ -411,6 +428,7 @@ class MonteCarloRunner:
         initial_configurations: Sequence[Configuration] | None,
         batch_legitimate: BatchLegitimacy | None,
         fault: CompiledFault | None = None,
+        backend: str | None = None,
     ) -> MonteCarloResult:
         engine = self.batch_engine()
         if initial_configurations is not None:
@@ -452,6 +470,7 @@ class MonteCarloRunner:
             codes,
             max_steps,
             rng.numpy_generator(),
+            backend=backend,
         )
         times = outcome.stabilization_times
         return MonteCarloResult(
@@ -699,7 +718,8 @@ class MonteCarloRunner:
             )
         if specs:
             runner = SweepRunner(
-                engine="fused" if self.engine == "batch" else "auto"
+                engine="fused" if self.engine == "batch" else "auto",
+                backend=self.backend,
             )
             # Share this runner's kernel and compiled engine — or its
             # cached compilation *failure*, so an over-budget system is
@@ -733,13 +753,14 @@ def estimate_stabilization_time(
     engine: str = "auto",
     batch_legitimate: BatchLegitimacy | None = None,
     fault: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> MonteCarloResult:
     """Sample stabilization times over random starts and scheduler draws.
 
     Thin wrapper over :class:`MonteCarloRunner`: one kernel is shared by
     all trials (pass ``kernel`` to also share it with other callers).
     """
-    return MonteCarloRunner(system, kernel).estimate(
+    return MonteCarloRunner(system, kernel, backend=backend).estimate(
         sampler,
         legitimate,
         trials=trials,

@@ -222,6 +222,7 @@ class SweepRunner:
         self,
         engine: str = "auto",
         table_budget: int = DEFAULT_TABLE_BUDGET,
+        backend: str | None = None,
     ) -> None:
         if engine not in SWEEP_ENGINES:
             raise MarkovError(
@@ -229,6 +230,12 @@ class SweepRunner:
             )
         self.engine = engine
         self.table_budget = table_budget
+        # Step-backend spec for per-point lockstep batches (see
+        # :mod:`repro.markov.backends`); ``None`` keeps the process
+        # default.  The fused matrix keeps its own reference stepping —
+        # fused rows carry per-point budgets/legitimacies that the
+        # backends' fast paths do not model.
+        self.backend = backend
         self.last_plan: list[PointExecution] = []
         # Per-system caches, keyed by object identity; the cached kernel
         # and engine keep the system alive, so ids cannot be recycled.
@@ -268,7 +275,9 @@ class SweepRunner:
         if cached is None:
             try:
                 cached = BatchEngine(
-                    self._kernel_for(system), self.table_budget
+                    self._kernel_for(system),
+                    self.table_budget,
+                    backend=self.backend,
                 )
             except ModelError as error:
                 cached = error
@@ -283,6 +292,7 @@ class SweepRunner:
                 system,
                 kernel=self._kernel_for(system),
                 batch_engine=engine if isinstance(engine, BatchEngine) else None,
+                backend=self.backend,
             )
             self._runners[id(system)] = runner
         return runner

@@ -13,6 +13,10 @@ every execution tier against its oracle:
   deterministic algorithm under the synchronous sampler consumes no
   randomness, so all engines see identical initial draws) must be
   *identical*, censored trials included.
+* **Step backends**: every available backend (numpy fast paths, the
+  optional numba JIT) against the reference per-step loop on every
+  cell, bit-for-bit — including the fault axis, which always takes the
+  reference path.
 * **Exact analysis**: compiled-vs-scalar chain building bit-equality
   and sharded-vs-sequential exploration bit-equality over the same
   registry systems.
@@ -36,6 +40,11 @@ from conformance_registry import (
     conformance_system,
     ks_bound,
     ks_statistic,
+)
+from repro.markov.backends import (
+    NumpyStepBackend,
+    available_backends,
+    get_step_backend,
 )
 from repro.markov.builder import build_chain
 from repro.markov.montecarlo import random_configurations
@@ -225,6 +234,76 @@ def test_fused_multi_seed_replications_match_scalar(
     assert len(pooled_fused) == len(pooled_scalar) == entry.trials * 3
     statistic = ks_statistic(pooled_scalar, pooled_fused)
     assert statistic < ks_bound(len(pooled_scalar), len(pooled_fused))
+
+
+# ----------------------------------------------------------------------
+# step-backend axis: every available backend on every matrix cell
+# ----------------------------------------------------------------------
+BACKEND_AXIS = available_backends()
+
+
+def _run_backend(entry, system, sampler_key, backend, seed, mode, fault=None):
+    runner = SweepRunner(engine="batch", backend=backend)
+    (result,) = runner.run(
+        [_point(entry, system, sampler_key, seed, mode, fault)]
+    )
+    assert runner.last_plan[0].engine == "batch"
+    return result
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_AXIS)
+@pytest.mark.parametrize(
+    "system_name,sampler_key,mode", MATRIX, ids=MATRIX_IDS
+)
+def test_step_backends_bit_equal_on_every_cell(
+    system_name, sampler_key, mode, backend_name
+):
+    """Every available step backend reproduces the reference per-step
+    loop on every matrix cell *bit-for-bit*: the numpy backend's fast
+    paths (block-drawn scheduler randomness, rank-space super-stepping)
+    and the optional numba JIT all consume the random stream exactly
+    like the reference loop, so even stochastic cells must be identical
+    — a far stronger bar than the KS equivalence used across engines."""
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    seed = 515
+    reference = NumpyStepBackend(block_draw=False, superstep=False)
+    base = _run_backend(entry, system, sampler_key, reference, seed, mode)
+    under = _run_backend(
+        entry, system, sampler_key, get_step_backend(backend_name), seed, mode
+    )
+    assert base == under
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_AXIS)
+@pytest.mark.parametrize(
+    "system_name,sampler_key,mode", MATRIX, ids=MATRIX_IDS
+)
+def test_step_backends_bit_equal_under_fault(
+    system_name, sampler_key, mode, backend_name
+):
+    """The fault axis under every backend: faulted runs always take the
+    reference per-step path, so every backend must produce identical
+    fault results — this pins the wiring (backend selection must not
+    perturb the fault timeline or its random stream)."""
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    seed = 1583
+    fault = conformance_fault_plan(system, mode)
+    reference = NumpyStepBackend(block_draw=False, superstep=False)
+    base = _run_backend(
+        entry, system, sampler_key, reference, seed, mode, fault
+    )
+    under = _run_backend(
+        entry,
+        system,
+        sampler_key,
+        get_step_backend(backend_name),
+        seed,
+        mode,
+        fault,
+    )
+    assert base == under
 
 
 # ----------------------------------------------------------------------

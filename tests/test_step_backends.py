@@ -1,0 +1,537 @@
+"""Step-backend tier: registry contracts, fast-path bit-equality, and
+the wiring of ``backend=`` through engines, runners, and the CLI.
+
+The cross-engine conformance matrix (``test_engine_conformance.py``)
+exercises every available backend on every cell; this module covers the
+machinery itself: registry errors, availability fallback, the buffered
+draw shim's stream preservation (results *and* final generator state),
+rank-space super-stepping engagement/abort/budget-fallback, per-phase
+profiling counters, and the parameter plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conformance_registry import (
+    CONFORMANCE_SAMPLERS,
+    conformance_entry,
+    conformance_system,
+)
+from repro.core.encoding import expansion_context
+from repro.core.kernel import TransitionKernel
+from repro.errors import MarkovError, ModelError
+from repro.markov.backends import (
+    DEFAULT_SUPERSTEP_BUDGET,
+    PROFILE_PHASES,
+    STEP_BACKENDS,
+    NumbaStepBackend,
+    NumpyStepBackend,
+    StepBackend,
+    _numba_installed,
+    available_backends,
+    backend_names,
+    default_backend,
+    get_step_backend,
+    register_step_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.markov.batch import (
+    BatchEngine,
+    EnabledCountLegitimacy,
+    batch_strategy_for,
+    compile_legitimacy,
+    encode_initials,
+)
+from repro.markov.montecarlo import (
+    MonteCarloRunner,
+    random_configurations,
+)
+from repro.markov.sweep_engine import SweepPointSpec, SweepRunner
+from repro.random_source import RandomSource
+
+NUMBA_PRESENT = _numba_installed()
+
+REFERENCE = NumpyStepBackend(block_draw=False, superstep=False)
+
+
+# ----------------------------------------------------------------------
+# shared run helper
+# ----------------------------------------------------------------------
+def _batch_run(
+    system_name,
+    sampler_key,
+    backend,
+    seed=2024,
+    trials=300,
+    max_steps=400,
+    legitimacy=None,
+    initials=None,
+):
+    """One BatchEngine.run on a registry system; returns (result, state).
+
+    The returned generator-state string lets tests assert that a fast
+    path leaves the random stream exactly where the reference loop
+    would (block draw) or untouched relative to its own replay
+    (superstep consumes no draws at all, which is fine — deterministic
+    runs never read them).
+    """
+    entry = conformance_entry(system_name)
+    system = conformance_system(system_name)
+    engine = BatchEngine(TransitionKernel(system))
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS[sampler_key]())
+    if legitimacy is None:
+        legit = (
+            entry.batch_legitimate
+            if entry.batch_legitimate is not None
+            else entry.legitimate(system)
+        )
+        legitimacy = compile_legitimacy(legit)
+    if initials is None:
+        initials = random_configurations(
+            system, RandomSource(seed + 1), 16
+        )
+    codes = encode_initials(engine.encoding, initials, trials)
+    generator = RandomSource(seed).numpy_generator()
+    result = engine.run(
+        strategy, legitimacy, codes, max_steps, generator, backend=backend
+    )
+    return result, str(generator.bit_generator.state)
+
+
+def _assert_same_outcome(reference, candidate):
+    assert np.array_equal(reference.times, candidate.times)
+    assert np.array_equal(reference.converged, candidate.converged)
+    assert np.array_equal(reference.hit_terminal, candidate.hit_terminal)
+
+
+# ----------------------------------------------------------------------
+# registry contracts
+# ----------------------------------------------------------------------
+def test_builtin_backends_registered():
+    assert "numpy" in backend_names()
+    assert "numba" in backend_names()
+    assert "numpy" in available_backends()
+
+
+def test_unknown_backend_name_raises():
+    with pytest.raises(MarkovError, match="unknown step backend"):
+        get_step_backend("cuda")
+    with pytest.raises(MarkovError, match="unknown step backend"):
+        resolve_backend("cuda")
+
+
+def test_duplicate_registration_raises():
+    name = "test-shadow-backend"
+    register_step_backend(name, NumpyStepBackend)
+    try:
+        with pytest.raises(MarkovError, match="already registered"):
+            register_step_backend(name, NumpyStepBackend)
+        # Explicit replacement is allowed.
+        register_step_backend(name, NumpyStepBackend, replace=True)
+    finally:
+        del STEP_BACKENDS[name]
+
+
+def test_auto_is_reserved():
+    with pytest.raises(MarkovError, match="reserved"):
+        register_step_backend("auto", NumpyStepBackend)
+
+
+def test_resolve_accepts_instances_and_default():
+    backend = NumpyStepBackend(superstep=False)
+    assert resolve_backend(backend) is backend
+    assert default_backend() == "auto"
+    assert isinstance(resolve_backend(None), StepBackend)
+    assert isinstance(resolve_backend("auto"), StepBackend)
+
+
+def test_set_default_backend_validates_and_restores():
+    assert default_backend() == "auto"
+    try:
+        assert set_default_backend("numpy") == "numpy"
+        assert resolve_backend(None).name == "numpy"
+        with pytest.raises(MarkovError, match="unknown step backend"):
+            set_default_backend("cuda")
+        with pytest.raises(MarkovError, match="backend spec"):
+            set_default_backend(42)
+    finally:
+        set_default_backend("auto")
+    assert default_backend() == "auto"
+
+
+@pytest.mark.skipif(
+    NUMBA_PRESENT, reason="numba installed; absence fallback not testable"
+)
+def test_numba_absent_fallback():
+    """Without numba: auto-detection resolves to numpy, the registered
+    numba backend reports unavailable, and requesting it by name is a
+    clear error rather than an import crash."""
+    assert "numba" not in available_backends()
+    assert resolve_backend("auto").name == "numpy"
+    assert set_default_backend("auto") == "numpy"
+    with pytest.raises(MarkovError, match="not available"):
+        get_step_backend("numba")
+    with pytest.raises(MarkovError, match="not available"):
+        set_default_backend("numba")
+
+
+# ----------------------------------------------------------------------
+# block-drawn randomness: stream preservation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "system_name,sampler_key",
+    [
+        ("token-ring5", "central"),
+        ("herman-ring5", "synchronous"),
+        ("herman-ring5", "central"),
+        ("israeli-jalfon-ring6", "central"),
+    ],
+)
+def test_block_draw_preserves_results_and_stream(system_name, sampler_key):
+    """Pre-drawing k steps of randomness in one Generator call must be
+    invisible: identical retirement vectors *and* identical final
+    generator state (the end-of-block rewind discards exactly the
+    consumed prefix)."""
+    reference, ref_state = _batch_run(system_name, sampler_key, REFERENCE)
+    block = NumpyStepBackend(block_draw=True, superstep=False)
+    candidate, state = _batch_run(system_name, sampler_key, block)
+    _assert_same_outcome(reference, candidate)
+    assert state == ref_state
+
+
+def test_rejection_samplers_fall_back_to_per_step_draws():
+    """The independent-coin strategies redraw a data-dependent number of
+    uniforms, so they cannot be block-drawn; the backend must keep the
+    sequential path (identical stream) rather than corrupt it."""
+    reference, ref_state = _batch_run("token-ring5", "distributed", REFERENCE)
+    candidate, state = _batch_run(
+        "token-ring5", "distributed", NumpyStepBackend(superstep=False)
+    )
+    _assert_same_outcome(reference, candidate)
+    assert state == ref_state
+
+
+# ----------------------------------------------------------------------
+# rank-space super-stepping
+# ----------------------------------------------------------------------
+def test_superstep_engages_and_is_bit_identical():
+    """Deterministic synchronous cells take the rank-space path and the
+    recorded first-hit times must match the per-step loop exactly (the
+    binary-lifting descent bisects within the last jump)."""
+    backend = NumpyStepBackend()
+    candidate, _ = _batch_run("coloring-ring5", "synchronous", backend)
+    assert backend.last_superstep
+    reference, _ = _batch_run("coloring-ring5", "synchronous", REFERENCE)
+    _assert_same_outcome(reference, candidate)
+    assert candidate.converged.any()  # nontrivial first-hit recovery
+
+
+def test_superstep_handles_livelock_timeouts():
+    """Synchronous token circulation livelocks (the paper's Theorem 1
+    setting): every trial must drain its budget and time out with the
+    same default vectors as the reference loop."""
+    backend = NumpyStepBackend()
+    candidate, _ = _batch_run(
+        "token-ring5", "synchronous", backend, max_steps=123
+    )
+    assert backend.last_superstep
+    reference, _ = _batch_run(
+        "token-ring5", "synchronous", REFERENCE, max_steps=123
+    )
+    _assert_same_outcome(reference, candidate)
+    assert not candidate.converged.all()
+
+
+def test_superstep_over_budget_falls_back_to_plain_loop():
+    """A state budget smaller than the reachable closure must abort the
+    plan and take the per-step path, with identical results."""
+    tiny = NumpyStepBackend(superstep=True, superstep_budget=3)
+    candidate, _ = _batch_run("coloring-ring5", "synchronous", tiny)
+    assert not tiny.last_superstep
+    reference, _ = _batch_run("coloring-ring5", "synchronous", REFERENCE)
+    _assert_same_outcome(reference, candidate)
+    assert DEFAULT_SUPERSTEP_BUDGET > 3
+
+
+def test_superstep_aborts_on_central_choice():
+    """The central daemon on a multi-enabled start has a real scheduling
+    choice, so the deterministic plan must abort during exploration and
+    the stochastic per-step path must run (stream-exactly)."""
+    backend = NumpyStepBackend()
+    reference, ref_state = _batch_run("token-ring5", "central", REFERENCE)
+    candidate, state = _batch_run("token-ring5", "central", backend)
+    assert not backend.last_superstep
+    _assert_same_outcome(reference, candidate)
+    assert state == ref_state
+
+
+def test_superstep_central_single_enabled_run():
+    """A single-token ring under the central daemon is deterministic
+    (exactly one enabled process at every reachable state), so the
+    central eligibility check passes and the rank-space path runs."""
+    system = conformance_system("token-ring5")
+    engine = BatchEngine(TransitionKernel(system))
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS["central"]())
+    # A legitimate (single-token) configuration; an unreachable
+    # legitimacy count keeps every trial alive so the run exercises the
+    # jump ladder and the timeout drain rather than retiring at t=0.
+    legitimacy = EnabledCountLegitimacy(system.num_processes + 1)
+    initials = [
+        config
+        for config in random_configurations(
+            system, RandomSource(7), 200
+        )
+    ]
+    context = expansion_context(engine.tables)
+    single = [
+        config
+        for config in initials
+        if engine.tables.enabled(
+            engine.tables.pack(engine.encoding.encode_batch([config]))
+        ).sum()
+        == 1
+    ]
+    assert single, "expected at least one single-enabled configuration"
+    codes = encode_initials(engine.encoding, single[:4], 50)
+    backend = NumpyStepBackend()
+    result = engine.run(
+        strategy,
+        legitimacy,
+        codes,
+        60,
+        RandomSource(5).numpy_generator(),
+        backend=backend,
+    )
+    assert backend.last_superstep
+    reference_result = engine.run(
+        strategy,
+        legitimacy,
+        codes,
+        60,
+        RandomSource(5).numpy_generator(),
+        backend=REFERENCE,
+    )
+    _assert_same_outcome(reference_result, result)
+    assert context.deterministic
+
+
+def test_superstep_skipped_for_decoding_legitimacy():
+    """Decoding predicates would have to run per interned state, so the
+    plan must decline and the per-step path must evaluate them."""
+    system = conformance_system("coloring-ring5")
+    entry = conformance_entry("coloring-ring5")
+    engine = BatchEngine(TransitionKernel(system))
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS["synchronous"]())
+    legitimacy = compile_legitimacy(entry.legitimate(system))  # decoding
+    initials = random_configurations(system, RandomSource(11), 16)
+    codes = encode_initials(engine.encoding, initials, 100)
+    backend = NumpyStepBackend()
+    result = engine.run(
+        strategy,
+        legitimacy,
+        codes,
+        200,
+        RandomSource(3).numpy_generator(),
+        backend=backend,
+    )
+    assert not backend.last_superstep
+    reference_result = engine.run(
+        strategy,
+        legitimacy,
+        codes,
+        200,
+        RandomSource(3).numpy_generator(),
+        backend=REFERENCE,
+    )
+    _assert_same_outcome(reference_result, result)
+
+
+def test_deterministic_successor_ranks_guards_stochastic_tables():
+    """Herman's protocol tosses coins, so its tables are not
+    deterministic and the successor-map compiler must refuse."""
+    system = conformance_system("herman-ring5")
+    engine = BatchEngine(TransitionKernel(system))
+    context = expansion_context(engine.tables)
+    assert not context.deterministic
+    with pytest.raises(ModelError, match="deterministic"):
+        context.deterministic_successor_ranks(np.arange(4, dtype=np.int64))
+
+
+def test_expansion_context_memoized_on_tables():
+    engine = BatchEngine(TransitionKernel(conformance_system("token-ring5")))
+    assert expansion_context(engine.tables) is expansion_context(
+        engine.tables
+    )
+
+
+# ----------------------------------------------------------------------
+# per-phase profiling counters
+# ----------------------------------------------------------------------
+def test_profile_counters_on_per_step_path():
+    engine = BatchEngine(TransitionKernel(conformance_system("token-ring5")))
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS["central"]())
+    entry = conformance_entry("token-ring5")
+    initials = random_configurations(
+        conformance_system("token-ring5"), RandomSource(21), 8
+    )
+    codes = encode_initials(engine.encoding, initials, 100)
+    result = engine.run(
+        strategy,
+        compile_legitimacy(entry.batch_legitimate),
+        codes,
+        200,
+        RandomSource(9).numpy_generator(),
+        profile=True,
+    )
+    assert result.profile is not None
+    assert set(PROFILE_PHASES) <= set(result.profile)
+    assert all(value >= 0.0 for value in result.profile.values())
+    assert sum(result.profile.values()) > 0.0
+
+
+def test_profile_counters_on_superstep_path():
+    engine = BatchEngine(
+        TransitionKernel(conformance_system("coloring-ring5"))
+    )
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS["synchronous"]())
+    entry = conformance_entry("coloring-ring5")
+    initials = random_configurations(
+        conformance_system("coloring-ring5"), RandomSource(22), 8
+    )
+    codes = encode_initials(engine.encoding, initials, 100)
+    result = engine.run(
+        strategy,
+        compile_legitimacy(entry.batch_legitimate),
+        codes,
+        200,
+        RandomSource(9).numpy_generator(),
+        profile=True,
+    )
+    assert result.profile is not None
+    assert "superstep_build" in result.profile
+    assert "superstep_execute" in result.profile
+
+
+def test_unprofiled_run_has_no_profile():
+    result, _ = _batch_run("token-ring5", "central", None, trials=50)
+    assert result.profile is None
+
+
+# ----------------------------------------------------------------------
+# wiring: engines, runners, sweep runner, CLI
+# ----------------------------------------------------------------------
+def test_batch_engine_run_rejects_unknown_backend():
+    engine = BatchEngine(TransitionKernel(conformance_system("token-ring5")))
+    strategy = batch_strategy_for(CONFORMANCE_SAMPLERS["central"]())
+    codes = encode_initials(
+        engine.encoding,
+        random_configurations(
+            conformance_system("token-ring5"), RandomSource(1), 4
+        ),
+        10,
+    )
+    with pytest.raises(MarkovError, match="unknown step backend"):
+        engine.run(
+            strategy,
+            compile_legitimacy(EnabledCountLegitimacy(1)),
+            codes,
+            10,
+            RandomSource(1).numpy_generator(),
+            backend="cuda",
+        )
+
+
+def test_montecarlo_runner_threads_backend():
+    system = conformance_system("token-ring5")
+    entry = conformance_entry("token-ring5")
+    sampler = CONFORMANCE_SAMPLERS["central"]()
+    kwargs = dict(
+        legitimate=entry.legitimate(system),
+        trials=120,
+        max_steps=2000,
+        batch_legitimate=entry.batch_legitimate,
+    )
+    reference = MonteCarloRunner(
+        system, engine="batch", backend=REFERENCE
+    ).estimate(sampler, rng=RandomSource(77), **kwargs)
+    fast = MonteCarloRunner(system, engine="batch").estimate(
+        sampler, rng=RandomSource(77), **kwargs
+    )
+    per_call = MonteCarloRunner(system, engine="batch").estimate(
+        sampler, rng=RandomSource(77), backend="numpy", **kwargs
+    )
+    assert reference == fast == per_call
+
+
+def test_sweep_runner_threads_backend():
+    system = conformance_system("coloring-ring5")
+    entry = conformance_entry("coloring-ring5")
+    point = SweepPointSpec(
+        system=system,
+        sampler=CONFORMANCE_SAMPLERS["synchronous"](),
+        legitimate=entry.legitimate(system),
+        trials=150,
+        max_steps=200,
+        seed=31,
+        batch_legitimate=entry.batch_legitimate,
+        initial_configurations=tuple(
+            random_configurations(system, RandomSource(31), 150)
+        ),
+    )
+    (reference,) = SweepRunner(engine="batch", backend=REFERENCE).run(
+        [point]
+    )
+    (fast,) = SweepRunner(engine="batch").run([point])
+    assert reference == fast
+
+
+def test_cli_backend_flag_parses_and_sets_default():
+    from repro.experiments.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["run", "THM1", "--backend", "numpy"])
+    assert args.backend == "numpy"
+    args = parser.parse_args(["run-all"])
+    assert args.backend is None
+    try:
+        assert set_default_backend("numpy") == "numpy"
+        engine = BatchEngine(
+            TransitionKernel(conformance_system("token-ring5"))
+        )
+        assert resolve_backend(engine.backend).name == "numpy"
+    finally:
+        set_default_backend("auto")
+
+
+# ----------------------------------------------------------------------
+# optional numba backend (skips cleanly when absent)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not NUMBA_PRESENT, reason="numba not installed")
+@pytest.mark.parametrize(
+    "system_name,sampler_key",
+    [
+        ("token-ring5", "central"),
+        ("herman-ring5", "synchronous"),
+        ("herman-ring5", "central"),
+        ("israeli-jalfon-ring6", "central"),
+    ],
+)
+def test_numba_backend_bit_equal_with_stream(system_name, sampler_key):
+    """The JIT kernel consumes the same pre-drawn buffers in the same
+    layout, so results and the final generator state must both match
+    the reference loop exactly."""
+    reference, ref_state = _batch_run(system_name, sampler_key, REFERENCE)
+    numba_backend = get_step_backend("numba")
+    assert isinstance(numba_backend, NumbaStepBackend)
+    candidate, state = _batch_run(system_name, sampler_key, numba_backend)
+    _assert_same_outcome(reference, candidate)
+    assert state == ref_state
+
+
+@pytest.mark.skipif(not NUMBA_PRESENT, reason="numba not installed")
+def test_numba_backend_is_auto_selected():
+    assert "numba" in available_backends()
+    assert resolve_backend("auto").name == "numba"
