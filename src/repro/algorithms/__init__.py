@@ -31,6 +31,16 @@ from repro.algorithms.herman_ring import (
     herman_token_holders,
     make_herman_system,
 )
+from repro.algorithms.herman_variants import (
+    HermanRandomBitAlgorithm,
+    HermanRandomPassAlgorithm,
+    HermanSpeedReducer2Algorithm,
+    HermanSpeedReducerAlgorithm,
+    make_herman_random_bit_system,
+    make_herman_random_pass_system,
+    make_herman_speed_reducer2_system,
+    make_herman_speed_reducer_system,
+)
 from repro.algorithms.israeli_jalfon import (
     IJSimulationResult,
     ij_expected_merge_time,
@@ -114,6 +124,14 @@ __all__ = [
     "HermanSingleTokenSpec",
     "make_herman_system",
     "herman_token_holders",
+    "HermanRandomBitAlgorithm",
+    "HermanRandomPassAlgorithm",
+    "HermanSpeedReducerAlgorithm",
+    "HermanSpeedReducer2Algorithm",
+    "make_herman_random_bit_system",
+    "make_herman_random_pass_system",
+    "make_herman_speed_reducer_system",
+    "make_herman_speed_reducer2_system",
     "ij_successors",
     "ij_expected_merge_time",
     "ij_simulate_merge_time",

@@ -1,0 +1,369 @@
+"""Herman variants with tunable coins — the bias-synthesis workload.
+
+Herman's protocol (:mod:`repro.algorithms.herman_ring`) fixes the token
+holder's coin at ½.  The optimal-bias literature (the PRISM
+parameter-lifting line of work) asks the quantitative follow-up: *which*
+bias minimizes expected convergence time?  This module models the four
+families that question is usually posed on, each with its coins declared
+as named :class:`~repro.core.parametric.CoinParameter` s so the compiled
+tables carry affine-in-parameter outcome probabilities and the whole
+family feeds :class:`repro.markov.parametric.ParametricChain` and the
+``repro.analysis.bias`` optimizer:
+
+* **random-bit** (coin ``p``): the token holder draws a fresh bit —
+  ``x ← 1`` with probability ``p``, ``x ← 0`` otherwise.  At ``p = ½``
+  this *is* Herman's protocol.
+* **random-pass** (coin ``p``): the token holder keeps its bit with
+  probability ``p`` and flips it otherwise.  In the bit encoding an
+  isolated token *moves* to the successor exactly when the holder keeps
+  its bit (the successor copies it and the equality travels), and
+  *stays* when the holder flips (the flipped bit re-equals the
+  predecessor's), so ``p`` is literally the token's pass probability.
+  Again ``p = ½`` coincides with Herman in distribution.
+* **speed-reducer** (coins ``p``, ``q``): random-pass plus a per-process
+  reducer gate ``y``.  A free holder (``y = 0``) passes with probability
+  ``p`` or *engages the reducer* (holds the token, ``y ← 1``); a reduced
+  holder is released with probability ``q`` per round.  Tokens therefore
+  park for geometric(``q``) rounds — slowing one of two walkers is the
+  classic trick for making them meet sooner.
+* **speed-reducer II** (coins ``p``, ``q``, ``r``): reducer *sites*
+  persist (non-holders copy the bit but keep ``y``), and a token at a
+  reduced site may also slip through without releasing the site, with
+  probability ``r`` — ``r`` governs the probability of passing the token
+  along while the reducer stays armed.
+
+Every guarded action tosses exactly **one** coin, so each outcome
+probability is affine in a single parameter (or, for the reduced-site
+release row, the affine form ``1 − q − r``) — within the ≤3-parameter
+budget of :func:`repro.core.encoding.compile_tables`.
+
+A process holds a token iff its bit equals its predecessor's, exactly as
+in classic Herman, so :class:`~repro.algorithms.herman_ring.HermanSingleTokenSpec`
+is the convergence target for all four families.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, Outcome, deterministic_action
+from repro.core.algorithm import Algorithm
+from repro.core.parametric import AffineProbability, CoinParameter
+from repro.core.system import System
+from repro.core.topology import OrientedRing, Topology
+from repro.core.variables import VariableLayout, VarSpec
+from repro.core.view import View
+from repro.errors import ModelError, TopologyError
+from repro.graphs.generators import ring as make_ring
+
+__all__ = [
+    "HermanRandomBitAlgorithm",
+    "HermanRandomPassAlgorithm",
+    "HermanSpeedReducerAlgorithm",
+    "HermanSpeedReducer2Algorithm",
+    "make_herman_random_bit_system",
+    "make_herman_random_pass_system",
+    "make_herman_speed_reducer_system",
+    "make_herman_speed_reducer2_system",
+]
+
+
+# ----------------------------------------------------------------------
+# shared guards / statements (bit encoding identical to herman_ring)
+# ----------------------------------------------------------------------
+def _token_guard(view: View) -> bool:
+    return view.get("x") == view.nbr(view.const("pred"), "x")
+
+
+def _copy_guard(view: View) -> bool:
+    return view.get("x") != view.nbr(view.const("pred"), "x")
+
+
+def _set_zero(view: View) -> None:
+    view.set("x", 0)
+
+
+def _set_one(view: View) -> None:
+    view.set("x", 1)
+
+
+def _keep_bit(view: View) -> None:
+    view.set("x", view.get("x"))
+
+
+def _flip_bit(view: View) -> None:
+    view.set("x", 1 - view.get("x"))
+
+
+def _copy_statement(view: View) -> None:
+    view.set("x", view.nbr(view.const("pred"), "x"))
+
+
+def _token_free_guard(view: View) -> bool:
+    return _token_guard(view) and view.get("y") == 0
+
+
+def _token_reduced_guard(view: View) -> bool:
+    return _token_guard(view) and view.get("y") == 1
+
+
+def _pass_release(view: View) -> None:
+    _keep_bit(view)
+    view.set("y", 0)
+
+
+def _pass_reduced(view: View) -> None:
+    _keep_bit(view)
+    view.set("y", 1)
+
+
+def _hold_reduced(view: View) -> None:
+    _flip_bit(view)
+    view.set("y", 1)
+
+
+def _copy_reset_gate(view: View) -> None:
+    _copy_statement(view)
+    view.set("y", 0)
+
+
+class _OddRingAlgorithm(Algorithm):
+    """Shared odd-oriented-ring scaffolding for the Herman variants."""
+
+    def __init__(self, ring_size: int) -> None:
+        if ring_size < 3 or ring_size % 2 == 0:
+            raise ModelError(
+                f"{self.name} needs an odd ring of size >= 3,"
+                f" got {ring_size}"
+            )
+        self._n = ring_size
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return True
+
+    def constants(self, topology: Topology, process: int):
+        if not isinstance(topology, OrientedRing):
+            raise TopologyError(f"{self.name} needs an oriented ring")
+        return {"pred": topology.pred_local_index(process)}
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        return VariableLayout((VarSpec("x", (0, 1)),))
+
+    #: Declared coins, in table (sorted-name) order — the construction
+    #: defaults double as the reference assignment of a parametric chain.
+    coin_parameters: tuple[CoinParameter, ...] = ()
+
+
+class HermanRandomBitAlgorithm(_OddRingAlgorithm):
+    """Token holders draw a fresh bit: 1 w.p. ``p``, 0 w.p. ``1 − p``."""
+
+    name = "herman-random-bit"
+
+    def __init__(self, ring_size: int, bias: float = 0.5) -> None:
+        super().__init__(ring_size)
+        self.coin_parameters = (CoinParameter("p", float(bias)),)
+        (coin,) = self.coin_parameters
+        self._heads = coin.value()
+        self._tails = coin.complement()
+
+    def actions(self) -> tuple[Action, ...]:
+        heads, tails = self._heads, self._tails
+
+        def _token_outcomes(view: View):
+            return (Outcome(heads, _set_one), Outcome(tails, _set_zero))
+
+        return (
+            Action("T", _token_guard, _token_outcomes),
+            deterministic_action("NT", _copy_guard, _copy_statement),
+        )
+
+
+class HermanRandomPassAlgorithm(_OddRingAlgorithm):
+    """Token holders keep their bit (pass) w.p. ``p``, flip (hold) else."""
+
+    name = "herman-random-pass"
+
+    def __init__(self, ring_size: int, bias: float = 0.5) -> None:
+        super().__init__(ring_size)
+        self.coin_parameters = (CoinParameter("p", float(bias)),)
+        (coin,) = self.coin_parameters
+        self._pass = coin.value()
+        self._hold = coin.complement()
+
+    def actions(self) -> tuple[Action, ...]:
+        pass_p, hold_p = self._pass, self._hold
+
+        def _token_outcomes(view: View):
+            return (Outcome(pass_p, _keep_bit), Outcome(hold_p, _flip_bit))
+
+        return (
+            Action("T", _token_guard, _token_outcomes),
+            deterministic_action("NT", _copy_guard, _copy_statement),
+        )
+
+
+class HermanSpeedReducerAlgorithm(_OddRingAlgorithm):
+    """Random-pass with a reducer gate: parked tokens release w.p. ``q``.
+
+    Local state is ``(x, y)``: the Herman bit plus the reducer gate.  A
+    free token holder (``y = 0``) passes w.p. ``p`` or engages the
+    reducer (holds the token, ``y ← 1``) w.p. ``1 − p``; a reduced
+    holder (``y = 1``) is released-and-passed w.p. ``q`` per round and
+    keeps holding otherwise.  Non-holders copy the bit and clear the
+    gate.
+    """
+
+    name = "herman-speed-reducer"
+
+    def __init__(
+        self, ring_size: int, bias: float = 0.5, wake: float = 0.5
+    ) -> None:
+        super().__init__(ring_size)
+        self.coin_parameters = (
+            CoinParameter("p", float(bias)),
+            CoinParameter("q", float(wake)),
+        )
+        pass_coin, wake_coin = self.coin_parameters
+        self._pass = pass_coin.value()
+        self._engage = pass_coin.complement()
+        self._release = wake_coin.value()
+        self._keep_held = wake_coin.complement()
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        return VariableLayout((VarSpec("x", (0, 1)), VarSpec("y", (0, 1))))
+
+    def actions(self) -> tuple[Action, ...]:
+        pass_p, engage_p = self._pass, self._engage
+        release_q, keep_q = self._release, self._keep_held
+
+        def _free_outcomes(view: View):
+            return (
+                Outcome(pass_p, _pass_release),
+                Outcome(engage_p, _hold_reduced),
+            )
+
+        def _reduced_outcomes(view: View):
+            return (
+                Outcome(release_q, _pass_release),
+                Outcome(keep_q, _hold_reduced),
+            )
+
+        return (
+            Action("TF", _token_free_guard, _free_outcomes),
+            Action("TR", _token_reduced_guard, _reduced_outcomes),
+            deterministic_action("NT", _copy_guard, _copy_reset_gate),
+        )
+
+
+class HermanSpeedReducer2Algorithm(_OddRingAlgorithm):
+    """Speed reducer with persistent sites and a slip-through coin ``r``.
+
+    Reducer *sites* survive the token's departure: non-holders copy the
+    bit but keep their gate, and a token at a reduced site either
+    releases the site and passes (w.p. ``q``), slips through while the
+    site stays armed (w.p. ``r`` — the extra coin governing the
+    probability of passing the token along), or keeps holding
+    (w.p. ``1 − q − r``).  The slip row is the one genuinely
+    multi-parameter affine form in the family set.
+    """
+
+    name = "herman-speed-reducer-2"
+
+    def __init__(
+        self,
+        ring_size: int,
+        bias: float = 0.5,
+        wake: float = 0.5,
+        slip: float = 0.25,
+    ) -> None:
+        super().__init__(ring_size)
+        # Bounds keep q + r < 1, so the hold probability 1 − q − r stays
+        # a valid coin over the whole synthesis box.
+        self.coin_parameters = (
+            CoinParameter("p", float(bias)),
+            CoinParameter("q", float(wake), low=0.05, high=0.6),
+            CoinParameter("r", float(slip), low=0.05, high=0.35),
+        )
+        pass_coin, wake_coin, slip_coin = self.coin_parameters
+        defaults = {
+            coin.name: coin.default for coin in self.coin_parameters
+        }
+        self._pass = pass_coin.value()
+        self._engage = pass_coin.complement()
+        self._release = wake_coin.value()
+        self._slip = slip_coin.value()
+        self._keep_held = AffineProbability(
+            1.0, {"q": -1.0, "r": -1.0}, defaults
+        )
+
+    def layout(self, topology: Topology, process: int) -> VariableLayout:
+        return VariableLayout((VarSpec("x", (0, 1)), VarSpec("y", (0, 1))))
+
+    def actions(self) -> tuple[Action, ...]:
+        pass_p, engage_p = self._pass, self._engage
+        release_q, slip_r, keep_qr = (
+            self._release,
+            self._slip,
+            self._keep_held,
+        )
+
+        def _free_outcomes(view: View):
+            return (
+                Outcome(pass_p, _pass_release),
+                Outcome(engage_p, _hold_reduced),
+            )
+
+        def _reduced_outcomes(view: View):
+            return (
+                Outcome(release_q, _pass_release),
+                Outcome(slip_r, _pass_reduced),
+                Outcome(keep_qr, _hold_reduced),
+            )
+
+        return (
+            Action("TF", _token_free_guard, _free_outcomes),
+            Action("TR", _token_reduced_guard, _reduced_outcomes),
+            deterministic_action("NT", _copy_guard, _copy_statement),
+        )
+
+
+def make_herman_random_bit_system(
+    ring_size: int, bias: float = 0.5
+) -> System:
+    """Herman random-bit on an odd oriented ring, coin baked at ``bias``."""
+    return System(
+        HermanRandomBitAlgorithm(ring_size, bias),
+        OrientedRing(make_ring(ring_size)),
+    )
+
+
+def make_herman_random_pass_system(
+    ring_size: int, bias: float = 0.5
+) -> System:
+    """Herman random-pass on an odd oriented ring."""
+    return System(
+        HermanRandomPassAlgorithm(ring_size, bias),
+        OrientedRing(make_ring(ring_size)),
+    )
+
+
+def make_herman_speed_reducer_system(
+    ring_size: int, bias: float = 0.5, wake: float = 0.5
+) -> System:
+    """Speed-reducer variant (coins ``p``, ``q``) on an odd oriented ring."""
+    return System(
+        HermanSpeedReducerAlgorithm(ring_size, bias, wake),
+        OrientedRing(make_ring(ring_size)),
+    )
+
+
+def make_herman_speed_reducer2_system(
+    ring_size: int,
+    bias: float = 0.5,
+    wake: float = 0.5,
+    slip: float = 0.25,
+) -> System:
+    """Persistent-site speed reducer (coins ``p``, ``q``, ``r``)."""
+    return System(
+        HermanSpeedReducer2Algorithm(ring_size, bias, wake, slip),
+        OrientedRing(make_ring(ring_size)),
+    )

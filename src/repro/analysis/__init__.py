@@ -1,5 +1,11 @@
 """Statistics, tables and sweeps used by experiments and benchmarks."""
 
+from repro.analysis.bias import (
+    BiasSynthesisResult,
+    Region,
+    certified_lower_bound,
+    synthesize_optimal_bias,
+)
 from repro.analysis.rounds import count_rounds, round_boundaries
 from repro.analysis.stats import SummaryStats, quantile, summarize
 from repro.analysis.sweep import SweepPoint, sweep, sweep_fused
@@ -16,4 +22,8 @@ __all__ = [
     "format_kv",
     "count_rounds",
     "round_boundaries",
+    "Region",
+    "BiasSynthesisResult",
+    "certified_lower_bound",
+    "synthesize_optimal_bias",
 ]

@@ -67,6 +67,11 @@ from repro.core.encoding import (
     compile_tables,
 )
 from repro.core.kernel import NeighborhoodEntry, TransitionKernel
+from repro.core.parametric import (
+    MAX_COIN_PARAMETERS,
+    AffineProbability,
+    CoinParameter,
+)
 from repro.core.simulate import (
     SchedulerSampler,
     SimulationResult,
@@ -99,6 +104,9 @@ __all__ = [
     "StateEncoding",
     "CompiledKernelTables",
     "compile_tables",
+    "CoinParameter",
+    "AffineProbability",
+    "MAX_COIN_PARAMETERS",
     "SchedulerSampler",
     "SimulationResult",
     "run",

@@ -39,6 +39,12 @@ import numpy as np
 
 from repro.core.configuration import Configuration, LocalState
 from repro.core.kernel import DEFAULT_TABLE_BUDGET, TransitionKernel
+from repro.core.parametric import (
+    MAX_COIN_PARAMETERS,
+    affine_array_bounds,
+    affine_terms,
+    evaluate_affine_arrays,
+)
 from repro.core.system import System
 from repro.errors import ModelError
 
@@ -214,6 +220,9 @@ class CompiledKernelTables:
         "outcome_cum",
         "outcome_code",
         "outcome_prob",
+        "param_names",
+        "outcome_prob_const",
+        "outcome_prob_coeff",
         "num_entries",
         "_expansion_memo",
     )
@@ -230,6 +239,9 @@ class CompiledKernelTables:
         outcome_cum: np.ndarray,
         outcome_code: np.ndarray,
         outcome_prob: np.ndarray,
+        param_names: tuple[str, ...] = (),
+        outcome_prob_const: np.ndarray | None = None,
+        outcome_prob_coeff: np.ndarray | None = None,
     ) -> None:
         self.encoding = encoding
         self.neighbor_index = neighbor_index
@@ -241,7 +253,52 @@ class CompiledKernelTables:
         self.outcome_cum = outcome_cum
         self.outcome_code = outcome_code
         self.outcome_prob = outcome_prob
+        self.param_names = param_names
+        self.outcome_prob_const = outcome_prob_const
+        self.outcome_prob_coeff = outcome_prob_coeff
         self.num_entries = int(enabled_flat.shape[0])
+
+    # ------------------------------------------------------------------
+    # parametric outcome probabilities
+    # ------------------------------------------------------------------
+    @property
+    def parametric(self) -> bool:
+        """Whether any outcome probability is affine in a coin parameter."""
+        return bool(self.param_names)
+
+    def evaluate_outcome_probs(
+        self, assignment: "dict[str, float]"
+    ) -> np.ndarray:
+        """``outcome_prob``-shaped raw probabilities at one assignment.
+
+        For non-parametric tables this is a copy of ``outcome_prob``; for
+        parametric tables each entry is its affine form evaluated in the
+        canonical order of :mod:`repro.core.parametric` — bit-identical
+        to the concrete table a system constructed at that assignment
+        would compile.
+        """
+        if not self.param_names:
+            return self.outcome_prob.copy()
+        return evaluate_affine_arrays(
+            self.outcome_prob_const,
+            self.outcome_prob_coeff,
+            self.param_names,
+            assignment,
+        )
+
+    def outcome_prob_bounds(
+        self, lows: "dict[str, float]", highs: "dict[str, float]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Elementwise outcome-probability range over a parameter box."""
+        if not self.param_names:
+            return self.outcome_prob.copy(), self.outcome_prob.copy()
+        return affine_array_bounds(
+            self.outcome_prob_const,
+            self.outcome_prob_coeff,
+            self.param_names,
+            lows,
+            highs,
+        )
 
     # ------------------------------------------------------------------
     # gathers over code matrices
@@ -472,6 +529,10 @@ def compile_tables(
     row_cums: list[tuple[float, ...]] = []
     row_codes: list[tuple[int, ...]] = []
     row_probs: list[tuple[float, ...]] = []
+    # Per action row: one (constant, coefficients) term per outcome when
+    # the probability is affine in coin parameters, else None.  Rows with
+    # no affine outcome at all store None.
+    row_affine: list[tuple | None] = []
 
     offset = 0
     for process in range(num_processes):
@@ -508,6 +569,10 @@ def compile_tables(
                 # builder, which must reproduce the scalar oracle's branch
                 # weights exactly, not modulo a normalizing division.
                 row_probs.append(tuple(float(p) for p in probabilities))
+                terms = tuple(
+                    affine_terms(probability) for probability, _ in outcomes
+                )
+                row_affine.append(terms if any(terms) else None)
                 row_codes.append(
                     tuple(
                         encoding.encode_local(process, state)
@@ -527,6 +592,48 @@ def compile_tables(
         outcome_code[row, : len(codes)] = codes
         outcome_prob[row, : len(probs)] = probs
 
+    # Harvest affine coin-parameter forms (see repro.core.parametric):
+    # constants default to the concrete probabilities, so non-affine
+    # entries evaluate to themselves at every assignment, and evaluating
+    # at the construction assignment reproduces ``outcome_prob`` exactly.
+    names = sorted(
+        {
+            name
+            for terms in row_affine
+            if terms is not None
+            for term in terms
+            if term is not None
+            for name, _ in term[1]
+        }
+    )
+    param_names: tuple[str, ...] = ()
+    outcome_prob_const: np.ndarray | None = None
+    outcome_prob_coeff: np.ndarray | None = None
+    if names:
+        if len(names) > MAX_COIN_PARAMETERS:
+            raise ModelError(
+                f"outcome probabilities use {len(names)} coin parameters"
+                f" ({names}); at most {MAX_COIN_PARAMETERS} are supported"
+            )
+        param_names = tuple(names)
+        position_of = {name: k for k, name in enumerate(param_names)}
+        outcome_prob_const = outcome_prob.copy()
+        outcome_prob_coeff = np.zeros(
+            (outcome_prob.shape[0], width_out, len(param_names))
+        )
+        for row, terms in enumerate(row_affine):
+            if terms is None:
+                continue
+            for slot, term in enumerate(terms):
+                if term is None:
+                    continue
+                constant, coefficients = term
+                outcome_prob_const[row, slot] = constant
+                for name, coefficient in coefficients:
+                    outcome_prob_coeff[row, slot, position_of[name]] = (
+                        coefficient
+                    )
+
     tables = CompiledKernelTables(
         encoding=encoding,
         neighbor_index=neighbor_index,
@@ -538,6 +645,9 @@ def compile_tables(
         outcome_cum=outcome_cum,
         outcome_code=outcome_code,
         outcome_prob=outcome_prob,
+        param_names=param_names,
+        outcome_prob_const=outcome_prob_const,
+        outcome_prob_coeff=outcome_prob_coeff,
     )
     if default_call:
         kernel._compiled_tables_memo = tables

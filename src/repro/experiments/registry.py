@@ -8,6 +8,7 @@ from repro.experiments.adv1 import run_adv1
 from repro.experiments.alg3 import run_alg3
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.fig1 import run_fig1
+from repro.experiments.opt1 import run_opt1
 from repro.experiments.ft1 import run_ft1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -185,6 +186,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             run_adv1,
             {"max_states": 500_000},
         ),
+        Experiment(
+            "OPT1",
+            "OPT1: certified optimal coin biases for Herman variants",
+            "parametric tier (extension)",
+            run_opt1,
+            {"sizes": None, "tolerance": 0.05, "max_regions": 96},
+        ),
     )
 }
 
@@ -278,6 +286,7 @@ def run_all(fast: bool = False) -> list[ExperimentResult]:
             "Q2": {"monte_carlo_sizes": (8,), "trials": 50},
             "Q3": {"trials": 50},
             "ABL1": {"biases": (0.25, 0.5, 0.75)},
+            "OPT1": {"sizes": (3, 5), "tolerance": 0.1, "max_regions": 48},
         }
     results = []
     for experiment_id, experiment in EXPERIMENTS.items():

@@ -19,6 +19,10 @@ from repro.markov.hitting import (
     hitting_summary,
 )
 from repro.markov.lumping import lumped_synchronous_transformed_chain
+from repro.markov.parametric import (
+    ParametricChain,
+    build_parametric_chain,
+)
 from repro.markov.mdp import (
     MDP_DAEMONS,
     MarkovDecisionProcess,
@@ -44,6 +48,8 @@ from repro.markov.sweep_engine import (
 __all__ = [
     "build_chain",
     "CHAIN_ENGINES",
+    "ParametricChain",
+    "build_parametric_chain",
     "MarkovChain",
     "ROW_SUM_TOLERANCE",
     "absorption_probabilities",

@@ -26,6 +26,12 @@ from repro.algorithms.herman_ring import (
     HermanSingleTokenSpec,
     make_herman_system,
 )
+from repro.algorithms.herman_variants import (
+    make_herman_random_bit_system,
+    make_herman_random_pass_system,
+    make_herman_speed_reducer2_system,
+    make_herman_speed_reducer_system,
+)
 from repro.algorithms.israeli_jalfon import (
     IJMergedSpec,
     make_israeli_jalfon_system,
@@ -155,6 +161,66 @@ CONFORMANCE_SYSTEMS: tuple[ConformanceSystem, ...] = (
         sampler_modes=(
             ("synchronous", "ks"),
             ("central", "ks"),
+            ("distributed", "ks"),
+            ("bernoulli", "ks"),
+        ),
+    ),
+    ConformanceSystem(
+        name="herman-rb-ring5",
+        algorithm="herman-random-bit",
+        topology="ring",
+        build=lambda: make_herman_random_bit_system(5, bias=0.65),
+        legitimate=_spec_predicate(HermanSingleTokenSpec),
+        # Like classic Herman: every process is always enabled, so the
+        # decoding fallback is the only correct compiled legitimacy.
+        batch_legitimate=None,
+        sampler_modes=(
+            ("synchronous", "ks"),
+            ("central", "ks"),
+            ("distributed", "ks"),
+            ("bernoulli", "ks"),
+        ),
+    ),
+    ConformanceSystem(
+        name="herman-rp-ring5",
+        algorithm="herman-random-pass",
+        topology="ring",
+        build=lambda: make_herman_random_pass_system(5, bias=0.35),
+        legitimate=_spec_predicate(HermanSingleTokenSpec),
+        batch_legitimate=None,
+        sampler_modes=(
+            ("synchronous", "ks"),
+            ("central", "ks"),
+            ("distributed", "ks"),
+            ("bernoulli", "ks"),
+        ),
+    ),
+    ConformanceSystem(
+        name="herman-sr-ring5",
+        algorithm="herman-speed-reducer",
+        topology="ring",
+        build=lambda: make_herman_speed_reducer_system(
+            5, bias=0.7, wake=0.3
+        ),
+        legitimate=_spec_predicate(HermanSingleTokenSpec),
+        batch_legitimate=None,
+        sampler_modes=(
+            ("synchronous", "ks"),
+            ("central", "ks"),
+            ("distributed", "ks"),
+        ),
+    ),
+    ConformanceSystem(
+        name="herman-sr2-ring5",
+        algorithm="herman-speed-reducer2",
+        topology="ring",
+        build=lambda: make_herman_speed_reducer2_system(
+            5, bias=0.6, wake=0.4, slip=0.2
+        ),
+        legitimate=_spec_predicate(HermanSingleTokenSpec),
+        batch_legitimate=None,
+        sampler_modes=(
+            ("synchronous", "ks"),
             ("distributed", "ks"),
             ("bernoulli", "ks"),
         ),

@@ -27,9 +27,9 @@ from repro.experiments.q1 import run_q1
 
 class TestRegistry:
     def test_all_targets_registered(self):
-        assert len(all_ids()) == 20
+        assert len(all_ids()) == 21
         assert all_ids()[0] == "FIG1"
-        assert all_ids()[-1] == "ADV1"
+        assert all_ids()[-1] == "OPT1"
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("fig1").experiment_id == "FIG1"
@@ -123,6 +123,19 @@ class TestTheoremExperiments:
             trials=10,
         )
         assert result.passed
+
+    def test_opt1_small(self):
+        result = get_experiment("OPT1").run(
+            sizes=(5,), tolerance=0.2, max_regions=24
+        )
+        assert result.passed
+        families = [row["family"] for row in result.rows]
+        assert families == [
+            "random-bit",
+            "random-pass",
+            "speed-reducer",
+            "speed-reducer2",
+        ]
 
 
 class TestCli:

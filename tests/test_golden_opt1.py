@@ -1,0 +1,92 @@
+"""Golden-output regression: the OPT1 optimal-bias synthesis table.
+
+A small-N OPT1 configuration pinned row-for-row under
+``tests/golden/``.  The whole synthesis pipeline is deterministic — no
+random sampling, only region centers and bisections — so any change to
+the affine table compiler, the parametric CSR freeze, the cached-LU
+solver, the interval value-iteration bound, or the refinement loop
+shows up as a golden diff instead of a silent numeric drift.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_golden_opt1.py --regenerate
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.opt1 import run_opt1
+
+pytestmark = pytest.mark.conformance
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: Small rings at a coarse tolerance — cheap enough for the conformance
+#: tier, rich enough to cover all four families and both the pruning
+#: (1-coin) and box-hull (multi-coin) certification paths.
+GOLDEN_RUNS = {
+    "opt1_small": lambda: run_opt1(
+        sizes=(3, 5), tolerance=0.1, max_regions=48
+    ),
+}
+
+
+def _normalize(rows):
+    """Round-trip through JSON so committed and fresh rows compare with
+    identical types (tuples→lists, float formatting)."""
+    return json.loads(json.dumps(rows))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_opt1_reproduces_golden_rows(name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with"
+        " PYTHONPATH=src python tests/test_golden_opt1.py --regenerate"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    result = GOLDEN_RUNS[name]()
+    assert result.passed, result.render()
+    fresh = _normalize(result.rows)
+    assert len(fresh) == len(golden["rows"]), (
+        f"{name}: row count changed"
+    )
+    for position, (fresh_row, golden_row) in enumerate(
+        zip(fresh, golden["rows"])
+    ):
+        assert fresh_row == golden_row, (
+            f"{name}: row {position} diverged from the golden table\n"
+            f"  golden: {golden_row}\n"
+            f"  fresh : {fresh_row}"
+        )
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, runner in sorted(GOLDEN_RUNS.items()):
+        result = runner()
+        payload = {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "rows": _normalize(result.rows),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path} ({len(payload['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
