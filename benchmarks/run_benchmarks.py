@@ -3,8 +3,8 @@
 Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
 ``bench_sharded_explore.py``, ``bench_chain_build.py``,
 ``bench_sweep_fusion.py``, ``bench_fault_injection.py``,
-``bench_mdp_solve.py``, ``bench_step_backend.py``, and
-``bench_parametric_sweep.py`` through
+``bench_mdp_solve.py``, ``bench_step_backend.py``,
+``bench_parametric_sweep.py``, and ``bench_campaign_store.py`` through
 pytest-benchmark and appends a condensed, machine-readable record to
 ``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
 execution engine (state-space exploration — sequential and sharded —
@@ -85,6 +85,7 @@ SUITE = (
     BENCH_DIR / "bench_mdp_solve.py",
     BENCH_DIR / "bench_step_backend.py",
     BENCH_DIR / "bench_parametric_sweep.py",
+    BENCH_DIR / "bench_campaign_store.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 
@@ -277,6 +278,21 @@ def find_regressions(
     return regressions
 
 
+def _write_history(history: list) -> None:
+    """Atomically replace ``BENCH_kernel.json``.
+
+    Temp file + fsync + rename through :mod:`repro.store.atomic` — the
+    same write path the result store uses — so a crash mid-write leaves
+    the previous perf history intact instead of a truncated JSON file.
+    """
+    try:
+        from repro.store.atomic import atomic_write_text
+    except ImportError:  # launched without PYTHONPATH=src
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.store.atomic import atomic_write_text
+    atomic_write_text(OUTPUT, json.dumps(history, indent=2) + "\n")
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -327,7 +343,7 @@ def main(argv: list[str] | None = None) -> None:
     if regressions:
         record["regressed"] = True
     history.append(record)
-    OUTPUT.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    _write_history(history)
     print(f"recorded {len(record['benchmarks'])} benchmarks -> {OUTPUT}")
     print(f"  calibration probe: {calibration * 1000:.2f} ms")
     print(

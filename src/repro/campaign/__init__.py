@@ -1,0 +1,49 @@
+"""Crash-resilient campaign tier: supervised, resumable trial farms.
+
+A *campaign* is a large seeded Monte-Carlo matrix — many points, many
+trials — executed as independent **shards** whose bytes are pure
+functions of their coordinates.  The package splits the problem:
+
+* :mod:`repro.campaign.points` — value-level campaign descriptions
+  (:class:`~repro.campaign.points.CampaignSelection`), the point
+  families, the hierarchical ``master → point → shard`` seed flow, and
+  worker-side reconstruction of executable sweep points;
+* :mod:`repro.campaign.runner` — the supervisor: per-shard worker
+  processes with timeouts, retry with backoff, degradation to
+  sequential execution, checkpoint manifests, and byte-exact resume
+  over the :mod:`repro.store` persistence tier.
+
+The CLI front door is ``python -m repro.experiments campaign``.
+"""
+
+from repro.campaign.points import (
+    CAMPAIGN_FAMILIES,
+    CampaignSelection,
+    ShardSpec,
+    build_sweep_spec,
+    expand_selection,
+    family_ids,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignReport,
+    execute_shard,
+    resume_campaign,
+    run_campaign,
+    store_report,
+)
+
+__all__ = [
+    "CAMPAIGN_FAMILIES",
+    "CampaignSelection",
+    "ShardSpec",
+    "build_sweep_spec",
+    "expand_selection",
+    "family_ids",
+    "CampaignConfig",
+    "CampaignReport",
+    "execute_shard",
+    "resume_campaign",
+    "run_campaign",
+    "store_report",
+]

@@ -1,0 +1,294 @@
+"""Campaign point families, shard expansion, and the seed flow.
+
+A campaign cannot ship live :class:`~repro.markov.sweep_engine.SweepPointSpec`
+objects to workers — specs hold systems and closures.  Instead a
+campaign is described by *values*: a :class:`CampaignSelection` (which
+families, which sizes, how many trials, one master seed) expands
+deterministically into :class:`ShardSpec` work items whose metadata is
+plain JSON.  A worker — any worker, any time, any process — rebuilds
+the executable spec from the metadata alone via :func:`build_sweep_spec`,
+which is what makes every shard *regeneratable from its coordinates*:
+losing a worker, a file, or the whole checkpoint loses no science.
+
+Seed flow is hierarchical, in the replicated-trial style of
+probabilistic self-stabilization studies::
+
+    master ──spawn(point index)──► point ──spawn(shard index)──► shard
+
+via :meth:`RandomSource.spawn`, which is stateless arithmetic — the
+seed of shard ``(p, s)`` is computable without materializing any other
+shard, and two campaigns with equal selections produce equal seeds,
+equal trial streams, and therefore byte-equal shard files.
+
+Families mirror the experiment registry's sweep shapes:
+
+* ``Q1`` — transformed token ring (coin-toss transformer) under the
+  synchronous sampler, stabilization to a single token;
+* ``Q3`` — Dijkstra's K-state ring under the central randomized
+  daemon, stabilization to a single privilege;
+* ``FT1`` — token ring under the central daemon with a transient fault
+  (two processes corrupted at convergence), measuring re-convergence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import CampaignError
+from repro.random_source import RandomSource
+from repro.store.columnar import (
+    fault_signature,
+    legitimacy_signature,
+    sampler_signature,
+    shard_key,
+    system_signature,
+)
+
+__all__ = [
+    "CAMPAIGN_FAMILIES",
+    "CampaignSelection",
+    "ShardSpec",
+    "build_sweep_spec",
+    "expand_selection",
+    "family_ids",
+]
+
+
+@dataclass(frozen=True)
+class CampaignSelection:
+    """The complete value-level description of one campaign.
+
+    Everything downstream — points, shards, seeds, content-address
+    keys — is a pure function of this object, so persisting it in the
+    checkpoint manifest is all ``--resume`` needs to re-derive the
+    exact work list.
+    """
+
+    families: tuple[str, ...] = ("Q1",)
+    sizes: tuple[int, ...] = (6, 8)
+    trials: int = 200
+    max_steps: int = 100_000
+    shard_trials: int = 100
+    seed: int = 2008
+
+    def as_dict(self) -> dict:
+        """JSON form for the manifest."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSelection":
+        """Inverse of :meth:`as_dict` (JSON round-trip safe)."""
+        return cls(
+            families=tuple(data["families"]),
+            sizes=tuple(int(n) for n in data["sizes"]),
+            trials=int(data["trials"]),
+            max_steps=int(data["max_steps"]),
+            shard_trials=int(data["shard_trials"]),
+            seed=int(data["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of campaign work: a contiguous trial block of one point.
+
+    ``key`` is the shard's content address — :func:`repro.store.shard_key`
+    over ``meta``, which carries the canonical execution coordinates
+    (family, parameters, system/sampler/legitimacy signatures, trial
+    block, step budget, fault plan, seed).  ``meta`` is plain JSON and
+    is everything a worker needs.
+    """
+
+    key: str
+    meta: dict
+
+
+# ----------------------------------------------------------------------
+# point families
+# ----------------------------------------------------------------------
+def _q1_parts(params: Mapping) -> dict:
+    from repro.algorithms.token_ring import (
+        TokenCirculationSpec,
+        make_token_ring_system,
+    )
+    from repro.markov.batch import EnabledCountLegitimacy
+    from repro.transformer.coin_toss import (
+        TransformedSpec,
+        make_transformed_system,
+    )
+
+    base = make_token_ring_system(int(params["n"]))
+    system = make_transformed_system(base)
+    tspec = TransformedSpec(TokenCirculationSpec(), base)
+    return {
+        "system": system,
+        "sampler": _samplers().SynchronousSampler(),
+        "legitimate": lambda cfg, s=system, t=tspec: t.legitimate(s, cfg),
+        "batch_legitimate": EnabledCountLegitimacy(1),
+        "fault": None,
+    }
+
+
+def _q3_parts(params: Mapping) -> dict:
+    from repro.algorithms.dijkstra_ring import (
+        SinglePrivilegeSpec,
+        make_dijkstra_system,
+    )
+    from repro.markov.batch import EnabledCountLegitimacy
+
+    system = make_dijkstra_system(int(params["n"]))
+    return {
+        "system": system,
+        "sampler": _samplers().CentralRandomizedSampler(),
+        "legitimate": lambda cfg, s=system: SinglePrivilegeSpec().legitimate(
+            s, cfg
+        ),
+        "batch_legitimate": EnabledCountLegitimacy(1),
+        "fault": None,
+    }
+
+
+def _ft1_parts(params: Mapping) -> dict:
+    from repro.algorithms.token_ring import (
+        TokenCirculationSpec,
+        make_token_ring_system,
+    )
+    from repro.markov.batch import EnabledCountLegitimacy
+    from repro.stabilization.faults import FaultPlan
+
+    system = make_token_ring_system(int(params["n"]))
+    spec = TokenCirculationSpec()
+    return {
+        "system": system,
+        "sampler": _samplers().CentralRandomizedSampler(),
+        "legitimate": lambda cfg, s=system, t=spec: t.legitimate(s, cfg),
+        "batch_legitimate": EnabledCountLegitimacy(1),
+        # The self-stabilization scenario: a legitimate system hit by a
+        # two-process transient corruption (seed pinned by the family so
+        # the plan is part of the point's identity, not the run's).
+        "fault": FaultPlan(processes=2, step=None, mode="random", seed=13),
+    }
+
+
+def _samplers():
+    from repro.schedulers import samplers
+
+    return samplers
+
+
+#: family id → parts builder.  A builder returns the executable
+#: ingredients of one point: ``system``, ``sampler``, ``legitimate``,
+#: ``batch_legitimate``, ``fault``.
+CAMPAIGN_FAMILIES = {
+    "Q1": _q1_parts,
+    "Q3": _q3_parts,
+    "FT1": _ft1_parts,
+}
+
+
+def family_ids() -> tuple[str, ...]:
+    """Registered campaign family ids, declaration order."""
+    return tuple(CAMPAIGN_FAMILIES)
+
+
+def _parts_for(family: str, params: Mapping) -> dict:
+    builder = CAMPAIGN_FAMILIES.get(family)
+    if builder is None:
+        raise CampaignError(
+            f"unknown campaign family {family!r};"
+            f" known: {', '.join(CAMPAIGN_FAMILIES)}"
+        )
+    return builder(params)
+
+
+# ----------------------------------------------------------------------
+# expansion: selection → points → shards
+# ----------------------------------------------------------------------
+def expand_selection(selection: CampaignSelection) -> list[ShardSpec]:
+    """Deterministically expand a selection into shard work items.
+
+    Point order is ``(family, size)`` lexicographic over the
+    selection's declaration order; shard order is trial-block order
+    within each point.  The returned list is the campaign's canonical
+    work list — resume re-derives it from the manifest's selection and
+    compares against the store, never against transient scheduler
+    state.
+    """
+    if selection.trials < 1:
+        raise CampaignError("need at least one trial per point")
+    if selection.shard_trials < 1:
+        raise CampaignError("shard_trials must be >= 1")
+    if not selection.families:
+        raise CampaignError("need at least one campaign family")
+    if not selection.sizes:
+        raise CampaignError("need at least one size")
+    master = RandomSource(selection.seed)
+    shards: list[ShardSpec] = []
+    point_index = 0
+    for family in selection.families:
+        if family not in CAMPAIGN_FAMILIES:
+            raise CampaignError(
+                f"unknown campaign family {family!r};"
+                f" known: {', '.join(CAMPAIGN_FAMILIES)}"
+            )
+        for size in selection.sizes:
+            params = {"n": int(size)}
+            parts = _parts_for(family, params)
+            point_rng = master.spawn(point_index)
+            signature = {
+                "schema": "RSHARD01",
+                "family": family,
+                "params": params,
+                "system": system_signature(parts["system"]),
+                "sampler": sampler_signature(parts["sampler"]),
+                "legitimacy": legitimacy_signature(
+                    parts["batch_legitimate"], parts["legitimate"]
+                ),
+                "fault": fault_signature(parts["fault"]),
+                "max_steps": selection.max_steps,
+            }
+            offset = 0
+            shard_index = 0
+            while offset < selection.trials:
+                count = min(selection.shard_trials, selection.trials - offset)
+                meta = dict(signature)
+                meta.update(
+                    {
+                        "point": point_index,
+                        "shard": shard_index,
+                        "trial_offset": offset,
+                        "trials": count,
+                        "seed": point_rng.spawn(shard_index).seed,
+                    }
+                )
+                shards.append(ShardSpec(key=shard_key(meta), meta=meta))
+                offset += count
+                shard_index += 1
+            point_index += 1
+    return shards
+
+
+def build_sweep_spec(meta: Mapping):
+    """Rebuild the executable sweep point of one shard from its
+    metadata — the worker-side half of the coordinate contract.
+
+    Returns a single-point :class:`~repro.markov.sweep_engine.SweepPointSpec`
+    whose seed is the shard's own leaf seed, so running it is
+    independent of every other shard.
+    """
+    from repro.markov.sweep_engine import SweepPointSpec
+
+    parts = _parts_for(meta["family"], meta["params"])
+    return SweepPointSpec(
+        system=parts["system"],
+        sampler=parts["sampler"],
+        legitimate=parts["legitimate"],
+        trials=int(meta["trials"]),
+        max_steps=int(meta["max_steps"]),
+        seed=int(meta["seed"]),
+        batch_legitimate=parts["batch_legitimate"],
+        label=f"{meta['family']}-n{meta['params']['n']}-s{meta['shard']}",
+        fault=parts["fault"],
+    )

@@ -1,0 +1,456 @@
+"""Supervised, resumable execution of campaign shard work.
+
+The runner owns the crash-resilience story end to end:
+
+* **one process per shard** — each work item runs in its own
+  :mod:`multiprocessing` process whose *only* output channel is the
+  atomically written shard file, so a worker SIGKILLed at any instant
+  leaves either a complete, checksum-valid shard or nothing (plus a
+  recognizable ``*.tmp`` dropping) — never a torn file;
+* **supervision** — per-shard wall-clock timeouts (hung workers are
+  terminated, then killed), validation of every worker's output through
+  the store's checksum reader, exponential backoff with deterministic
+  jitter between retries, and — after ``max_retries`` — a guaranteed
+  in-process run of the shard, so one pathological work item cannot
+  starve the campaign;
+* **graceful degradation** — after ``max_worker_deaths`` cumulative
+  worker failures the runner stops trusting the process pool and
+  finishes the remaining shards sequentially in-process, with a clear
+  warning instead of an opaque multiprocessing traceback;
+* **checkpointing** — ``manifest.json`` (atomic write, canonical JSON)
+  records the selection and the completed shard keys after *every*
+  shard, so :func:`resume_campaign` re-derives the exact work list,
+  validates what the store already holds (quarantining corruption),
+  and runs only what is missing.
+
+Because every shard's bytes are a pure function of its coordinates
+(:mod:`repro.campaign.points`), skip-and-regenerate is *byte-exact*:
+an interrupted-then-resumed campaign's store is identical, file for
+file, to an uninterrupted run's — the property the crash-scenario
+tests and the CI smoke job assert.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.campaign.points import (
+    CampaignSelection,
+    ShardSpec,
+    build_sweep_spec,
+    expand_selection,
+)
+from repro.errors import CampaignError
+from repro.random_source import RandomSource
+from repro.store.atomic import atomic_write_text
+from repro.store.columnar import ResultStore, records_from_arrays, shard_key
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "execute_shard",
+    "resume_campaign",
+    "run_campaign",
+    "store_report",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Poll cadence of the supervision loop, seconds.
+_POLL_INTERVAL = 0.02
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Supervision knobs (orthogonal to the science: none of these
+    change a single shard byte)."""
+
+    workers: int = 1
+    shard_timeout: float = 120.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    max_worker_deaths: int = 4
+    sequential: bool = False
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` call did."""
+
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    executed: int = 0
+    in_process: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    quarantined: int = 0
+    degraded: bool = False
+
+    def row(self) -> dict[str, object]:
+        """Dict form for tables and the CLI summary line."""
+        return {
+            "shards": self.total,
+            "completed": self.completed,
+            "cached": self.cached,
+            "executed": self.executed,
+            "in_process": self.in_process,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
+        }
+
+
+# ----------------------------------------------------------------------
+# shard execution (worker side)
+# ----------------------------------------------------------------------
+def execute_shard(root: str | os.PathLike, meta: dict) -> str:
+    """Run one shard from its metadata and persist it; returns the key.
+
+    This is the whole worker: rebuild the sweep point from coordinates,
+    stream its per-trial outcomes through a sink, write one atomic
+    shard file.  Runs identically in a child process and in-process
+    (the degraded path), which is what makes degradation semantically
+    invisible.
+    """
+    from repro.markov.sweep_engine import SweepRunner
+
+    store = ResultStore(root)
+    key = shard_key(meta)
+    spec = build_sweep_spec(meta)
+    emitted: list = []
+    SweepRunner().run([spec], sink=emitted.append, keep_samples=False)
+    (outcome,) = emitted
+    records = records_from_arrays(
+        point=int(meta["point"]),
+        trial_offset=int(meta["trial_offset"]),
+        times=outcome.times,
+        converged=outcome.converged,
+        timed_out=outcome.timed_out,
+        hit_terminal=outcome.hit_terminal,
+        fault_times=outcome.fault_times,
+        rounds=outcome.rounds,
+    )
+    store.write(key, records, meta)
+    return key
+
+
+def _shard_worker(root: str, meta: dict) -> None:
+    """Child-process entry point (module-level for picklability)."""
+    execute_shard(root, meta)
+
+
+# ----------------------------------------------------------------------
+# checkpoint manifest
+# ----------------------------------------------------------------------
+def _manifest_path(root: pathlib.Path) -> pathlib.Path:
+    return root / MANIFEST_NAME
+
+
+def _write_manifest(
+    root: pathlib.Path, selection: CampaignSelection, completed: set[str]
+) -> None:
+    payload = {
+        "version": MANIFEST_VERSION,
+        "selection": selection.as_dict(),
+        "completed": sorted(completed),
+    }
+    atomic_write_text(
+        _manifest_path(root),
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+    )
+
+
+def _read_manifest(root: pathlib.Path) -> dict:
+    path = _manifest_path(root)
+    if not path.exists():
+        raise CampaignError(f"no campaign manifest at {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise CampaignError(
+            f"unreadable campaign manifest {path}: {error}"
+        ) from None
+    if payload.get("version") != MANIFEST_VERSION:
+        raise CampaignError(
+            f"campaign manifest {path} has version"
+            f" {payload.get('version')!r}, expected {MANIFEST_VERSION}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# supervision
+# ----------------------------------------------------------------------
+def _spawn_context():
+    """Fork where the platform has it (cheap, inherits compiled
+    tables); the default context otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+@dataclass
+class _Running:
+    shard: ShardSpec
+    process: multiprocessing.Process
+    deadline: float
+
+
+def run_campaign(
+    root: str | os.PathLike,
+    selection: CampaignSelection,
+    config: CampaignConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run (or continue) a campaign into ``root``; returns the report.
+
+    Idempotent by construction: shards whose files already exist and
+    validate are cache hits (``cached`` in the report), corrupt files
+    are quarantined and their shards re-executed, and the manifest is
+    checkpointed after every completion — killing this function at any
+    point and calling it again converges to the same store.
+    """
+    config = config or CampaignConfig()
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    store = ResultStore(root)
+    swept = store.sweep_temp()
+    say = progress or (lambda message: None)
+    if swept:
+        say(f"swept {swept} interrupted shard write(s)")
+
+    shards = expand_selection(selection)
+    report = CampaignReport(total=len(shards))
+    completed: set[str] = set()
+
+    # Preflight: trust nothing but validated bytes.  Corrupt shards are
+    # quarantined here (scheduling their regeneration below); valid
+    # ones are cache hits even if the manifest never heard of them.
+    quarantine_before = len(list(store.quarantine_dir.iterdir()))
+    pending: deque[tuple[ShardSpec, float]] = deque()
+    for shard in shards:
+        if store.load(shard.key) is not None:
+            completed.add(shard.key)
+            report.cached += 1
+        else:
+            pending.append((shard, 0.0))
+    report.quarantined += (
+        len(list(store.quarantine_dir.iterdir())) - quarantine_before
+    )
+    if report.quarantined:
+        say(
+            f"quarantined {report.quarantined} corrupt shard(s);"
+            " scheduling regeneration"
+        )
+    _write_manifest(root, selection, completed)
+
+    attempts: dict[str, int] = {}
+    running: list[_Running] = []
+    degraded = config.sequential
+    worker_deaths = 0
+    context = _spawn_context()
+    # Deterministic jitter stream: supervision timing must not consult
+    # global randomness (and shard bytes never depend on it anyway).
+    jitter_rng = RandomSource(selection.seed).spawn(0x5EED)
+
+    def finish(shard: ShardSpec) -> bool:
+        """Validate the shard's output; record completion if sound."""
+        if store.load(shard.key) is None:
+            return False
+        completed.add(shard.key)
+        report.completed += 1
+        _write_manifest(root, selection, completed)
+        return True
+
+    def run_in_process(shard: ShardSpec) -> None:
+        execute_shard(root, shard.meta)
+        report.executed += 1
+        report.in_process += 1
+        if not finish(shard):
+            raise CampaignError(
+                f"in-process shard {shard.key} produced no valid file"
+            )
+
+    def handle_failure(shard: ShardSpec, reason: str) -> None:
+        nonlocal degraded, worker_deaths
+        worker_deaths += 1
+        report.worker_deaths += 1
+        if not degraded and worker_deaths >= config.max_worker_deaths:
+            degraded = True
+            warnings.warn(
+                f"campaign: {worker_deaths} worker failures — degrading"
+                " to in-process sequential execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            say("degrading to in-process sequential execution")
+        attempt = attempts.get(shard.key, 0) + 1
+        attempts[shard.key] = attempt
+        if attempt > config.max_retries:
+            say(
+                f"shard {shard.key[:12]}… exhausted retries after"
+                f" {reason}; running in-process"
+            )
+            run_in_process(shard)
+            return
+        delay = config.backoff_base * (2 ** (attempt - 1))
+        delay *= 1.0 + jitter_rng.random()
+        say(
+            f"shard {shard.key[:12]}… failed ({reason});"
+            f" retry {attempt}/{config.max_retries} in {delay:.2f}s"
+        )
+        pending.append((shard, time.monotonic() + delay))
+
+    while pending or running:
+        now = time.monotonic()
+        # Reap finished and overdue workers.
+        for slot in list(running):
+            process = slot.process
+            if process.is_alive() and now >= slot.deadline:
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():  # pragma: no cover - stubborn child
+                    process.kill()
+                    process.join(1.0)
+                running.remove(slot)
+                handle_failure(slot.shard, "timeout")
+                continue
+            if not process.is_alive():
+                process.join()
+                running.remove(slot)
+                if process.exitcode == 0 and finish(slot.shard):
+                    report.executed += 1
+                else:
+                    handle_failure(
+                        slot.shard, f"exit code {process.exitcode}"
+                    )
+        if degraded:
+            # Requeue in-flight shards: a worker joined here may have
+            # died mid-shard, and dropping it from ``running`` without
+            # requeueing would silently lose its work item (the drain's
+            # ``store.load`` check below still credits any worker that
+            # did complete before exiting).
+            for slot in running:
+                slot.process.join()
+                pending.append((slot.shard, 0.0))
+            running.clear()
+            while pending:
+                shard, _ = pending.popleft()
+                if store.load(shard.key) is not None:
+                    completed.add(shard.key)
+                    report.completed += 1
+                    _write_manifest(root, selection, completed)
+                    continue
+                run_in_process(shard)
+            break
+        # Launch work whose backoff delay has elapsed.
+        launched_any = False
+        for _ in range(len(pending)):
+            if len(running) >= max(1, config.workers):
+                break
+            shard, ready_at = pending.popleft()
+            if now < ready_at:
+                pending.append((shard, ready_at))
+                continue
+            if attempts.get(shard.key, 0) > 0:
+                report.retries += 1
+            process = context.Process(
+                target=_shard_worker,
+                args=(str(root), shard.meta),
+                daemon=True,
+            )
+            process.start()
+            running.append(
+                _Running(
+                    shard=shard,
+                    process=process,
+                    deadline=time.monotonic() + config.shard_timeout,
+                )
+            )
+            launched_any = True
+        if not launched_any and (running or pending):
+            time.sleep(_POLL_INTERVAL)
+
+    _write_manifest(root, selection, completed)
+    report.degraded = degraded and not config.sequential
+    say(
+        f"campaign complete: {report.completed + report.cached}/"
+        f"{report.total} shards ({report.cached} cached)"
+    )
+    return report
+
+
+def resume_campaign(
+    root: str | os.PathLike,
+    config: CampaignConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Continue the campaign checkpointed in ``root``.
+
+    The selection is reloaded from the manifest; :func:`run_campaign`'s
+    idempotence does the rest (validated shards skip, missing and
+    quarantined shards regenerate).
+    """
+    payload = _read_manifest(pathlib.Path(root))
+    selection = CampaignSelection.from_dict(payload["selection"])
+    return run_campaign(root, selection, config, progress)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def store_report(root: str | os.PathLike) -> list[dict[str, object]]:
+    """Aggregate a campaign store into per-point summary rows.
+
+    Reads every valid shard (corrupt ones are quarantined, not
+    counted), groups by ``(family, n)``, and reduces the per-trial
+    columns — the ``campaign --report`` table.
+    """
+    import numpy as np
+
+    store = ResultStore(root)
+    groups: dict[tuple[str, int], list] = {}
+    for key in store.keys():
+        loaded = store.load(key)
+        if loaded is None:
+            continue
+        records, meta = loaded
+        groups.setdefault(
+            (meta["family"], int(meta["params"]["n"])), []
+        ).append(records)
+    rows: list[dict[str, object]] = []
+    for (family, size), blocks in sorted(groups.items()):
+        records = np.concatenate(blocks)
+        converged = records["converged"]
+        times = records["time"][converged]
+        fired = records["fault_time"] >= 0
+        row: dict[str, object] = {
+            "family": family,
+            "N": size,
+            "trials": int(len(records)),
+            "converged": int(converged.sum()),
+            "timed_out": int(records["timed_out"].sum()),
+            "mean_time": round(float(times.mean()), 3) if times.size else "-",
+            "max_time": int(times.max()) if times.size else "-",
+        }
+        if fired.any():
+            recovery = (records["time"] - records["fault_time"])[
+                converged & fired
+            ]
+            row["mean_recovery"] = (
+                round(float(recovery.mean()), 3) if recovery.size else "-"
+            )
+        rows.append(row)
+    return rows

@@ -17,6 +17,9 @@ __all__ = [
     "StateSpaceError",
     "MarkovError",
     "ExperimentError",
+    "StoreError",
+    "StoreCorruptionError",
+    "CampaignError",
 ]
 
 
@@ -54,3 +57,19 @@ class MarkovError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown id, invalid parameters...)."""
+
+
+class StoreError(ReproError):
+    """Result-store failure (bad schema, unwritable shard, unknown key...)."""
+
+
+class StoreCorruptionError(StoreError):
+    """A shard file failed validation (truncated, bit-flipped, bad magic).
+
+    Callers are expected to *quarantine and regenerate* — the campaign
+    runner treats this as a recoverable transient fault of the execution
+    environment, never as a reason to abort a campaign."""
+
+
+class CampaignError(ReproError):
+    """Campaign orchestration failure (bad selection, unusable manifest...)."""

@@ -10,6 +10,10 @@ Subcommands::
     run-all [--fast]     run everything (--fast shrinks parameters)
     report [--fast] -o EXPERIMENTS.generated.md
                          run everything and write the markdown report
+    campaign DIR         run a crash-resilient, resumable Monte-Carlo
+                         campaign into DIR (``--resume`` continues an
+                         interrupted one, ``--report`` summarizes the
+                         result store; see :mod:`repro.campaign`)
 
 ``run``, ``run-all``, and ``report`` accept ``--shards N`` (or
 ``--shards auto``): every exhaustive state-space exploration inside the
@@ -148,6 +152,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shards_flag(report_parser)
     _add_fused_flag(report_parser)
     _add_backend_flag(report_parser)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a crash-resilient, resumable Monte-Carlo campaign",
+    )
+    campaign_parser.add_argument(
+        "directory",
+        metavar="DIR",
+        help="campaign directory (result store + checkpoint manifest)",
+    )
+    campaign_parser.add_argument(
+        "--families",
+        default="Q1",
+        metavar="IDS",
+        help="comma-separated campaign families (see 'list'); default Q1",
+    )
+    campaign_parser.add_argument(
+        "--sizes",
+        default="6,8",
+        metavar="NS",
+        help="comma-separated system sizes; default 6,8",
+    )
+    campaign_parser.add_argument(
+        "--trials", type=int, default=200, help="trials per point"
+    )
+    campaign_parser.add_argument(
+        "--shard-trials",
+        type=int,
+        default=100,
+        help="trials per shard (the unit of checkpointing and retry)",
+    )
+    campaign_parser.add_argument(
+        "--max-steps", type=int, default=100_000, help="step budget per trial"
+    )
+    campaign_parser.add_argument(
+        "--seed", type=int, default=2008, help="campaign master seed"
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent shard workers"
+    )
+    campaign_parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="wall-clock budget per shard before the worker is killed"
+        " and the shard retried",
+    )
+    campaign_parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="skip worker processes; run every shard in-process",
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the campaign checkpointed in DIR (selection"
+        " flags are ignored; the manifest's selection is reused)",
+    )
+    campaign_parser.add_argument(
+        "--report",
+        action="store_true",
+        help="summarize DIR's result store instead of running anything",
+    )
     return parser
 
 
@@ -161,6 +229,53 @@ def _print_results(results: Sequence[ExperimentResult]) -> int:
         f"{len(results) - failures}/{len(results)} experiments passed"
     )
     return 1 if failures else 0
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    """The ``campaign`` verb: run, resume, or report."""
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignSelection,
+        resume_campaign,
+        run_campaign,
+        store_report,
+    )
+
+    if args.report:
+        rows = store_report(args.directory)
+        if not rows:
+            print("(empty campaign store)")
+            return 0
+        for row in rows:
+            print("  ".join(f"{key}={value}" for key, value in row.items()))
+        return 0
+    config = CampaignConfig(
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        sequential=args.sequential,
+    )
+    if args.resume:
+        report = resume_campaign(args.directory, config, progress=print)
+    else:
+        selection = CampaignSelection(
+            families=tuple(
+                name for name in args.families.split(",") if name
+            ),
+            sizes=tuple(
+                int(size) for size in args.sizes.split(",") if size
+            ),
+            trials=args.trials,
+            max_steps=args.max_steps,
+            shard_trials=args.shard_trials,
+            seed=args.seed,
+        )
+        report = run_campaign(
+            args.directory, selection, config, progress=print
+        )
+    print(
+        "  ".join(f"{key}={value}" for key, value in report.row().items())
+    )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -203,6 +318,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _print_results(results)
     if args.command == "run-all":
         return _print_results(run_all(fast=args.fast))
+    if args.command == "campaign":
+        return _run_campaign_command(args)
     if args.command == "report":
         results = run_all(fast=args.fast)
         sections = [

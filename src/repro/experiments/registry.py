@@ -26,7 +26,8 @@ from repro.experiments.thm7 import run_thm7
 from repro.experiments.thm8 import run_thm8
 from repro.experiments.thm9 import run_thm9
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_all", "all_ids"]
+__all__ = ["EXPERIMENTS", "campaign_family_ids", "get_experiment",
+           "run_all", "all_ids"]
 
 EXPERIMENTS: dict[str, Experiment] = {
     experiment.experiment_id: experiment
@@ -254,6 +255,19 @@ def run_preset(name: str) -> ExperimentResult:
         )
     experiment_id, overrides = PRESETS[key]
     return get_experiment(experiment_id).run(**overrides)
+
+
+def campaign_family_ids() -> tuple[str, ...]:
+    """Campaign point families runnable through the ``campaign`` verb.
+
+    Families are registry *selections*, not experiments: each wraps one
+    experiment's sweep shape (same systems, samplers, legitimacy) as a
+    value-level description the campaign tier can shard, persist, and
+    resume (see :mod:`repro.campaign.points`).
+    """
+    from repro.campaign.points import family_ids
+
+    return family_ids()
 
 
 def all_ids() -> list[str]:

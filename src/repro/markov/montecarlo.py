@@ -44,9 +44,10 @@ from repro.markov.batch import (
 from repro.random_source import RandomSource
 from repro.stabilization.faults import CompiledFault, FaultPlan, compile_fault
 
-__all__ = ["MonteCarloResult", "MonteCarloRunner",
-           "estimate_stabilization_time", "fault_result_from_arrays",
-           "random_configuration", "random_configurations"]
+__all__ = ["MonteCarloResult", "MonteCarloRunner", "TrialOutcomes",
+           "TrialSink", "estimate_stabilization_time",
+           "fault_result_from_arrays", "random_configuration",
+           "random_configurations"]
 
 #: Accepted ``engine`` values.
 ENGINES = ("auto", "batch", "scalar")
@@ -91,6 +92,43 @@ def random_configuration(system: System, rng: RandomSource) -> Configuration:
 
 
 @dataclass(frozen=True)
+class TrialOutcomes:
+    """Per-trial outcome vectors of one estimate/sweep point, as emitted
+    to a streaming :data:`TrialSink`.
+
+    ``times[t]`` is meaningful only where ``converged[t]`` (censored
+    trials keep a zero there, matching the lockstep engines).
+    ``fault_times`` is present only for fault-injected runs (``-1``
+    marks a fault that never fired) and ``rounds`` only when round
+    counting was requested (``NaN`` for censored trials).  The vectors
+    are what the persistence tier (:mod:`repro.store`) serializes, so
+    their dtypes — not Python floats — are the contract: a sink sees
+    exactly what the engine computed, before any summary statistics.
+    """
+
+    point: int
+    label: str | None
+    times: np.ndarray
+    converged: np.ndarray
+    timed_out: np.ndarray
+    hit_terminal: np.ndarray
+    fault_times: np.ndarray | None = None
+    rounds: np.ndarray | None = None
+
+    @property
+    def trials(self) -> int:
+        """Number of trials in this emission."""
+        return len(self.times)
+
+
+#: A streaming consumer of per-trial outcomes: called exactly once per
+#: point, after that point's trials all retired.  Passing a sink (and
+#: ``keep_samples=False``) lets campaign-scale runs persist trial
+#: vectors without the result object holding every sample in memory too.
+TrialSink = Callable[[TrialOutcomes], None]
+
+
+@dataclass(frozen=True)
 class MonteCarloResult:
     """Stabilization-time sample summary.
 
@@ -106,7 +144,10 @@ class MonteCarloResult:
     time measure.  ``samples`` holds the converged trials' raw
     stabilization times in trial order — the cross-engine conformance
     tier (``tests/test_engine_conformance.py``) feeds them to its KS
-    tests; ``row()`` deliberately leaves them out of tables.
+    tests; ``row()`` deliberately leaves them out of tables.  Estimates
+    made with ``keep_samples=False`` carry ``samples=None`` (and
+    ``recovery_samples=None``) — the summary statistics survive, the
+    per-trial arrays go to the :data:`TrialSink` (or nowhere).
 
     Fault-injected runs (:class:`~repro.stabilization.faults.FaultPlan`)
     additionally report the re-convergence metrics: ``faulted`` counts
@@ -183,6 +224,7 @@ def fault_result_from_arrays(
     legit_counts: np.ndarray,
     observations: np.ndarray,
     max_runs: np.ndarray,
+    keep_samples: bool = True,
 ) -> MonteCarloResult:
     """Assemble a fault-injected :class:`MonteCarloResult` from the
     per-trial outcome vectors of the fault timeline.
@@ -190,7 +232,9 @@ def fault_result_from_arrays(
     Every engine — scalar oracle, lockstep batch, fused sweep — reduces
     its per-trial integers through *this* function, so the derived
     floating-point metrics (availability, recovery statistics) are
-    bit-identical whenever the integer vectors are.
+    bit-identical whenever the integer vectors are.  With
+    ``keep_samples=False`` the raw per-trial tuples are dropped from the
+    result (summaries survive).
     """
     samples = [float(t) for t in times[converged]]
     fired = fault_times >= 0
@@ -202,11 +246,11 @@ def fault_result_from_arrays(
         censored=trials - len(samples),
         stats=summarize(samples) if samples else None,
         round_stats=None,
-        samples=tuple(samples),
+        samples=tuple(samples) if keep_samples else None,
         timed_out=int(timed_out.sum()),
         faulted=int(fired.sum()),
         recovery_stats=summarize(recovery) if recovery else None,
-        recovery_samples=tuple(recovery),
+        recovery_samples=tuple(recovery) if keep_samples else None,
         availability=float(np.mean(legit_counts / observations)),
         max_excursion=int(max_runs.max()) if max_runs.size else 0,
     )
@@ -302,6 +346,8 @@ class MonteCarloRunner:
         batch_legitimate: BatchLegitimacy | None = None,
         fault: FaultPlan | None = None,
         backend: str | None = None,
+        keep_samples: bool = True,
+        sink: TrialSink | None = None,
     ) -> MonteCarloResult:
         """Sample stabilization times over random starts/scheduler draws.
 
@@ -327,6 +373,15 @@ class MonteCarloRunner:
         built-in backends are stream-exact, so this is a throughput
         knob, never a semantics knob.  Fault runs always execute the
         reference per-step path.
+
+        ``keep_samples=False`` drops the per-trial sample tuples from
+        the returned result (summary statistics are unaffected), and
+        ``sink`` streams the full per-trial outcome vectors to a
+        :data:`TrialSink` once all trials retired — together they let a
+        campaign persist every trial without the estimate holding the
+        arrays in memory twice.  Neither knob perturbs the random
+        streams: engine selection and trial execution are identical
+        with or without them.
         """
         if trials < 1:
             raise MarkovError("need at least one trial")
@@ -357,6 +412,8 @@ class MonteCarloRunner:
                 batch_legitimate,
                 compiled_fault,
                 backend,
+                keep_samples,
+                sink,
             )
         if compiled_fault is not None:
             return self._estimate_scalar_fault(
@@ -367,6 +424,8 @@ class MonteCarloRunner:
                 rng,
                 initial_configurations,
                 compiled_fault,
+                keep_samples,
+                sink,
             )
         return self._estimate_scalar(
             sampler,
@@ -376,6 +435,8 @@ class MonteCarloRunner:
             rng,
             initial_configurations,
             measure_rounds,
+            keep_samples,
+            sink,
         )
 
     # ------------------------------------------------------------------
@@ -429,6 +490,8 @@ class MonteCarloRunner:
         batch_legitimate: BatchLegitimacy | None,
         fault: CompiledFault | None = None,
         backend: str | None = None,
+        keep_samples: bool = True,
+        sink: TrialSink | None = None,
     ) -> MonteCarloResult:
         engine = self.batch_engine()
         if initial_configurations is not None:
@@ -453,6 +516,18 @@ class MonteCarloRunner:
                 rng.numpy_generator(),
                 fault,
             )
+            if sink is not None:
+                sink(
+                    TrialOutcomes(
+                        point=0,
+                        label=None,
+                        times=outcome.times,
+                        converged=outcome.converged,
+                        timed_out=outcome.timed_out,
+                        hit_terminal=outcome.hit_terminal,
+                        fault_times=outcome.fault_times,
+                    )
+                )
             return fault_result_from_arrays(
                 trials,
                 outcome.times,
@@ -463,6 +538,7 @@ class MonteCarloRunner:
                 outcome.legit_counts,
                 outcome.observations,
                 outcome.max_runs,
+                keep_samples,
             )
         outcome = engine.run(
             strategy,
@@ -472,6 +548,17 @@ class MonteCarloRunner:
             rng.numpy_generator(),
             backend=backend,
         )
+        if sink is not None:
+            sink(
+                TrialOutcomes(
+                    point=0,
+                    label=None,
+                    times=outcome.times,
+                    converged=outcome.converged,
+                    timed_out=~outcome.converged & ~outcome.hit_terminal,
+                    hit_terminal=outcome.hit_terminal,
+                )
+            )
         times = outcome.stabilization_times
         return MonteCarloResult(
             trials=trials,
@@ -479,7 +566,7 @@ class MonteCarloRunner:
             censored=trials - len(times),
             stats=summarize(times) if times else None,
             round_stats=None,
-            samples=tuple(times),
+            samples=tuple(times) if keep_samples else None,
             timed_out=trials - len(times) - int(outcome.hit_terminal.sum()),
         )
 
@@ -492,12 +579,25 @@ class MonteCarloRunner:
         rng: RandomSource,
         initial_configurations: Sequence[Configuration] | None,
         measure_rounds: bool,
+        keep_samples: bool = True,
+        sink: TrialSink | None = None,
     ) -> MonteCarloResult:
         system = self.system
         times: list[float] = []
         rounds: list[float] = []
         censored = 0
         timed_out = 0
+        # Per-trial vectors, materialized only when a sink will consume
+        # them — the plain path keeps its historical footprint.
+        vectors: dict[str, np.ndarray] | None = None
+        if sink is not None:
+            vectors = {
+                "times": np.zeros(trials, dtype=np.int64),
+                "converged": np.zeros(trials, dtype=bool),
+                "timed_out": np.zeros(trials, dtype=bool),
+                "hit_terminal": np.zeros(trials, dtype=bool),
+                "rounds": np.full(trials, np.nan),
+            }
         domains = (
             _domain_table(system) if initial_configurations is None else None
         )
@@ -525,13 +625,34 @@ class MonteCarloRunner:
                 times.append(float(result.steps_taken))
                 if measure_rounds:
                     rounds.append(float(count_rounds(system, result.trace)))
+                if vectors is not None:
+                    vectors["times"][trial] = result.steps_taken
+                    vectors["converged"][trial] = True
+                    if measure_rounds:
+                        vectors["rounds"][trial] = rounds[-1]
             elif result.hit_terminal:
                 # Terminal but illegitimate: the run can never converge.
                 # Count it as censored so the caller sees the failure.
                 censored += 1
+                if vectors is not None:
+                    vectors["hit_terminal"][trial] = True
             else:
                 censored += 1
                 timed_out += 1
+                if vectors is not None:
+                    vectors["timed_out"][trial] = True
+        if sink is not None:
+            sink(
+                TrialOutcomes(
+                    point=0,
+                    label=None,
+                    times=vectors["times"],
+                    converged=vectors["converged"],
+                    timed_out=vectors["timed_out"],
+                    hit_terminal=vectors["hit_terminal"],
+                    rounds=vectors["rounds"] if measure_rounds else None,
+                )
+            )
         stats = summarize(times) if times else None
         round_stats = summarize(rounds) if rounds else None
         return MonteCarloResult(
@@ -540,7 +661,7 @@ class MonteCarloRunner:
             censored=censored,
             stats=stats,
             round_stats=round_stats,
-            samples=tuple(times),
+            samples=tuple(times) if keep_samples else None,
             timed_out=timed_out,
         )
 
@@ -553,6 +674,8 @@ class MonteCarloRunner:
         rng: RandomSource,
         initial_configurations: Sequence[Configuration] | None,
         fault: CompiledFault,
+        keep_samples: bool = True,
+        sink: TrialSink | None = None,
     ) -> MonteCarloResult:
         """The loop-per-trial oracle form of the fault timeline.
 
@@ -631,6 +754,18 @@ class MonteCarloRunner:
                 _validate_subset(subset, enabled)
                 cursor.advance(subset, rng)
                 step += 1
+        if sink is not None:
+            sink(
+                TrialOutcomes(
+                    point=0,
+                    label=None,
+                    times=times,
+                    converged=converged,
+                    timed_out=timed_out,
+                    hit_terminal=hit_terminal,
+                    fault_times=fault_times,
+                )
+            )
         return fault_result_from_arrays(
             trials,
             times,
@@ -641,6 +776,7 @@ class MonteCarloRunner:
             legit_counts,
             observations,
             max_runs,
+            keep_samples,
         )
 
     def batch(self, cases: Sequence[dict]) -> list[MonteCarloResult]:
@@ -665,7 +801,8 @@ class MonteCarloRunner:
         sequential :meth:`estimate` call — consuming its ``rng`` stream
         exactly as pre-fusion code did — when it cannot be expressed as
         a pure sweep point: round measurement, an explicit per-case
-        ``engine`` override, one ``rng`` *object* shared between cases
+        ``engine`` override, a streaming ``sink`` or
+        ``keep_samples=False``, one ``rng`` *object* shared between cases
         (the sequential path keeps those cases' streams consecutive),
         or a runner-wide ``engine="scalar"``.  Results always align
         with input order.
@@ -687,6 +824,8 @@ class MonteCarloRunner:
             fusable = (
                 not case.get("measure_rounds")
                 and case.get("engine") is None
+                and case.get("sink") is None
+                and case.get("keep_samples", True)
                 and isinstance(case.get("rng"), RandomSource)
                 and rng_owners[id(case["rng"])] == 1
             )

@@ -41,7 +41,7 @@ PR 2 batch engine).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -63,6 +63,8 @@ from repro.markov.batch import (
 from repro.markov.montecarlo import (
     MonteCarloResult,
     MonteCarloRunner,
+    TrialOutcomes,
+    TrialSink,
     fault_result_from_arrays,
     random_configurations,
 )
@@ -301,9 +303,22 @@ class SweepRunner:
     # the front door
     # ------------------------------------------------------------------
     def run(
-        self, points: Sequence[SweepPointSpec]
+        self,
+        points: Sequence[SweepPointSpec],
+        sink: TrialSink | None = None,
+        keep_samples: bool = True,
     ) -> list[MonteCarloResult]:
-        """Execute every sweep point; results align with input order."""
+        """Execute every sweep point; results align with input order.
+
+        ``sink`` receives one
+        :class:`~repro.markov.montecarlo.TrialOutcomes` per point (its
+        ``point`` field is the point's input index, ``label`` the spec's
+        label), emitted as soon as that point's execution block — a
+        per-point fallback run or the fused matrix it belonged to —
+        completes.  ``keep_samples=False`` drops the per-trial tuples
+        from the returned results; neither knob perturbs execution
+        plans or random streams.
+        """
         self._validate(points)
         plan: dict[int, PointExecution] = {}
         results: dict[int, MonteCarloResult] = {}
@@ -332,7 +347,9 @@ class SweepRunner:
                     if engine == "fused":
                         fused.append((index, spec))
                     else:
-                        results[index] = self._run_point(spec, engine)
+                        results[index] = self._run_point(
+                            spec, engine, index, sink, keep_samples
+                        )
                     plan[index] = PointExecution(
                         index=index,
                         label=spec.label,
@@ -343,7 +360,9 @@ class SweepRunner:
                 if fused:
                     engine_obj = self._batch_engine_for(system)
                     assert isinstance(engine_obj, BatchEngine)
-                    block_results = self._run_fused(engine_obj, fused)
+                    block_results = self._run_fused(
+                        engine_obj, fused, sink, keep_samples
+                    )
                     rows = sum(spec.trials for _, spec in fused)
                     for index, _ in fused:
                         results[index] = block_results[index]
@@ -427,9 +446,25 @@ class SweepRunner:
             return "scalar"
         return "fused"
 
-    def _run_point(self, spec: SweepPointSpec, engine: str) -> MonteCarloResult:
+    def _run_point(
+        self,
+        spec: SweepPointSpec,
+        engine: str,
+        index: int = 0,
+        sink: TrialSink | None = None,
+        keep_samples: bool = True,
+    ) -> MonteCarloResult:
         """Per-point fallback through the shared-kernel runner."""
         runner = self._runner_for(spec.system)
+        point_sink: TrialSink | None = None
+        if sink is not None:
+            # The per-point engines emit point=0/label=None; restamp
+            # with this point's sweep coordinates before forwarding.
+            def point_sink(outcome: TrialOutcomes) -> None:
+                sink(
+                    replace(outcome, point=index, label=spec.label)
+                )
+
         return runner.estimate(
             spec.sampler,
             spec.legitimate,
@@ -440,6 +475,8 @@ class SweepRunner:
             engine="auto" if engine == "per-point-auto" else engine,
             batch_legitimate=spec.batch_legitimate,
             fault=spec.fault,
+            keep_samples=keep_samples,
+            sink=point_sink,
         )
 
     # ------------------------------------------------------------------
@@ -449,6 +486,8 @@ class SweepRunner:
         self,
         engine: BatchEngine,
         members: Sequence[tuple[int, SweepPointSpec]],
+        sink: TrialSink | None = None,
+        keep_samples: bool = True,
     ) -> dict[int, MonteCarloResult]:
         """Advance all member points in one lockstep code matrix.
 
@@ -703,6 +742,20 @@ class SweepRunner:
         ):
             rows = slice(start, start + count)
             start += count
+            if sink is not None:
+                sink(
+                    TrialOutcomes(
+                        point=index,
+                        label=spec.label,
+                        times=times[rows],
+                        converged=converged[rows],
+                        timed_out=timed_out[rows],
+                        hit_terminal=hit_terminal[rows],
+                        fault_times=(
+                            fault_times[rows] if fault is not None else None
+                        ),
+                    )
+                )
             if fault is not None:
                 results[index] = fault_result_from_arrays(
                     count,
@@ -714,6 +767,7 @@ class SweepRunner:
                     legit_counts[rows],
                     observations[rows],
                     max_runs[rows],
+                    keep_samples,
                 )
                 continue
             row_converged = converged[rows]
@@ -724,7 +778,7 @@ class SweepRunner:
                 censored=count - len(samples),
                 stats=summarize(samples) if samples else None,
                 round_stats=None,
-                samples=tuple(samples),
+                samples=tuple(samples) if keep_samples else None,
                 timed_out=int(timed_out[rows].sum()),
             )
         return results

@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from itertools import islice, product
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -85,6 +86,13 @@ MAX_SHARDABLE_PROCESSES = 62
 #: Frontiers smaller than this are expanded in-process: the pickle +
 #: scheduling overhead of a worker round-trip exceeds the work.
 MIN_FRONTIER_FOR_WORKERS = 256
+
+#: Wall-clock budget (seconds) for one pool task batch.  A worker that
+#: dies mid-task (OOM kill, SIGKILL) loses its task, and a bare
+#: ``Pool.map`` would then block forever; ``map_async(...).get`` with
+#: this timeout surfaces the death as a supervisable failure instead.
+#: Module-level so tests (and desperate operators) can lower it.
+POOL_TASK_TIMEOUT = 600.0
 
 #: Process-wide default shard count, used when ``StateSpace.explore`` is
 #: called with ``shards=None`` — set by the ``--shards`` CLI flag.
@@ -402,9 +410,16 @@ def _expand_rank_range(
     return _expand_block(context, codes, ranks)
 
 
-def _expand_rank_list(ranks: list[int]) -> _ChunkResult:
-    """Worker task, frontier mode: expand an explicit rank slice."""
-    context = _WORKER_CONTEXT
+def _expand_rank_list(
+    ranks: list[int], context: _ShardContext | None = None
+) -> _ChunkResult:
+    """Frontier mode: expand an explicit rank slice.
+
+    As a pool task ``context`` defaults to the worker's initialized
+    global; the master's in-process fallback passes its own.
+    """
+    if context is None:
+        context = _WORKER_CONTEXT
     assert context is not None
     codes = context.codes_of_ranks(ranks)
     return _expand_block(context, codes, ranks)
@@ -439,6 +454,76 @@ def _make_pool(
         initializer=_init_worker,
         initargs=(tables, relation, action_mode),
     )
+
+
+def _warn_pool_failure(error: BaseException, action: str) -> None:
+    warnings.warn(
+        "sharded exploration worker pool failed"
+        f" ({type(error).__name__}: {error}); {action}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class _SupervisedPool:
+    """Pool wrapper that survives worker death.
+
+    ``map`` runs a task batch with a wall-clock budget
+    (:data:`POOL_TASK_TIMEOUT` — a killed worker loses its task, which
+    a bare ``Pool.map`` would wait on forever).  On the first failure
+    the batch is retried once on a fresh pool; on the second the pool
+    is written off for good and this batch — and every later one — runs
+    in-process through ``fallback``, with a clear warning instead of an
+    opaque multiprocessing traceback.  Results are identical on every
+    path; only wall-clock changes.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        tables: CompiledKernelTables,
+        relation: SchedulerRelation,
+        action_mode: str,
+        task: Callable,
+        fallback: Callable[[list], list[_ChunkResult]],
+    ) -> None:
+        self._factory = lambda: _make_pool(
+            shards, tables, relation, action_mode
+        )
+        self._task = task
+        self._fallback = fallback
+        self._pool = None
+        self.broken = False
+
+    def map(self, chunks: list) -> list[_ChunkResult]:
+        if not self.broken:
+            for retry in (False, True):
+                if self._pool is None:
+                    self._pool = self._factory()
+                try:
+                    return self._pool.map_async(self._task, chunks).get(
+                        POOL_TASK_TIMEOUT
+                    )
+                except Exception as error:
+                    self._close()
+                    _warn_pool_failure(
+                        error,
+                        "falling back to in-process sequential expansion"
+                        if retry
+                        else "retrying the batch on a fresh pool",
+                    )
+            self.broken = True
+        return self._fallback(chunks)
+
+    def _close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Tear down the pool (idempotent)."""
+        self._close()
 
 
 # ----------------------------------------------------------------------
@@ -534,8 +619,26 @@ def _explore_full(
     else:
         bounds = _chunk_bounds(space_size, shards)
     if len(bounds) > 1:
-        with _make_pool(len(bounds), tables, relation, action_mode) as pool:
-            results = pool.map(_expand_rank_range, bounds)
+        # The fallback context is built only if the pool actually breaks.
+        local: list[_ShardContext] = []
+
+        def fallback(chunks: list) -> list[_ChunkResult]:
+            if not local:
+                local.append(_ShardContext(tables, relation, action_mode))
+            return [_expand_rank_range(chunk, local[0]) for chunk in chunks]
+
+        pool = _SupervisedPool(
+            len(bounds),
+            tables,
+            relation,
+            action_mode,
+            _expand_rank_range,
+            fallback,
+        )
+        try:
+            results = pool.map(bounds)
+        finally:
+            pool.close()
     else:
         context = _ShardContext(tables, relation, action_mode)
         results = [_expand_rank_range(bounds[0], context)]
@@ -624,7 +727,7 @@ def _explore_frontier(
     edges: list[list[tuple[int, int]]] = []
     enabled_lists: list[tuple[int, ...]] = []
 
-    pool = None
+    pool: _SupervisedPool | None = None
     try:
         frontier_start = 0
         while frontier_start < len(rank_of_id):
@@ -632,12 +735,22 @@ def _explore_frontier(
             frontier_start = len(rank_of_id)
             if len(frontier) >= MIN_FRONTIER_FOR_WORKERS and shards > 1:
                 if pool is None:
-                    pool = _make_pool(shards, tables, relation, action_mode)
+                    pool = _SupervisedPool(
+                        shards,
+                        tables,
+                        relation,
+                        action_mode,
+                        _expand_rank_list,
+                        lambda chunks: [
+                            _expand_rank_list(chunk, context)
+                            for chunk in chunks
+                        ],
+                    )
                 chunks = [
                     frontier[start:stop]
                     for start, stop in _chunk_bounds(len(frontier), shards)
                 ]
-                results = pool.map(_expand_rank_list, chunks)
+                results = pool.map(chunks)
             else:
                 results = [
                     _expand_block(
@@ -648,8 +761,7 @@ def _explore_frontier(
                 _append_chunk(result, enabled_lists, edges, intern=intern)
     finally:
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            pool.close()
 
     configurations = [
         context.configuration_of_rank(rank) for rank in rank_of_id

@@ -1,0 +1,47 @@
+"""Columnar result store — the persistence tier of the Monte-Carlo stack.
+
+Everything the fused sweep engine (PR 5) computes per trial used to live
+in process memory and die with the process.  This package gives trial
+outcomes a durable, *content-addressed* home:
+
+* :mod:`repro.store.atomic` — crash-safe file writes (temp file in the
+  target directory + fsync + atomic rename), shared by the shard
+  writer, the campaign checkpoint manifest, and the benchmark history;
+* :mod:`repro.store.columnar` — the per-shard columnar format (a fixed
+  NumPy structured schema with a canonical-bytes container and a
+  checksum footer), canonical content-address keys over
+  ``(system signature, sampler, legitimacy, trials, max_steps, fault
+  plan, seed)``, and :class:`~repro.store.columnar.ResultStore`, whose
+  corruption path *quarantines* bad shards for regeneration instead of
+  crashing.
+
+Shard bytes are a pure function of their records and metadata — no
+timestamps, no environment — which is what makes the campaign tier's
+kill/resume guarantee checkable: a resumed campaign's store is
+**byte-identical** to an uninterrupted run's.
+"""
+
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
+from repro.store.columnar import (
+    SHARD_SCHEMA,
+    ResultStore,
+    decode_shard,
+    encode_shard,
+    read_shard,
+    shard_key,
+    system_signature,
+    write_shard,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "SHARD_SCHEMA",
+    "ResultStore",
+    "decode_shard",
+    "encode_shard",
+    "read_shard",
+    "shard_key",
+    "system_signature",
+    "write_shard",
+]

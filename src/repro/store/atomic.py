@@ -1,0 +1,74 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A write interrupted at *any* point — SIGKILL, OOM, power loss — leaves
+either the old file or the new file, never a torn mixture: the payload
+goes to a temporary file in the **same directory** (so the final rename
+cannot cross a filesystem boundary), is flushed and fsynced, and only
+then renamed over the destination with :func:`os.replace` (atomic on
+POSIX).  The directory entry itself is fsynced afterwards where the
+platform allows, so the rename survives a crash too.
+
+Shared by the shard writer (:mod:`repro.store.columnar`), the campaign
+checkpoint manifest (:mod:`repro.campaign.runner`), and the benchmark
+history recorder (``benchmarks/run_benchmarks.py``) — one write path,
+one set of crash semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> pathlib.Path:
+    """Atomically replace ``path``'s contents with ``data``.
+
+    The temporary file lives next to the destination and carries a
+    ``.tmp`` suffix so interrupted writes are recognizable (and
+    sweepable) by their name.
+    """
+    target = pathlib.Path(path)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        # Leave no droppings behind on any failure (including the
+        # KeyboardInterrupt of an impatient operator).
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> pathlib.Path:
+    """Atomic text-mode form of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Persist the rename itself (best effort; not all platforms allow
+    opening directories)."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(descriptor)

@@ -1,0 +1,304 @@
+"""The columnar result store: containers, corruption, quarantine.
+
+The campaign tier's crash-resilience rests on three store properties
+exercised here:
+
+* **determinism** — a shard file is a pure function of its records and
+  metadata (no timestamps, no dict order, no float repr drift), so
+  byte-identity across runs is meaningful;
+* **validation** — any structural damage (truncation, bit flips, wrong
+  magic, inconsistent counts) surfaces as
+  :class:`~repro.errors.StoreCorruptionError`, never as silent garbage;
+* **self-stabilization** — :meth:`ResultStore.load` converts corruption
+  into quarantine-and-regenerate instead of crashing the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.markov.batch import EnabledCountLegitimacy
+from repro.stabilization.faults import FaultPlan
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
+from repro.store.columnar import (
+    SHARD_MAGIC,
+    SHARD_SCHEMA,
+    ResultStore,
+    decode_shard,
+    encode_shard,
+    fault_signature,
+    legitimacy_signature,
+    read_shard,
+    records_from_arrays,
+    sampler_signature,
+    shard_key,
+    system_signature,
+    write_shard,
+)
+
+META = {"family": "Q1", "params": {"n": 5}, "seed": 17, "trials": 4}
+
+
+def make_records(count: int = 4, point: int = 0) -> np.ndarray:
+    return records_from_arrays(
+        point=point,
+        trial_offset=0,
+        times=np.arange(count, dtype=np.int64) * 3,
+        converged=np.ones(count, dtype=bool),
+        timed_out=np.zeros(count, dtype=bool),
+        hit_terminal=np.zeros(count, dtype=bool),
+    )
+
+
+# ----------------------------------------------------------------------
+# records assembly
+# ----------------------------------------------------------------------
+def test_records_from_arrays_defaults():
+    records = make_records(3)
+    assert records.dtype == SHARD_SCHEMA
+    assert list(records["trial"]) == [0, 1, 2]
+    assert list(records["time"]) == [0, 3, 6]
+    # Fault-free and round-less shards use the schema sentinels.
+    assert all(records["fault_time"] == -1)
+    assert all(math.isnan(value) for value in records["rounds"])
+
+
+def test_records_from_arrays_trial_offset_and_vectors():
+    records = records_from_arrays(
+        point=2,
+        trial_offset=100,
+        times=np.array([5, 9], dtype=np.int64),
+        converged=np.array([True, False]),
+        timed_out=np.array([False, True]),
+        hit_terminal=np.array([False, False]),
+        fault_times=np.array([4, -1], dtype=np.int64),
+        rounds=np.array([1.5, np.nan]),
+    )
+    assert list(records["point"]) == [2, 2]
+    assert list(records["trial"]) == [100, 101]
+    assert list(records["fault_time"]) == [4, -1]
+    assert records["rounds"][0] == 1.5
+
+
+# ----------------------------------------------------------------------
+# container round trip and determinism
+# ----------------------------------------------------------------------
+def test_encode_decode_round_trip():
+    records = make_records()
+    decoded, meta = decode_shard(encode_shard(records, META))
+    assert decoded.tobytes() == records.tobytes()
+    assert meta == META
+
+
+def test_encoding_is_deterministic_and_key_order_free():
+    records = make_records()
+    reordered = {key: META[key] for key in reversed(list(META))}
+    assert encode_shard(records, META) == encode_shard(records, reordered)
+
+
+def test_encode_rejects_wrong_dtype():
+    with pytest.raises(StoreError, match="dtype"):
+        encode_shard(np.zeros(3, dtype=np.int64), META)
+
+
+def test_encode_rejects_non_json_metadata():
+    with pytest.raises(StoreError, match="JSON"):
+        encode_shard(make_records(), {"bad": object()})
+    with pytest.raises(StoreError, match="JSON"):
+        encode_shard(make_records(), {"bad": float("nan")})
+
+
+def test_shard_key_is_order_insensitive_and_discriminating():
+    assert shard_key(META) == shard_key(
+        {key: META[key] for key in reversed(list(META))}
+    )
+    assert shard_key(META) != shard_key({**META, "seed": 18})
+
+
+# ----------------------------------------------------------------------
+# corruption detection
+# ----------------------------------------------------------------------
+def test_decode_rejects_truncation_below_header():
+    with pytest.raises(StoreCorruptionError, match="truncated"):
+        decode_shard(b"RS")
+
+
+def test_decode_rejects_foreign_magic():
+    data = bytearray(encode_shard(make_records(), META))
+    data[:8] = b"NOTSHARD"
+    with pytest.raises(StoreCorruptionError, match="magic"):
+        decode_shard(bytes(data))
+
+
+@pytest.mark.parametrize("position", ["meta", "payload", "footer"])
+def test_decode_rejects_bit_flips_anywhere(position: str):
+    data = bytearray(encode_shard(make_records(), META))
+    index = {"meta": 20, "payload": len(data) // 2, "footer": len(data) - 1}[
+        position
+    ]
+    data[index] ^= 0x40
+    with pytest.raises(StoreCorruptionError, match="checksum"):
+        decode_shard(bytes(data))
+
+
+def test_decode_rejects_truncated_tail():
+    data = encode_shard(make_records(), META)
+    with pytest.raises(StoreCorruptionError):
+        decode_shard(data[:-7])
+
+
+def test_decode_rejects_trailing_garbage():
+    data = encode_shard(make_records(), META)
+    with pytest.raises(StoreCorruptionError, match="checksum"):
+        decode_shard(data + b"x")
+
+
+def test_decode_rejects_count_payload_mismatch():
+    # A *checksum-valid* container whose record count disagrees with its
+    # payload length: tamper the count field, then recompute the footer.
+    import hashlib
+    import struct
+
+    records = make_records(4)
+    data = encode_shard(records, META)
+    body = bytearray(data[:-32])
+    meta_len = struct.unpack_from("<Q", body, 8)[0]
+    count_at = 8 + 8 + meta_len
+    struct.pack_into("<Q", body, count_at, 5)
+    forged = bytes(body) + hashlib.sha256(bytes(body)).digest()
+    with pytest.raises(StoreCorruptionError, match="payload"):
+        decode_shard(forged)
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
+def test_atomic_write_leaves_no_droppings(tmp_path):
+    target = tmp_path / "value.bin"
+    atomic_write_bytes(target, b"payload")
+    assert target.read_bytes() == b"payload"
+    atomic_write_text(tmp_path / "value.txt", "text\n")
+    assert (tmp_path / "value.txt").read_text() == "text\n"
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_write_read_shard_files(tmp_path):
+    records = make_records()
+    path = tmp_path / "one.shard"
+    write_shard(path, records, META)
+    loaded, meta = read_shard(path)
+    assert loaded.tobytes() == records.tobytes()
+    assert meta == META
+    with pytest.raises(StoreError, match="cannot read"):
+        read_shard(tmp_path / "absent.shard")
+
+
+# ----------------------------------------------------------------------
+# the store: content addressing, quarantine, verification
+# ----------------------------------------------------------------------
+def test_store_write_read_has_keys(tmp_path):
+    store = ResultStore(tmp_path)
+    key = shard_key(META)
+    assert not store.has(key)
+    assert store.load(key) is None
+    path = store.write(key, make_records(), META)
+    assert path == store.path_for(key)
+    assert store.has(key)
+    assert store.keys() == [key]
+    records, meta = store.read(key)
+    assert meta == META
+    assert len(records) == 4
+    with pytest.raises(StoreError, match="no shard"):
+        store.read("0" * 64)
+
+
+def test_store_load_quarantines_corruption(tmp_path):
+    store = ResultStore(tmp_path)
+    key = shard_key(META)
+    store.write(key, make_records(), META)
+    damaged = bytearray(store.path_for(key).read_bytes())
+    damaged[len(damaged) // 2] ^= 0x01
+    store.path_for(key).write_bytes(bytes(damaged))
+
+    assert store.load(key) is None
+    assert not store.has(key)
+    quarantined = list(store.quarantine_dir.iterdir())
+    assert [path.name for path in quarantined] == [f"{key}.0.bad"]
+
+    # A second corrupt incarnation gets the next unique autopsy name.
+    store.path_for(key).write_bytes(b"RSHARD01 definitely not a shard")
+    assert store.load(key) is None
+    names = sorted(path.name for path in store.quarantine_dir.iterdir())
+    assert names == [f"{key}.0.bad", f"{key}.1.bad"]
+
+    # Regeneration after quarantine restores normal service.
+    store.write(key, make_records(), META)
+    assert store.load(key) is not None
+
+
+def test_store_verify_observes_without_quarantining(tmp_path):
+    store = ResultStore(tmp_path)
+    good = shard_key({**META, "seed": 1})
+    bad = shard_key({**META, "seed": 2})
+    store.write(good, make_records(), {**META, "seed": 1})
+    store.write(bad, make_records(), {**META, "seed": 2})
+    store.path_for(bad).write_bytes(b"garbage")
+    ok, corrupt = store.verify()
+    assert ok == [good]
+    assert corrupt == [bad]
+    assert store.path_for(bad).exists()  # left in place for the runner
+
+
+def test_store_sweep_temp(tmp_path):
+    store = ResultStore(tmp_path)
+    (store.shards_dir / "interrupted.shard.tmp").write_bytes(b"partial")
+    (store.shards_dir / "other.tmp").write_bytes(b"partial")
+    assert store.sweep_temp() == 2
+    assert store.sweep_temp() == 0
+
+
+# ----------------------------------------------------------------------
+# canonical signatures
+# ----------------------------------------------------------------------
+def test_system_signature_stable_across_builds():
+    from repro.algorithms.token_ring import make_token_ring_system
+
+    one = system_signature(make_token_ring_system(5))
+    two = system_signature(make_token_ring_system(5))
+    assert one == two
+    assert json.dumps(one)  # plain JSON, no live objects
+    assert one != system_signature(make_token_ring_system(6))
+    assert one["processes"] == 5
+
+
+def test_sampler_signature_captures_scalar_params():
+    from repro.schedulers.samplers import SynchronousSampler
+
+    name, params = sampler_signature(SynchronousSampler())
+    assert name == "SynchronousSampler"
+    assert isinstance(params, dict)
+
+
+def test_legitimacy_signature_forms():
+    assert legitimacy_signature(EnabledCountLegitimacy(1)) == [
+        "enabled-count",
+        1,
+    ]
+    predicate = legitimacy_signature(None, legitimate=os.path.exists)
+    assert predicate[0] == "predicate"
+
+
+def test_fault_signature_forms():
+    assert fault_signature(None) is None
+    plan = FaultPlan(processes=2, step=None, mode="random", seed=13)
+    signature = fault_signature(plan)
+    assert signature["processes"] == 2
+    assert json.dumps(signature)
+    with pytest.raises(StoreError, match="canonicalize"):
+        fault_signature(object())

@@ -261,3 +261,96 @@ def test_use_kernel_false_still_oracle():
     )
     oracle = StateSpace.explore(system, CentralRelation(), shards=1)
     assert_identical(reference, oracle)
+
+
+# ----------------------------------------------------------------------
+# pool hardening: worker death, hangs, and the in-process fallback
+# ----------------------------------------------------------------------
+def _raise_in_worker(chunk):
+    raise ValueError("injected worker failure")
+
+
+def _hang_in_worker(chunk):
+    import time
+
+    time.sleep(60)
+
+
+def _die_in_worker(chunk):
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _make_supervised_pool(task, fallback):
+    from repro.core.encoding import compile_tables
+    from repro.core.kernel import TransitionKernel
+    from repro.stabilization import sharding
+
+    tables = compile_tables(TransitionKernel(make_token_ring_system(4)))
+    return sharding._SupervisedPool(
+        2, tables, CentralRelation(), "all", task, fallback
+    )
+
+
+def test_supervised_pool_retries_once_then_falls_back():
+    calls: list[list] = []
+
+    def fallback(chunks):
+        calls.append(list(chunks))
+        return ["fallback"] * len(chunks)
+
+    pool = _make_supervised_pool(_raise_in_worker, fallback)
+    try:
+        with pytest.warns(RuntimeWarning) as record:
+            assert pool.map([1, 2]) == ["fallback", "fallback"]
+        messages = [str(warning.message) for warning in record]
+        assert any("retrying the batch" in message for message in messages)
+        assert any("falling back" in message for message in messages)
+        assert pool.broken
+        # Once written off, every later batch skips straight to the
+        # in-process fallback — no fresh pools, no fresh warnings.
+        assert pool.map([3]) == ["fallback"]
+        assert calls == [[1, 2], [3]]
+    finally:
+        pool.close()
+
+
+@pytest.mark.parametrize(
+    "task", [_hang_in_worker, _die_in_worker], ids=["hung", "sigkilled"]
+)
+def test_supervised_pool_survives_lost_tasks(task, monkeypatch):
+    """A killed or hung worker loses its task; the wall-clock budget on
+    ``map_async(...).get`` turns that into a supervisable failure
+    instead of the infinite wait a bare ``Pool.map`` would give."""
+    from repro.stabilization import sharding
+
+    monkeypatch.setattr(sharding, "POOL_TASK_TIMEOUT", 0.2)
+    pool = _make_supervised_pool(task, lambda chunks: list(chunks))
+    try:
+        with pytest.warns(RuntimeWarning) as record:
+            assert pool.map([1, 2]) == [1, 2]
+        assert any(
+            "falling back" in str(warning.message) for warning in record
+        )
+        assert pool.broken
+    finally:
+        pool.close()
+
+
+def test_exploration_result_survives_broken_pool(monkeypatch):
+    """End to end: with the pool timing out every batch, sharded
+    exploration degrades to in-process expansion and still produces the
+    oracle's exact state space."""
+    from repro.stabilization import sharding
+
+    monkeypatch.setattr(sharding, "POOL_TASK_TIMEOUT", 0.0001)
+    system = make_token_ring_system(9)  # 512 configs: takes the pool path
+    oracle = StateSpace.explore(system, CentralRelation(), shards=1)
+    with pytest.warns(RuntimeWarning) as record:
+        survived = StateSpace.explore(system, CentralRelation(), shards=2)
+    assert any(
+        "falling back" in str(warning.message) for warning in record
+    )
+    assert_identical(oracle, survived)
