@@ -4,13 +4,14 @@ Runs ``bench_infrastructure.py``, ``bench_batch_engine.py``,
 ``bench_sharded_explore.py``, ``bench_chain_build.py``,
 ``bench_sweep_fusion.py``, ``bench_fault_injection.py``,
 ``bench_mdp_solve.py``, ``bench_step_backend.py``,
-``bench_parametric_sweep.py``, and ``bench_campaign_store.py`` through
-pytest-benchmark and appends a condensed, machine-readable record to
-``benchmarks/BENCH_kernel.json`` so the performance trajectory of the
-execution engine (state-space exploration — sequential and sharded —
-chain building and hitting solves, simulation throughput, batch
-Monte-Carlo throughput, fused multi-point sweeps, fault-injection
-overhead, MDP value iteration, step-backend fast paths) is tracked
+``bench_parametric_sweep.py``, ``bench_campaign_store.py``, and
+``bench_serving_fusion.py`` through pytest-benchmark and appends a
+condensed, machine-readable record to ``benchmarks/BENCH_kernel.json``
+so the performance trajectory of the execution engine (state-space
+exploration — sequential and sharded — chain building and hitting
+solves, simulation throughput, batch Monte-Carlo throughput, fused
+multi-point sweeps, fault-injection overhead, MDP value iteration,
+step-backend fast paths, multi-tenant serving fusion) is tracked
 across PRs.  Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--label "note"]
@@ -86,6 +87,7 @@ SUITE = (
     BENCH_DIR / "bench_step_backend.py",
     BENCH_DIR / "bench_parametric_sweep.py",
     BENCH_DIR / "bench_campaign_store.py",
+    BENCH_DIR / "bench_serving_fusion.py",
 )
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
 

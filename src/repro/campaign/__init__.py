@@ -23,6 +23,7 @@ from repro.campaign.points import (
     build_sweep_spec,
     expand_selection,
     family_ids,
+    family_parts,
 )
 from repro.campaign.runner import (
     CampaignConfig,
@@ -40,6 +41,7 @@ __all__ = [
     "build_sweep_spec",
     "expand_selection",
     "family_ids",
+    "family_parts",
     "CampaignConfig",
     "CampaignReport",
     "execute_shard",

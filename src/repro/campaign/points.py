@@ -53,6 +53,7 @@ __all__ = [
     "build_sweep_spec",
     "expand_selection",
     "family_ids",
+    "family_parts",
 ]
 
 
@@ -128,6 +129,8 @@ def _q1_parts(params: Mapping) -> dict:
         "legitimate": lambda cfg, s=system, t=tspec: t.legitimate(s, cfg),
         "batch_legitimate": EnabledCountLegitimacy(1),
         "fault": None,
+        "specification": tspec,
+        "distribution": _distributions().SynchronousDistribution(),
     }
 
 
@@ -139,14 +142,15 @@ def _q3_parts(params: Mapping) -> dict:
     from repro.markov.batch import EnabledCountLegitimacy
 
     system = make_dijkstra_system(int(params["n"]))
+    spec = SinglePrivilegeSpec()
     return {
         "system": system,
         "sampler": _samplers().CentralRandomizedSampler(),
-        "legitimate": lambda cfg, s=system: SinglePrivilegeSpec().legitimate(
-            s, cfg
-        ),
+        "legitimate": lambda cfg, s=system, t=spec: t.legitimate(s, cfg),
         "batch_legitimate": EnabledCountLegitimacy(1),
         "fault": None,
+        "specification": spec,
+        "distribution": _distributions().CentralRandomizedDistribution(),
     }
 
 
@@ -169,6 +173,8 @@ def _ft1_parts(params: Mapping) -> dict:
         # two-process transient corruption (seed pinned by the family so
         # the plan is part of the point's identity, not the run's).
         "fault": FaultPlan(processes=2, step=None, mode="random", seed=13),
+        "specification": spec,
+        "distribution": _distributions().CentralRandomizedDistribution(),
     }
 
 
@@ -178,9 +184,17 @@ def _samplers():
     return samplers
 
 
+def _distributions():
+    from repro.schedulers import distributions
+
+    return distributions
+
+
 #: family id → parts builder.  A builder returns the executable
 #: ingredients of one point: ``system``, ``sampler``, ``legitimate``,
-#: ``batch_legitimate``, ``fault``.
+#: ``batch_legitimate``, ``fault`` — plus the exact-tier pairing the
+#: serving tier's verdict queries use, ``specification`` and
+#: ``distribution``.
 CAMPAIGN_FAMILIES = {
     "Q1": _q1_parts,
     "Q3": _q3_parts,
@@ -193,7 +207,9 @@ def family_ids() -> tuple[str, ...]:
     return tuple(CAMPAIGN_FAMILIES)
 
 
-def _parts_for(family: str, params: Mapping) -> dict:
+def family_parts(family: str, params: Mapping) -> dict:
+    """Build one family's executable point ingredients (public spelling
+    — the serving tier resolves wire-format requests through it)."""
     builder = CAMPAIGN_FAMILIES.get(family)
     if builder is None:
         raise CampaignError(
@@ -201,6 +217,9 @@ def _parts_for(family: str, params: Mapping) -> dict:
             f" known: {', '.join(CAMPAIGN_FAMILIES)}"
         )
     return builder(params)
+
+
+_parts_for = family_parts
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ __all__ = [
     "StoreError",
     "StoreCorruptionError",
     "CampaignError",
+    "ServingError",
 ]
 
 
@@ -73,3 +74,7 @@ class StoreCorruptionError(StoreError):
 
 class CampaignError(ReproError):
     """Campaign orchestration failure (bad selection, unusable manifest...)."""
+
+
+class ServingError(ReproError):
+    """Serving-tier failure (bad request payload, unknown job or family...)."""

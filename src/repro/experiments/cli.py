@@ -14,6 +14,10 @@ Subcommands::
                          campaign into DIR (``--resume`` continues an
                          interrupted one, ``--report`` summarizes the
                          result store; see :mod:`repro.campaign`)
+    serve                start the always-on HTTP sweep service (warm
+                         signature-keyed caches, multi-tenant fusion
+                         under an admission window; see
+                         :mod:`repro.serving`)
 
 ``run``, ``run-all``, and ``report`` accept ``--shards N`` (or
 ``--shards auto``): every exhaustive state-space exploration inside the
@@ -216,6 +220,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="summarize DIR's result store instead of running anything",
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the always-on HTTP sweep service"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8008,
+        help="TCP port (0 picks a free one); default 8008",
+    )
+    serve_parser.add_argument(
+        "--window",
+        type=float,
+        default=0.025,
+        metavar="SECONDS",
+        help="admission window: how long the dispatcher holds a batch"
+        " open so concurrent submissions fuse (0 = dispatch each"
+        " submission alone); default 0.025",
+    )
+    serve_parser.add_argument(
+        "--engine",
+        default="auto",
+        help="sweep execution policy forwarded to the shared SweepRunner:"
+        " auto (default), fused, batch, or scalar",
+    )
+    serve_parser.add_argument(
+        "--system-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU bound on cached system compilations (kernels, lockstep"
+        " tables, runners); default 64",
+    )
+    _add_backend_flag(serve_parser)
     return parser
 
 
@@ -278,6 +319,20 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """The ``serve`` verb: run the HTTP service in the foreground."""
+    from repro.serving import ServiceConfig, serve
+
+    kwargs: dict = {
+        "admission_window": args.window,
+        "engine": args.engine,
+    }
+    if args.system_cache is not None:
+        kwargs["system_cache"] = args.system_cache
+    serve(host=args.host, port=args.port, config=ServiceConfig(**kwargs))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -320,6 +375,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _print_results(run_all(fast=args.fast))
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "serve":
+        return _run_serve_command(args)
     if args.command == "report":
         results = run_all(fast=args.fast)
         sections = [

@@ -9,9 +9,12 @@ compiled and ran its own batch in isolation — one
 code matrix per point.  :class:`SweepRunner` fuses them:
 
 * points are **grouped** by ``(algorithm, topology)`` family and, inside
-  a group, by the concrete :class:`~repro.core.system.System` object —
-  the unit that owns a :class:`~repro.core.kernel.TransitionKernel` and
-  one set of :class:`~repro.core.encoding.CompiledKernelTables`;
+  a group, by the canonical *system signature*
+  (:func:`repro.store.columnar.system_cache_key`) — the unit that owns a
+  :class:`~repro.core.kernel.TransitionKernel` and one set of
+  :class:`~repro.core.encoding.CompiledKernelTables`; value-equal
+  systems constructed independently (concurrent tenants of the serving
+  tier) therefore share one compilation *and* one fused matrix;
 * **same-system points fuse** into one ``(Σ trials × processes)`` code
   matrix carrying a per-row *point id* and a per-row *step budget*;
   legitimacy and scheduler draws dispatch per point (points sharing a
@@ -41,6 +44,8 @@ PR 2 batch engine).
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -76,8 +81,10 @@ from repro.schedulers.samplers import (
     SynchronousSampler,
 )
 from repro.stabilization.faults import FaultPlan, compile_fault
+from repro.store.columnar import system_cache_key
 
 __all__ = [
+    "DEFAULT_SYSTEM_CACHE",
     "SWEEP_ENGINES",
     "SweepPointSpec",
     "PointExecution",
@@ -182,6 +189,33 @@ def _legitimacy_signature(spec: SweepPointSpec) -> tuple:
     return ("predicate", id(spec.legitimate))
 
 
+#: Default bound on the per-system cache (kernel + compiled engine +
+#: shared runner per distinct system *signature*).  Batch sweeps touch a
+#: handful of systems; an always-on service recycles the least recently
+#: used entry instead of leaking one compilation per tenant forever.
+DEFAULT_SYSTEM_CACHE = 64
+
+#: Bound on the id → signature-key memo (a pure recompute cache, safe
+#: to drop at any size thanks to its weakref guards).
+_KEY_MEMO_LIMIT = 1024
+
+
+@dataclass
+class _SystemEntry:
+    """Everything cached for one system signature.
+
+    ``system`` is a *strong* reference to the first system seen with
+    this signature: it anchors the kernel/engine/runner and guarantees
+    the entry can never be poisoned by interpreter id reuse (the old
+    ``id(system)``-keyed dicts could return a stale kernel once a
+    collected system's id was recycled by a value-different one)."""
+
+    system: System
+    kernel: TransitionKernel | None = None
+    engine: BatchEngine | ModelError | None = None
+    runner: MonteCarloRunner | None = None
+
+
 def _fold_seeds(seeds: Sequence[int]) -> int:
     """Deterministic fold of the member seeds into one generator seed
     (same multiplier as :meth:`RandomSource.spawn`)."""
@@ -197,9 +231,12 @@ class SweepRunner:
     Construct once per sweep, call :meth:`run` with the full point list;
     grouping, fusion, table caching, and per-point fallback are handled
     here so experiment runners never touch the execution tiers directly.
-    Kernels and compiled tables are cached per system for the runner's
-    lifetime, so repeated :meth:`run` calls (or mixed fused/fallback
-    plans) never recompile.
+    Kernels and compiled tables are cached per system *signature*
+    (:func:`repro.store.columnar.system_cache_key`) under an LRU bound
+    of ``cache_size`` entries, so repeated :meth:`run` calls (or mixed
+    fused/fallback plans) never recompile — and value-equal systems
+    built independently (different tenants of the serving tier) share
+    one compilation and fuse into one code matrix.
 
     ``engine`` sets the execution policy:
 
@@ -225,10 +262,15 @@ class SweepRunner:
         engine: str = "auto",
         table_budget: int = DEFAULT_TABLE_BUDGET,
         backend: str | None = None,
+        cache_size: int | None = DEFAULT_SYSTEM_CACHE,
     ) -> None:
         if engine not in SWEEP_ENGINES:
             raise MarkovError(
                 f"unknown engine {engine!r}; known: {SWEEP_ENGINES}"
+            )
+        if cache_size is not None and cache_size < 1:
+            raise MarkovError(
+                f"cache_size must be >= 1 or None, got {cache_size}"
             )
         self.engine = engine
         self.table_budget = table_budget
@@ -239,65 +281,123 @@ class SweepRunner:
         # backends' fast paths do not model.
         self.backend = backend
         self.last_plan: list[PointExecution] = []
-        # Per-system caches, keyed by object identity; the cached kernel
-        # and engine keep the system alive, so ids cannot be recycled.
-        self._kernels: dict[int, TransitionKernel] = {}
-        self._engines: dict[int, BatchEngine | ModelError] = {}
-        self._runners: dict[int, MonteCarloRunner] = {}
+        # Per-system cache, keyed by the canonical *content* signature
+        # (:func:`repro.store.columnar.system_cache_key`), never by
+        # ``id(system)``: a long-lived process recycles object ids, and
+        # an id key could hand a new system a stale kernel.  Each entry
+        # holds a strong reference to its first-seen system, so
+        # value-equal systems from different tenants share one
+        # compilation; LRU-bounded so an always-on service cannot leak
+        # one entry per tenant forever (``cache_size=None`` disables
+        # eviction).
+        self.cache_size = cache_size
+        self.evictions = 0
+        self._systems: OrderedDict[str, _SystemEntry] = OrderedDict()
+        # Memoized key computation: id → (weakref guard, key).  The
+        # weakref guard makes this memo immune to the very id-reuse
+        # hazard the signature keying removes — a recycled id whose
+        # weakref is dead (or points elsewhere) recomputes.
+        self._key_memo: OrderedDict[
+            int, tuple[weakref.ref, str]
+        ] = OrderedDict()
 
     # ------------------------------------------------------------------
     # shared per-system state
     # ------------------------------------------------------------------
+    def _cache_key(self, system: System) -> str:
+        memo = self._key_memo.get(id(system))
+        if memo is not None and memo[0]() is system:
+            return memo[1]
+        key = system_cache_key(system)
+        self._key_memo[id(system)] = (weakref.ref(system), key)
+        while len(self._key_memo) > _KEY_MEMO_LIMIT:
+            self._key_memo.popitem(last=False)
+        return key
+
+    def _entry_for(self, system: System) -> _SystemEntry:
+        """The (created-on-demand, LRU-refreshed) cache entry whose
+        signature matches ``system``."""
+        key = self._cache_key(system)
+        entry = self._systems.get(key)
+        if entry is None:
+            entry = _SystemEntry(system=system)
+            self._systems[key] = entry
+            if (
+                self.cache_size is not None
+                and len(self._systems) > self.cache_size
+            ):
+                self._systems.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._systems.move_to_end(key)
+        return entry
+
+    @property
+    def cached_systems(self) -> int:
+        """Number of distinct system signatures currently cached."""
+        return len(self._systems)
+
+    def cache_info(self) -> dict[str, object]:
+        """Cache observability for the serving tier's stats endpoint."""
+        return {
+            "systems": len(self._systems),
+            "cache_size": self.cache_size,
+            "evictions": self.evictions,
+        }
+
     def adopt_system(
         self,
         system: System,
         kernel: TransitionKernel | None = None,
         batch_engine: BatchEngine | ModelError | None = None,
     ) -> None:
-        """Seed this runner's per-system caches with externally owned
+        """Seed this runner's per-system cache with externally owned
         state — a shared kernel and a compiled batch engine (or the
         cached :class:`ModelError` of a failed compilation), so
         :class:`~repro.markov.montecarlo.MonteCarloRunner` and repeated
-        sweeps never recompile what the caller already owns."""
+        sweeps never recompile what the caller already owns.  Adopted
+        state is keyed by the system's signature like everything else,
+        so any value-equal system benefits."""
+        entry = self._entry_for(system)
         if kernel is not None:
-            self._kernels[id(system)] = kernel
+            entry.kernel = kernel
         if batch_engine is not None:
-            self._engines[id(system)] = batch_engine
+            entry.engine = batch_engine
 
     def _kernel_for(self, system: System) -> TransitionKernel:
-        kernel = self._kernels.get(id(system))
-        if kernel is None:
-            kernel = TransitionKernel(system)
-            self._kernels[id(system)] = kernel
-        return kernel
+        entry = self._entry_for(system)
+        if entry.kernel is None:
+            entry.kernel = TransitionKernel(entry.system)
+        return entry.kernel
 
     def _batch_engine_for(self, system: System) -> BatchEngine | ModelError:
         """The compiled batch engine, or the cached compilation failure."""
-        cached = self._engines.get(id(system))
-        if cached is None:
+        entry = self._entry_for(system)
+        if entry.engine is None:
             try:
-                cached = BatchEngine(
-                    self._kernel_for(system),
+                entry.engine = BatchEngine(
+                    self._kernel_for(entry.system),
                     self.table_budget,
                     backend=self.backend,
                 )
             except ModelError as error:
-                cached = error
-            self._engines[id(system)] = cached
-        return cached
+                entry.engine = error
+        return entry.engine
 
     def _runner_for(self, system: System) -> MonteCarloRunner:
-        runner = self._runners.get(id(system))
-        if runner is None:
-            engine = self._engines.get(id(system))
-            runner = MonteCarloRunner(
-                system,
-                kernel=self._kernel_for(system),
-                batch_engine=engine if isinstance(engine, BatchEngine) else None,
+        entry = self._entry_for(system)
+        if entry.runner is None:
+            entry.runner = MonteCarloRunner(
+                entry.system,
+                kernel=self._kernel_for(entry.system),
+                batch_engine=(
+                    entry.engine
+                    if isinstance(entry.engine, BatchEngine)
+                    else None
+                ),
                 backend=self.backend,
             )
-            self._runners[id(system)] = runner
-        return runner
+        return entry.runner
 
     # ------------------------------------------------------------------
     # the front door
@@ -324,22 +424,25 @@ class SweepRunner:
         results: dict[int, MonteCarloResult] = {}
 
         # Group by (algorithm, topology) family, preserving first-seen
-        # order; fusion blocks inside a group are keyed by the concrete
-        # system object (the owner of one kernel/table set).
-        groups: dict[tuple[str, str], dict[int, list[int]]] = {}
-        systems: dict[int, System] = {}
+        # order; fusion blocks inside a group are keyed by the system
+        # *signature* (the owner of one kernel/table set), so value-equal
+        # systems built by independent callers — concurrent tenants of
+        # the serving tier — land in the same fused matrix.
+        groups: dict[tuple[str, str], dict[str, list[int]]] = {}
+        systems: dict[str, System] = {}
         for index, spec in enumerate(points):
             key = (
                 type(spec.system.algorithm).__name__,
                 type(spec.system.topology).__name__,
             )
             blocks = groups.setdefault(key, {})
-            blocks.setdefault(id(spec.system), []).append(index)
-            systems[id(spec.system)] = spec.system
+            signature = self._cache_key(spec.system)
+            blocks.setdefault(signature, []).append(index)
+            systems.setdefault(signature, spec.system)
 
         for group_key, blocks in groups.items():
-            for system_id, indices in blocks.items():
-                system = systems[system_id]
+            for signature, indices in blocks.items():
+                system = systems[signature]
                 fused: list[tuple[int, SweepPointSpec]] = []
                 for index in indices:
                     spec = points[index]

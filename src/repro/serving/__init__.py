@@ -1,0 +1,50 @@
+"""Always-on serving tier: warm caches + multi-tenant sweep fusion.
+
+The batch tiers (experiments CLI, campaign runner) pay compilation —
+kernel tables, lockstep engines, chain LU factorizations — once per
+process and throw it away.  This package keeps those artifacts warm in
+a persistent process behind a stdlib HTTP server, keyed by canonical
+content signatures (never object identity), and coalesces concurrent
+tenants' sweep submissions into fused
+:class:`~repro.markov.sweep_engine.SweepRunner` batches under an
+admission window.  Responses stay bit-identical to a sequential
+``SweepRunner`` run of the same batch — fusion buys throughput, not
+different numbers.
+
+Layering: :mod:`~repro.serving.cache` (signature-keyed LRU primitive) →
+:mod:`~repro.serving.resolver` (JSON payloads → executable specs via the
+campaign family registry) → :mod:`~repro.serving.jobs` (admission queue
+and dispatcher) → :mod:`~repro.serving.service` (transport-independent
+facade) → :mod:`~repro.serving.http` (ThreadingHTTPServer shim).
+"""
+
+from repro.serving.cache import SignatureLRU
+from repro.serving.http import SweepHTTPServer, make_server, serve
+from repro.serving.jobs import AdmissionDispatcher, Job, result_payload
+from repro.serving.resolver import (
+    MAX_POINTS_PER_REQUEST,
+    PARAMETRIC_FAMILIES,
+    parametric_parts,
+    resolve_point,
+    resolve_points,
+    verdict_parts,
+)
+from repro.serving.service import ServiceConfig, SweepService
+
+__all__ = [
+    "AdmissionDispatcher",
+    "Job",
+    "MAX_POINTS_PER_REQUEST",
+    "PARAMETRIC_FAMILIES",
+    "ServiceConfig",
+    "SignatureLRU",
+    "SweepHTTPServer",
+    "SweepService",
+    "make_server",
+    "parametric_parts",
+    "resolve_point",
+    "resolve_points",
+    "result_payload",
+    "serve",
+    "verdict_parts",
+]

@@ -1,0 +1,93 @@
+"""Thread-safe, bounded, signature-keyed LRU — the warm-cache primitive.
+
+Every expensive artifact the serving tier keeps warm across requests —
+compiled chains (which carry their cached LU factorizations), parametric
+chain structures, verdicts, experiment results, campaign-store reports —
+lives in a :class:`SignatureLRU` keyed by a *canonical content
+signature* (see :func:`repro.store.columnar.system_cache_key` and
+friends), never by object identity: ids are recycled by a long-lived
+interpreter, signatures are not.
+
+Builds are serialized under the cache lock (single-flight): when two
+HTTP threads race for the same cold key, one compiles and the other
+inherits the result — the whole point of multi-tenant warm caches is
+that equal queries share one compilation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, TypeVar
+
+__all__ = ["SignatureLRU"]
+
+T = TypeVar("T")
+
+
+class SignatureLRU:
+    """A bounded mapping ``signature → artifact`` with LRU eviction.
+
+    ``maxsize`` bounds the entry count (``None`` disables eviction —
+    only sensible for caches whose key space is statically bounded).
+    ``get_or_build(key, build)`` is the only write path: it returns the
+    cached artifact, refreshing recency, or invokes ``build()`` under
+    the lock and caches its result.  Hit/miss/eviction counters feed
+    the service's ``/api/caches`` observability endpoint.
+    """
+
+    def __init__(self, name: str, maxsize: int | None = 32) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(
+                f"maxsize must be >= 1 or None, got {maxsize}"
+            )
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_build(self, key: object, build: Callable[[], T]) -> T:
+        """The cached artifact for ``key``, building it on first use."""
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+            self.misses += 1
+            artifact = build()
+            self._entries[key] = artifact
+            if (
+                self.maxsize is not None
+                and len(self._entries) > self.maxsize
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return artifact
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; they are cumulative)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot for the stats endpoint."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

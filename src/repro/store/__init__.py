@@ -29,6 +29,7 @@ from repro.store.columnar import (
     encode_shard,
     read_shard,
     shard_key,
+    system_cache_key,
     system_signature,
     write_shard,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "encode_shard",
     "read_shard",
     "shard_key",
+    "system_cache_key",
     "system_signature",
     "write_shard",
 ]

@@ -70,6 +70,7 @@ __all__ = [
     "records_from_arrays",
     "sampler_signature",
     "shard_key",
+    "system_cache_key",
     "system_signature",
     "write_shard",
 ]
@@ -124,10 +125,38 @@ def shard_key(meta: Mapping) -> str:
     return hashlib.sha256(_canonical_json(dict(meta)).encode()).hexdigest()
 
 
+def _scalar_attributes(obj) -> dict:
+    """The plain-scalar attributes of ``obj`` (private underscores
+    stripped), sorted — the JSON-able parameter surface of an algorithm
+    or sampler instance.  Float subclasses (e.g. affine coin
+    probabilities) serialize by value."""
+    params = {}
+    for name, value in (getattr(obj, "__dict__", None) or {}).items():
+        if isinstance(value, bool):
+            params[name.lstrip("_")] = value
+        elif isinstance(value, int):
+            params[name.lstrip("_")] = int(value)
+        elif isinstance(value, float):
+            params[name.lstrip("_")] = float(value)
+        elif isinstance(value, str):
+            params[name.lstrip("_")] = value
+    return dict(sorted(params.items()))
+
+
 def system_signature(system) -> dict:
     """Canonical, process-independent description of a
     :class:`~repro.core.system.System` — stable across runs and hosts
-    (type names and domain structure, never object identities)."""
+    (type names, parameters, and domain/wiring structure, never object
+    identities).
+
+    ``algorithm_params`` (the algorithm instance's scalar attributes —
+    ring size, counter modulus, coin biases) and ``topology_sha256``
+    (the ordered adjacency lists) make the signature *semantically
+    discriminating*: two systems share a signature only when they share
+    guarded-command behavior, which is what lets a long-lived process
+    (the serving tier) key kernels, compiled tables, and chains by
+    signature instead of by object identity.
+    """
     domains = [
         [
             [spec.size, list(map(repr, spec.domain))]
@@ -135,15 +164,37 @@ def system_signature(system) -> dict:
         ]
         for layout in system.layouts
     ]
+    adjacency = [
+        list(system.topology.neighbors(process))
+        for process in range(system.num_processes)
+    ]
     return {
         "algorithm": type(system.algorithm).__name__,
+        "algorithm_params": _scalar_attributes(system.algorithm),
         "topology": type(system.topology).__name__,
+        "topology_sha256": hashlib.sha256(
+            _canonical_json(adjacency).encode()
+        ).hexdigest(),
         "processes": int(system.num_processes),
         "variables": list(system.variable_names()),
         "domains_sha256": hashlib.sha256(
             _canonical_json(domains).encode()
         ).hexdigest(),
     }
+
+
+def system_cache_key(system) -> str:
+    """Content-address of one system's *semantics*: sha256 over the
+    canonical :func:`system_signature` JSON.
+
+    This is the key the warm caches use — :class:`SweepRunner`'s
+    kernel/engine/runner entries and the serving tier's chain and
+    parametric-chain caches — so cache hits survive garbage collection
+    and object-identity reuse, and value-equal systems built by
+    different tenants share one compilation."""
+    return hashlib.sha256(
+        _canonical_json(system_signature(system)).encode()
+    ).hexdigest()
 
 
 def sampler_signature(sampler) -> list:

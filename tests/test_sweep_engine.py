@@ -154,9 +154,9 @@ class TestGroupingAndPlan:
     def test_runner_caches_tables_across_runs(self):
         runner = SweepRunner(engine="fused")
         runner.run([ring_point(seed=1)])
-        engine_first = runner._engines[id(RING5)]
+        engine_first = runner._entry_for(RING5).engine
         runner.run([ring_point(seed=2)])
-        assert runner._engines[id(RING5)] is engine_first
+        assert runner._entry_for(RING5).engine is engine_first
 
 
 class TestPerRowBudgetsAndRetirement:
@@ -469,9 +469,9 @@ class TestSweepFusedEntryPoint:
     def test_sweep_fused_reuses_supplied_runner(self):
         runner = SweepRunner(engine="fused")
         sweep_fused("seed", [1], lambda s: ring_point(seed=s), runner=runner)
-        cached = runner._engines[id(RING5)]
+        cached = runner._entry_for(RING5).engine
         sweep_fused("seed", [2], lambda s: ring_point(seed=s), runner=runner)
-        assert runner._engines[id(RING5)] is cached
+        assert runner._entry_for(RING5).engine is cached
 
 
 class TestSamplesField:
@@ -505,3 +505,122 @@ class TestSamplesField:
             ]
         )
         assert decoded.censored == 0
+
+
+class TestSignatureKeyedCache:
+    """The per-system cache is keyed by content signature, never id.
+
+    The old ``id(system)``-keyed dicts could hand a value-different
+    system a stale kernel once the interpreter recycled a collected
+    system's id — routine in a long-lived serving process with LRU
+    eviction.  These tests pin the replacement contract: recycled ids
+    recompile, evicted entries recompile, and value-equal systems built
+    independently share one compilation.
+    """
+
+    def test_recycled_id_gets_fresh_compilation(self):
+        """Build a system, prime the cache, let the system be collected,
+        then build a *value-different* system whose instance reuses the
+        freed id — it must get a fresh kernel, not the stale entry."""
+        import copy
+
+        template = make_token_ring_system(6)
+        oracle = SweepRunner().run(
+            [ring_point(system=copy.copy(template), seed=9, trials=10)]
+        )
+        runner = SweepRunner(cache_size=1)
+        decoy = make_token_ring_system(4)
+        for _ in range(50):
+            stale = make_token_ring_system(5)
+            runner.run([ring_point(system=stale, seed=3, trials=5)])
+            stale_key = runner._cache_key(stale)
+            # Evict the entry so its strong reference (the id-reuse
+            # shield) is dropped and ``stale`` really can be collected.
+            runner.run([ring_point(system=decoy, seed=4, trials=5)])
+            assert stale_key not in runner._systems
+            old_id = id(stale)
+            del stale
+            # CPython hands the freed slot to the next same-layout
+            # allocation; copy.copy allocates the instance first.
+            fresh = copy.copy(template)
+            if id(fresh) != old_id:
+                del fresh
+                continue
+            assert runner._cache_key(fresh) != stale_key
+            results = runner.run(
+                [ring_point(system=fresh, seed=9, trials=10)]
+            )
+            entry = runner._entry_for(fresh)
+            assert entry.system is fresh
+            assert entry.kernel is not None
+            assert results[0].samples == oracle[0].samples
+            return
+        pytest.skip("allocator never recycled the system id in 50 tries")
+
+    def test_lru_eviction_recompiles_correctly(self):
+        runner = SweepRunner(cache_size=2)
+        points = {
+            n: ring_point(
+                system=make_token_ring_system(n), seed=n, trials=10
+            )
+            for n in (4, 5, 6)
+        }
+        first = runner.run([points[4]])
+        runner.run([points[5]])
+        runner.run([points[6]])
+        assert runner.cached_systems == 2
+        assert runner.evictions == 1
+        assert runner._cache_key(points[4].system) not in runner._systems
+        # The evicted system recompiles into a fresh entry and still
+        # reproduces its seeded stream exactly.
+        again = runner.run([points[4]])
+        assert again[0].samples == first[0].samples
+        assert runner.evictions == 2  # size-2 cache dropped another
+        assert runner.cache_info() == {
+            "systems": 2,
+            "cache_size": 2,
+            "evictions": 2,
+        }
+
+    def test_cache_size_validation(self):
+        with pytest.raises(MarkovError, match="cache_size"):
+            SweepRunner(cache_size=0)
+        unbounded = SweepRunner(cache_size=None)
+        for n in (4, 5, 6):
+            unbounded.run(
+                [
+                    ring_point(
+                        system=make_token_ring_system(n), seed=n, trials=5
+                    )
+                ]
+            )
+        assert unbounded.cached_systems == 3
+        assert unbounded.evictions == 0
+
+    def test_value_equal_systems_share_entry_and_fuse(self):
+        """Independently built equal systems (different tenants) map to
+        one cache entry and fuse into one code matrix."""
+        ring_a = make_token_ring_system(5)
+        ring_b = make_token_ring_system(5)
+        assert ring_a is not ring_b
+        runner = SweepRunner(engine="fused")
+        results = runner.run(
+            [
+                ring_point(system=ring_a, seed=1, trials=15),
+                ring_point(system=ring_b, seed=2, trials=15),
+            ]
+        )
+        assert runner.cached_systems == 1
+        plan_a, plan_b = runner.last_plan
+        assert plan_a.group == plan_b.group
+        assert plan_a.fused_rows == plan_b.fused_rows == 30
+        # Bit-identical to the same sweep on one shared system object.
+        oracle = SweepRunner(engine="fused").run(
+            [
+                ring_point(system=ring_a, seed=1, trials=15),
+                ring_point(system=ring_a, seed=2, trials=15),
+            ]
+        )
+        assert [r.samples for r in results] == [
+            r.samples for r in oracle
+        ]
